@@ -1,0 +1,127 @@
+"""E12 — Section 5.2: branch and bound vs. exhaustive enumeration.
+
+The chapter's claim: branch-and-bound "converges to a local optimum,
+which under restrictive assumptions coincides with the global optimum",
+and the prototype evidence that "the optimization can find reasonably
+good solutions in acceptable execution time".  Measured here:
+
+* the B&B optimum equals the exhaustive optimum on both example queries
+  and on synthetic workloads, under every metric;
+* B&B prices orders of magnitude fewer candidates than enumeration;
+* the pruning ablation: disabling the bounding step preserves the result
+  but inflates the search.
+"""
+
+from conftest import report
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.core.cost import DEFAULT_METRICS, ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.synth import chain_workload, star_workload
+
+
+def test_e12_bnb_matches_exhaustive_all_metrics(benchmark, movie_query):
+    def run():
+        rows = []
+        for name, metric in DEFAULT_METRICS.items():
+            outcome = Optimizer(
+                movie_query, OptimizerConfig(metric=metric)
+            ).optimize()
+            truth = exhaustive_optimum(movie_query, metric=metric, max_fetch=8)
+            rows.append(
+                (
+                    name,
+                    outcome.best.cost,
+                    truth.best.cost,
+                    outcome.stats.expanded,
+                    truth.candidates_priced,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    for name, bnb_cost, true_cost, _, _ in rows:
+        assert abs(bnb_cost - true_cost) < 1e-6, name
+
+    benchmark.extra_info["rows"] = [
+        (name, round(b, 2), exp, priced) for name, b, _, exp, priced in rows
+    ]
+    report(
+        "E12 B&B vs. exhaustive (running example, all metrics)",
+        [
+            f"{name:17s} cost={bnb:9.2f}  bnb-expanded={exp:5d}  "
+            f"exhaustive-priced={priced:6d}"
+            for name, bnb, _, exp, priced in rows
+        ],
+    )
+
+
+def test_e12_bnb_matches_exhaustive_on_synthetic(benchmark):
+    def run():
+        rows = []
+        for maker, size in ((chain_workload, 5), (star_workload, 4)):
+            workload = maker(size)
+            query = compile_query(
+                parse_query(workload.query_text), workload.registry
+            )
+            metric = ExecutionTimeMetric()
+            outcome = Optimizer(query, OptimizerConfig(metric=metric)).optimize()
+            truth = exhaustive_optimum(query, metric=metric, max_fetch=4)
+            rows.append(
+                (
+                    f"{workload.shape}-{size}",
+                    outcome.best.cost,
+                    truth.best.cost,
+                    outcome.stats.expanded,
+                    truth.candidates_priced,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    for name, bnb_cost, true_cost, _, _ in rows:
+        assert abs(bnb_cost - true_cost) < 1e-6, name
+
+    report(
+        "E12 B&B vs. exhaustive (synthetic workloads)",
+        [
+            f"{name:10s} cost={bnb:9.2f}  bnb-expanded={exp:5d}  "
+            f"exhaustive-priced={priced:6d}"
+            for name, bnb, _, exp, priced in rows
+        ],
+    )
+
+
+def test_e12_pruning_ablation(benchmark, movie_query):
+    def run():
+        with_pruning = Optimizer(
+            movie_query, OptimizerConfig(metric=ExecutionTimeMetric())
+        ).optimize()
+        without = Optimizer(
+            movie_query,
+            OptimizerConfig(metric=ExecutionTimeMetric(), prune=False),
+        ).optimize()
+        return with_pruning, without
+
+    with_pruning, without = benchmark.pedantic(run, rounds=1)
+    # Same optimum, strictly less work with the bounding step.
+    assert abs(with_pruning.best.cost - without.best.cost) < 1e-9
+    assert with_pruning.stats.expanded < without.stats.expanded
+    assert with_pruning.stats.pruned > 0
+
+    ratio = without.stats.expanded / max(1, with_pruning.stats.expanded)
+    benchmark.extra_info["expanded_with"] = with_pruning.stats.expanded
+    benchmark.extra_info["expanded_without"] = without.stats.expanded
+    benchmark.extra_info["work_ratio"] = round(ratio, 2)
+    report(
+        "E12 pruning ablation (running example, execution-time metric)",
+        [
+            f"with bounding:    expanded {with_pruning.stats.expanded:5d}, "
+            f"pruned {with_pruning.stats.pruned}",
+            f"without bounding: expanded {without.stats.expanded:5d}",
+            f"pruning saves {ratio:.1f}x expansions at identical cost "
+            f"({with_pruning.best.cost:.2f})",
+        ],
+    )

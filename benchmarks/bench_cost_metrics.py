@@ -1,0 +1,128 @@
+"""E14 — Section 5.1: what each cost metric makes the optimizer choose.
+
+Optimizes the same two queries under every metric and reports the induced
+plans: time-oriented metrics buy parallelism; invocation-counting metrics
+buy serial filtering; time-to-screen buys the shortest first-tuple path.
+"""
+
+from conftest import report
+
+from repro.core.cost import DEFAULT_METRICS
+from repro.core.optimizer import Optimizer, OptimizerConfig
+
+
+def shape_of(candidate):
+    joins = len(candidate.plan.join_nodes())
+    return "parallel" if joins else "serial"
+
+
+def optimize_under_all(query):
+    rows = []
+    for name, metric in DEFAULT_METRICS.items():
+        outcome = Optimizer(query, OptimizerConfig(metric=metric)).optimize()
+        best = outcome.best
+        rows.append(
+            (
+                name,
+                best.cost,
+                shape_of(best),
+                best.fetch_vector(),
+                outcome.stats.expanded,
+            )
+        )
+    return rows
+
+
+def test_e14_metric_comparison_conference(benchmark, conference_query):
+    rows = benchmark.pedantic(optimize_under_all, args=(conference_query,), rounds=1)
+    by_name = {name: (cost, shape) for name, cost, shape, _, _ in rows}
+
+    # Time metrics choose the parallel Fig. 2 shape on this query.
+    assert by_name["execution-time"][1] == "parallel"
+    # Time-to-screen is never dearer than execution time (first tuple
+    # arrives no later than the k-th).
+    assert by_name["time-to-screen"][0] <= by_name["execution-time"][0] + 1e-9
+    # Bottleneck (slowest single service) is at most the whole path.
+    assert by_name["bottleneck"][0] <= by_name["execution-time"][0] + 1e-9
+
+    benchmark.extra_info["rows"] = [
+        (name, round(cost, 2), shape) for name, cost, shape, _, _ in rows
+    ]
+    report(
+        "E14 optimizing the conference query under each metric",
+        [
+            f"{name:17s} cost={cost:9.2f}  shape={shape:8s} "
+            f"fetches={fetches} expanded={expanded}"
+            for name, cost, shape, fetches, expanded in rows
+        ],
+    )
+
+
+def test_e14_metric_comparison_movie(benchmark, movie_query):
+    rows = benchmark.pedantic(optimize_under_all, args=(movie_query,), rounds=1)
+    by_name = {name: cost for name, cost, _, _, _ in rows}
+
+    # Call-count and request-response coincide under unit fees.
+    assert abs(by_name["call-count"] - by_name["request-response"]) < 1e-9
+    # Sum equals request-response with the default zero CPU charges.
+    assert abs(by_name["sum"] - by_name["request-response"]) < 1e-9
+
+    benchmark.extra_info["rows"] = [
+        (name, round(cost, 2), shape) for name, cost, shape, _, _ in rows
+    ]
+    report(
+        "E14 optimizing the running example under each metric",
+        [
+            f"{name:17s} cost={cost:9.2f}  shape={shape:8s} fetches={fetches}"
+            for name, cost, shape, fetches, _ in rows
+        ],
+    )
+
+
+def test_e14_metrics_disagree_on_plan_choice(benchmark, conference_query):
+    """The point of having several metrics: they induce different plans.
+    Under execution-time the optimizer accepts more total calls than under
+    call-count, in exchange for a shorter critical path."""
+    from repro.core.annotate import annotate
+    from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+
+    def run():
+        time_best = Optimizer(
+            conference_query, OptimizerConfig(metric=ExecutionTimeMetric())
+        ).optimize().best
+        calls_best = Optimizer(
+            conference_query, OptimizerConfig(metric=CallCountMetric())
+        ).optimize().best
+        time_calls = CallCountMetric().cost(
+            time_best.plan,
+            annotate(
+                time_best.plan, conference_query, fetches=time_best.fetch_vector()
+            ),
+        )
+        calls_time = ExecutionTimeMetric().cost(
+            calls_best.plan,
+            annotate(
+                calls_best.plan,
+                conference_query,
+                fetches=calls_best.fetch_vector(),
+            ),
+        )
+        return time_best, calls_best, time_calls, calls_time
+
+    time_best, calls_best, time_calls, calls_time = benchmark.pedantic(
+        run, rounds=1
+    )
+    # Each choice is optimal under its own metric (cross-evaluations are
+    # never better).
+    assert time_calls >= calls_best.cost - 1e-9
+    assert calls_time >= time_best.cost - 1e-9
+
+    report(
+        "E14 cross-metric evaluation (conference query)",
+        [
+            f"time-optimal plan:  time={time_best.cost:8.2f}  "
+            f"calls={time_calls:8.2f}",
+            f"calls-optimal plan: time={calls_time:8.2f}  "
+            f"calls={calls_best.cost:8.2f}",
+        ],
+    )

@@ -1,0 +1,176 @@
+"""E10 — Section 4.4's extraction-optimality claims, measured.
+
+* Rectangular completion is locally extraction-optimal (always).
+* Triangular completion is locally extraction-optimal; matched with
+  merge-scan it approximates a globally extraction-optimal strategy.
+* Nested-loop + rectangular is *globally* extraction-optimal exactly when
+  the step service's scores drop from 1 to 0 at the h-th chunk; with a
+  soft step it is only approximate.
+"""
+
+import random
+
+from conftest import report
+
+from repro.joins.completion import RectangularCompletion, TriangularCompletion
+from repro.joins.extraction import (
+    count_local_violations,
+    is_globally_extraction_optimal,
+)
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.strategies import MergeScanSchedule, NestedLoopSchedule
+from repro.model.scoring import (
+    ExponentialScoring,
+    LinearScoring,
+    PowerLawScoring,
+    StepScoring,
+)
+from repro.model.tuples import ServiceTuple
+
+
+def make_source(scoring, name, seed, n=50, chunk=5):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(6)},
+            score=min(1.0, max(0.0, scoring.score_at(i))),
+            source=name,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def run(scoring_x, scoring_y, schedule, policy, k=15):
+    executor = ParallelJoinExecutor(
+        make_source(scoring_x, "X", 1),
+        make_source(scoring_y, "Y", 2),
+        lambda a, b: a.values["k"] == b.values["k"],
+        schedule=schedule,
+        policy=policy,
+        k=k,
+    )
+    result = executor.run()
+    return executor, result
+
+
+PROGRESSIVE = [
+    ("linear", LinearScoring(horizon=50)),
+    ("power-law", PowerLawScoring(exponent=0.5)),
+    ("exponential", ExponentialScoring(rate=0.05)),
+]
+
+
+def test_e10_local_optimality_of_both_completions(benchmark):
+    def measure():
+        rows = []
+        for name, scoring in PROGRESSIVE:
+            for policy_name, policy in (
+                ("rectangular", RectangularCompletion()),
+                ("triangular", TriangularCompletion()),
+            ):
+                executor, result = run(
+                    scoring,
+                    scoring,
+                    MergeScanSchedule(),
+                    policy,
+                )
+                violations = count_local_violations(
+                    result.stats.events, executor.space
+                )
+                rows.append((name, policy_name, violations))
+        return rows
+
+    rows = benchmark(measure)
+    # Section 4.4: both strategies are locally extraction-optimal.
+    for name, policy_name, violations in rows:
+        assert violations == 0, f"{policy_name} on {name}: {violations}"
+
+    benchmark.extra_info["violations"] = rows
+    report(
+        "E10 local extraction-optimality (violations per trace)",
+        [f"{name:12s} {policy:12s} violations={v}" for name, policy, v in rows],
+    )
+
+
+def test_e10_nested_loop_global_optimality_needs_sharp_step(benchmark):
+    def measure():
+        # Sharp step: 1 -> 0 exactly at the h-th chunk boundary.
+        sharp = StepScoring(step_position=10, high=1.0, low=0.0, slope=0.0)
+        flat_y = LinearScoring(horizon=400, top=1.0, bottom=0.9)
+        executor, result = run(
+            sharp, flat_y, NestedLoopSchedule(step_chunks=2),
+            RectangularCompletion(), k=40,
+        )
+        sharp_global = is_globally_extraction_optimal(
+            result.stats.trace,
+            executor.space,
+            result.stats.calls_x,
+            result.stats.calls_y,
+        )
+        # Soft step: high plateau decays and the low side is not zero.
+        soft = StepScoring(step_position=10, high=0.9, low=0.4, slope=0.2)
+        executor2, result2 = run(
+            soft, LinearScoring(horizon=50),
+            NestedLoopSchedule(step_chunks=2),
+            RectangularCompletion(), k=40,
+        )
+        soft_global = is_globally_extraction_optimal(
+            result2.stats.trace,
+            executor2.space,
+            result2.stats.calls_x + 4,  # include unexplored step tail
+            result2.stats.calls_y,
+        )
+        return sharp_global, soft_global
+
+    sharp_global, soft_global = benchmark(measure)
+    # "If the step scoring function of the first service drops from 1 to 0
+    # exactly in correspondence to the h-th chunk, then the method is
+    # globally extraction-optimal."
+    assert sharp_global
+    # With a soft step the guarantee is lost.
+    assert not soft_global
+
+    benchmark.extra_info["sharp_step_global"] = sharp_global
+    benchmark.extra_info["soft_step_global"] = soft_global
+    report(
+        "E10 nested-loop global optimality",
+        [
+            f"sharp 1->0 step at h: globally extraction-optimal = {sharp_global}",
+            f"soft step:            globally extraction-optimal = {soft_global}",
+        ],
+    )
+
+
+def test_e10_merge_scan_triangular_approximates_global(benchmark):
+    """MS+triangular's emitted tile order is near the global descending
+    order: measure the rank displacement of its trace."""
+
+    def measure():
+        scoring = ExponentialScoring(rate=0.05)
+        executor, result = run(
+            scoring, scoring, MergeScanSchedule(), TriangularCompletion(), k=25
+        )
+        space = executor.space
+        trace = result.stats.trace
+        ideal = sorted(
+            trace, key=lambda t: -space.representative_score(t)
+        )
+        displacement = sum(
+            abs(trace.index(t) - ideal.index(t)) for t in trace
+        ) / max(1, len(trace))
+        return displacement, len(trace)
+
+    displacement, tiles = benchmark(measure)
+    # Near-global order: average rank displacement below one position.
+    assert displacement <= 1.0
+
+    benchmark.extra_info["avg_rank_displacement"] = round(displacement, 3)
+    report(
+        "E10 merge-scan + triangular vs. the global order",
+        [
+            f"{tiles} tiles processed; average rank displacement "
+            f"{displacement:.3f} positions (0 = exactly global)",
+        ],
+    )

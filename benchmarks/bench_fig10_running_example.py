@@ -1,0 +1,124 @@
+"""E09 — Fig. 10 + Section 5.6: the fully instantiated running example.
+
+The chapter's worked numbers, reproduced end to end:
+
+* K = 10 back-propagates to tRestaurant_out = 10 and (via the 40%
+  DinnerPlace selectivity, keeping one restaurant per location)
+  tRestaurant_in = 25, hence tMS_out = 25;
+* the parallel join processes 1250 candidate combinations: 100 movies
+  (5 fetches x chunks of 20) x 25 theatres (5 chunks of 5) = 2500,
+  halved by the triangular completion strategy;
+* total service calls: 5 (Movie) + 5 (Theatre) + 25 (Restaurant) = 35.
+
+The bench also executes the plan on the simulator and reports actuals.
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.core.annotate import annotate
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import execute_plan
+from repro.query.feasibility import enumerate_binding_choices
+from repro.services.simulated import ServicePool
+
+FIG10_FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+def fig10_plan(movie_query):
+    choice = next(enumerate_binding_choices(movie_query))
+    for plan in enumerate_topologies(movie_query, {}, choice):
+        joins = plan.join_nodes()
+        if not joins:
+            continue
+        child = plan.node(plan.children(joins[0].node_id)[0])
+        if getattr(child, "alias", None) == "R":
+            return plan
+    raise AssertionError("Fig. 10 topology not found")
+
+
+def test_e09_fig10_estimates(benchmark, movie_query):
+    plan = fig10_plan(movie_query)
+    annotations = benchmark(annotate, plan, movie_query, FIG10_FETCHES)
+
+    movie = plan.service_node_for("M").node_id
+    theatre = plan.service_node_for("T").node_id
+    restaurant = plan.service_node_for("R").node_id
+    join = plan.join_nodes()[0].node_id
+
+    rows = {
+        "movie_tout": (annotations.tout(movie), 100),
+        "theatre_tout": (annotations.tout(theatre), 25),
+        "join_candidates": (annotations.tin(join), 1250),
+        "join_tout": (annotations.tout(join), 25),
+        "restaurant_tin": (annotations.tin(restaurant), 25),
+        "restaurant_tout": (annotations.tout(restaurant), 10),
+        "output": (annotations.estimated_results(plan), 10),
+        "total_calls": (annotations.total_calls(), 35),
+    }
+    for name, (measured, paper) in rows.items():
+        assert abs(measured - paper) < 1e-6, f"{name}: {measured} != {paper}"
+        benchmark.extra_info[name] = measured
+
+    report(
+        "E09 Fig. 10 fully instantiated plan (estimates, paper values in parens)",
+        [
+            f"Movie       tout = {rows['movie_tout'][0]:7.1f}  (100 = 5 x 20)",
+            f"Theatre     tout = {rows['theatre_tout'][0]:7.1f}  (25 = 5 x 5)",
+            f"MS join      tin = {rows['join_candidates'][0]:7.1f}  "
+            "(1250 = 2500 / 2, triangular)",
+            f"MS join     tout = {rows['join_tout'][0]:7.1f}  (25 = 1250 x 2%)",
+            f"Restaurant   tin = {rows['restaurant_tin'][0]:7.1f}  (25)",
+            f"Restaurant  tout = {rows['restaurant_tout'][0]:7.1f}  "
+            "(10 = 25 x 40%)",
+            f"OUTPUT           = {rows['output'][0]:7.1f}  (K = 10)",
+            f"total calls      = {rows['total_calls'][0]:7.1f}  (35)",
+        ],
+    )
+
+
+def test_e09_fig10_execution(
+    benchmark, movie_query, movie_registry, movie_inputs
+):
+    plan = fig10_plan(movie_query)
+
+    def run(seed=5):
+        pool = ServicePool(movie_registry, global_seed=seed)
+        return execute_plan(
+            plan, movie_query, pool, movie_inputs, FIG10_FETCHES, k=100000
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    outputs, candidates, calls = [], [], []
+    for seed in range(8):
+        res = run(seed)
+        outputs.append(len(res.tuples))
+        candidates.append(res.total_candidates)
+        calls.append(res.total_calls)
+
+    mean_out = statistics.mean(outputs)
+    mean_candidates = statistics.mean(candidates)
+    # Shape checks: actual results land around the estimated 10 and the
+    # triangular join inspects about half the full Cartesian product.
+    assert 3 <= mean_out <= 25
+    assert 600 <= mean_candidates <= 1600  # estimate: 1250
+    # Movie + Theatre call counts are exact (5 + 5); Restaurant varies
+    # with the number of join survivors.
+    one = run(0)
+    assert one.calls_by_alias()["M"] == 5
+    assert one.calls_by_alias()["T"] == 5
+
+    benchmark.extra_info["mean_output"] = round(mean_out, 1)
+    benchmark.extra_info["mean_candidates"] = round(mean_candidates)
+    benchmark.extra_info["mean_calls"] = round(statistics.mean(calls), 1)
+    report(
+        "E09 Fig. 10 simulated execution (8 seeds, paper values in parens)",
+        [
+            f"combinations produced: mean {mean_out:.1f} (estimate 10)",
+            f"join candidates:       mean {mean_candidates:.0f} (estimate 1250)",
+            f"service calls:         mean {statistics.mean(calls):.1f} "
+            "(estimate 35)",
+        ],
+    )

@@ -1,0 +1,117 @@
+"""E02 — Figs. 2/3: the annotated conference plan.
+
+The chapter's example plan accesses Conference (exact, proliferative,
+"produces 20 conferences on average"), Weather (exact, *selective in the
+context of the query* via the >26C temperature predicate), then Flight
+and Hotel in parallel, joined by merge-scan.  This bench rebuilds that
+exact topology, annotates it (Fig. 3), asserts the headline numbers, and
+executes it on the simulator to compare estimates with actuals.
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.core.annotate import annotate
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import execute_plan
+from repro.plans.nodes import ServiceNode
+from repro.query.feasibility import enumerate_binding_choices
+from repro.services.simulated import ServicePool
+
+FETCHES = {"F": 2, "H": 2}
+
+
+def fig2_plan(conference_query):
+    """Find the Fig. 2 topology: C -> W -> (F || H) -> MS join."""
+    for choice in enumerate_binding_choices(conference_query):
+        deps = choice.dependencies_over(conference_query.aliases)
+        if deps["F"] != frozenset({"C"}) or deps["H"] != frozenset({"C"}):
+            continue
+        for plan in enumerate_topologies(conference_query, {}, choice):
+            joins = plan.join_nodes()
+            if len(joins) != 1:
+                continue
+            left, right = plan.parents(joins[0].node_id)
+            sides = set()
+            for parent in (left, right):
+                node = plan.node(parent)
+                if isinstance(node, ServiceNode):
+                    sides.add(node.alias)
+            if sides == {"F", "H"}:
+                # Both service parents must sit downstream of Weather.
+                order = plan.topological_order()
+                w = plan.service_node_for("W").node_id
+                if all(order.index(w) < order.index(s) for s in (left, right)):
+                    return plan
+    raise AssertionError("Fig. 2 topology not found")
+
+
+def test_e02_conference_plan_annotation(benchmark, conference_query):
+    plan = fig2_plan(conference_query)
+    annotations = benchmark(
+        annotate, plan, conference_query, FETCHES
+    )
+
+    conference = plan.service_node_for("C")
+    weather = plan.service_node_for("W")
+
+    # "Conference is proliferative and produces 20 conferences on average"
+    assert annotations.tout(conference.node_id) == 20
+    # Weather is selective in the context of the query: the temperature
+    # predicate discards about two thirds of the conferences.
+    w_in = annotations.tin(weather.node_id)
+    w_out = annotations.tout(weather.node_id)
+    assert w_in == 20
+    assert w_out < w_in
+    assert abs(w_out - 20 / 3) < 1e-6
+
+    benchmark.extra_info["conference_tout"] = annotations.tout(conference.node_id)
+    benchmark.extra_info["weather_tout"] = round(w_out, 2)
+    report(
+        "E02 Fig. 3 annotations",
+        [
+            f"Conference: tin=1    tout={annotations.tout(conference.node_id):.0f}"
+            "   (paper: 20 on average)",
+            f"Weather:    tin={w_in:.0f}   tout={w_out:.2f}"
+            "  (selective in context: temp > 26C)",
+            f"Flight:     tin={annotations.tin(plan.service_node_for('F').node_id):.2f}"
+            f"  tout={annotations.tout(plan.service_node_for('F').node_id):.1f}",
+            f"Hotel:      tin={annotations.tin(plan.service_node_for('H').node_id):.2f}"
+            f"  tout={annotations.tout(plan.service_node_for('H').node_id):.1f}",
+        ],
+    )
+
+
+def test_e02_conference_execution_matches_shape(
+    benchmark, conference_query, conference_registry, conference_inputs
+):
+    plan = fig2_plan(conference_query)
+
+    def run(seed=11):
+        pool = ServicePool(conference_registry, global_seed=seed)
+        return execute_plan(
+            plan, conference_query, pool, conference_inputs, FETCHES, k=100000
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    # Actual Weather selectivity across seeds tracks the 1/3 estimate.
+    ratios = []
+    for seed in range(8):
+        res = run(seed)
+        w = res.node_stats[plan.service_node_for("W").node_id]
+        if w.tin:
+            ratios.append(w.tout / w.tin)
+    mean_ratio = statistics.mean(ratios)
+    assert 0.15 <= mean_ratio <= 0.55  # estimate: 1/3
+
+    benchmark.extra_info["weather_selectivity_measured"] = round(mean_ratio, 3)
+    report(
+        "E02 measured Weather selectivity",
+        [
+            f"estimate 1/3 = 0.333; measured mean over 8 seeds: {mean_ratio:.3f}",
+            f"one execution: {result.total_calls} calls, "
+            f"{len(result.tuples)} combinations",
+        ],
+    )

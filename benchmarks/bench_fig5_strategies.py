@@ -1,0 +1,139 @@
+"""E04 — Fig. 5: nested-loop vs. merge-scan exploration traces.
+
+Reproduces the two exploration pictures: nested-loop exhausts the step
+service's h high-score chunks and then walks the other service (column
+shape, Fig. 5a); merge-scan moves diagonally (Fig. 5b).  Asserts the
+trace shapes and benchmarks full join executions under both strategies.
+"""
+
+import random
+
+from conftest import report
+
+from repro.joins.completion import RectangularCompletion, TriangularCompletion
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.strategies import Axis, MergeScanSchedule, NestedLoopSchedule
+from repro.model.scoring import LinearScoring, StepScoring
+from repro.model.tuples import ServiceTuple
+
+
+def make_source(scoring, name, seed, n=60, chunk=5):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(8)},
+            score=min(1.0, max(0.0, scoring.score_at(i))),
+            source=name,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def run_nested_loop(k=12):
+    step = StepScoring(step_position=10)
+    x = make_source(step, "X", 1)
+    y = make_source(LinearScoring(horizon=60), "Y", 2)
+    executor = ParallelJoinExecutor(
+        x,
+        y,
+        lambda a, b: a.values["k"] == b.values["k"],
+        schedule=NestedLoopSchedule(step_chunks=2),
+        policy=RectangularCompletion(),
+        k=k,
+    )
+    return executor.run()
+
+
+def run_merge_scan(k=12):
+    linear = LinearScoring(horizon=60)
+    x = make_source(linear, "X", 1)
+    y = make_source(linear, "Y", 2)
+    executor = ParallelJoinExecutor(
+        x,
+        y,
+        lambda a, b: a.values["k"] == b.values["k"],
+        schedule=MergeScanSchedule(),
+        policy=TriangularCompletion(),
+        k=k,
+    )
+    return executor.run()
+
+
+def test_e04_nested_loop_trace(benchmark):
+    result = benchmark(run_nested_loop)
+    stats = result.stats
+    # Fig. 5a: the step service contributes exactly its h=2 chunks...
+    assert stats.calls_x == 2
+    # ...and the trace is column-shaped: x indexes stay within 0..h-1.
+    assert all(t.x < 2 for t in stats.trace)
+    # The other service is scanned downward in ranking order.
+    y_of_first = [t.y for t in stats.trace]
+    assert max(y_of_first) >= 1
+
+    benchmark.extra_info["calls"] = f"{stats.calls_x}+{stats.calls_y}"
+    benchmark.extra_info["trace"] = [str(t) for t in stats.trace[:10]]
+    report(
+        "E04 Fig. 5a nested-loop trace",
+        [
+            f"calls: X={stats.calls_x} (h=2 exhausted), Y={stats.calls_y}",
+            "trace: " + " ".join(str(t) for t in stats.trace[:10]),
+        ],
+    )
+
+
+def test_e04_merge_scan_trace(benchmark):
+    result = benchmark(run_merge_scan)
+    stats = result.stats
+    # Fig. 5b: diagonal progression — index sums never jump by more than 1.
+    sums = [t.index_sum for t in stats.trace]
+    assert all(b - a <= 1 for a, b in zip(sums, sums[1:]))
+    assert sums == sorted(sums)
+    # Calls are evenly alternated at ratio 1.
+    assert abs(stats.calls_x - stats.calls_y) <= 1
+
+    benchmark.extra_info["calls"] = f"{stats.calls_x}+{stats.calls_y}"
+    benchmark.extra_info["trace"] = [str(t) for t in stats.trace[:10]]
+    report(
+        "E04 Fig. 5b merge-scan trace",
+        [
+            f"calls: X={stats.calls_x}, Y={stats.calls_y} (evenly alternated)",
+            "trace: " + " ".join(str(t) for t in stats.trace[:10]),
+        ],
+    )
+
+
+def test_e04_strategy_matches_score_shape(benchmark):
+    """The chapter's guidance: nested-loop for step services, merge-scan
+    otherwise.  Using NL on a step service reaches k with no more calls
+    than using MS on the same data."""
+
+    def both():
+        nl = run_nested_loop()
+        # Merge-scan on the same step-scored data.
+        step = StepScoring(step_position=10)
+        x = make_source(step, "X", 1)
+        y = make_source(LinearScoring(horizon=60), "Y", 2)
+        ms = ParallelJoinExecutor(
+            x,
+            y,
+            lambda a, b: a.values["k"] == b.values["k"],
+            schedule=MergeScanSchedule(),
+            policy=TriangularCompletion(),
+            k=12,
+        ).run()
+        return nl, ms
+
+    nl, ms = benchmark(both)
+    assert nl.stats.total_calls <= ms.stats.total_calls
+    benchmark.extra_info["nl_calls"] = nl.stats.total_calls
+    benchmark.extra_info["ms_calls"] = ms.stats.total_calls
+    report(
+        "E04 strategy choice on a step service",
+        [
+            f"nested-loop: {nl.stats.total_calls} calls to k=12",
+            f"merge-scan:  {ms.stats.total_calls} calls to k=12",
+            "nested-loop wins (or ties) when the first service has a step",
+        ],
+    )

@@ -1,0 +1,78 @@
+"""E05 — Fig. 6: rectangular completion, including the degenerate case.
+
+Rectangular completion "processes all the tiles as soon as the
+corresponding tuples are available".  The chapter highlights its
+degenerate behaviour: "a strong asymmetry in the ranking of the two
+services may lead to a long and thin rectangular completion ... in the
+worst case ... each I/O only adds one tile".  Reproduces both the normal
+and degenerate shapes and measures tiles-per-I/O.
+"""
+
+from conftest import report
+
+from repro.joins.completion import RectangularCompletion, TileScheduler
+from repro.joins.strategies import Axis, MergeScanSchedule
+
+
+def balanced_exploration(rounds=12):
+    scheduler = TileScheduler(policy=RectangularCompletion())
+    per_fetch = []
+    for axis in MergeScanSchedule().prefix(rounds):
+        per_fetch.append(len(scheduler.on_fetch(axis)))
+    return scheduler, per_fetch
+
+
+def degenerate_exploration(rounds=12):
+    """All calls to one service after the mandatory first alternation."""
+    scheduler = TileScheduler(policy=RectangularCompletion())
+    per_fetch = [
+        len(scheduler.on_fetch(Axis.X)),
+        len(scheduler.on_fetch(Axis.Y)),
+    ]
+    for _ in range(rounds - 2):
+        per_fetch.append(len(scheduler.on_fetch(Axis.Y)))
+    return scheduler, per_fetch
+
+
+def test_e05_balanced_rectangular(benchmark):
+    scheduler, per_fetch = benchmark(balanced_exploration)
+    # Everything loaded is processed immediately.
+    assert scheduler.pending_count == 0
+    assert sum(per_fetch) == scheduler.loaded_x * scheduler.loaded_y
+    # Batches grow as the square grows: the i-th x fetch completes a
+    # column of loaded_y tiles.
+    assert per_fetch[-1] > per_fetch[2]
+
+    benchmark.extra_info["tiles_per_fetch"] = per_fetch
+    report(
+        "E05 Fig. 6 rectangular completion (balanced calls)",
+        [
+            f"tiles completed per fetch: {per_fetch}",
+            f"total: {sum(per_fetch)} tiles over {len(per_fetch)} I/Os "
+            f"({sum(per_fetch) / len(per_fetch):.2f} tiles/I/O)",
+        ],
+    )
+
+
+def test_e05_degenerate_long_thin_rectangle(benchmark):
+    scheduler, per_fetch = benchmark(degenerate_exploration)
+    # "This particular case has the disadvantage that each I/O only adds
+    # one tile" — after the first alternated pair, every fetch adds 1.
+    assert per_fetch[0] == 0  # first x fetch: no complete tile yet
+    assert all(count == 1 for count in per_fetch[1:])
+    assert scheduler.loaded_x == 1  # long and thin: one column
+
+    efficiency_degenerate = sum(per_fetch) / len(per_fetch)
+    _, balanced = balanced_exploration(len(per_fetch))
+    efficiency_balanced = sum(balanced) / len(balanced)
+    assert efficiency_balanced > efficiency_degenerate
+
+    benchmark.extra_info["tiles_per_fetch"] = per_fetch
+    report(
+        "E05 Fig. 6 degenerate long-and-thin rectangle",
+        [
+            f"tiles completed per fetch: {per_fetch} (1 tile per I/O)",
+            f"tiles/I-O: degenerate {efficiency_degenerate:.2f} vs "
+            f"balanced {efficiency_balanced:.2f}",
+        ],
+    )

@@ -1,0 +1,39 @@
+"""E06 — Fig. 7: merge-scan + rectangular with ratio 1: growing squares.
+
+"Fig. 7 shows a rectangular completion applied to a merge scan in which
+the inter-service ratio is fixed to 1, resulting in the exploration of
+squares of increasing size."  After each balanced round of two calls the
+explored region is exactly the n x n square: cumulative tiles 1, 4, 9, 16...
+"""
+
+from conftest import report
+
+from repro.joins.completion import RectangularCompletion, TileScheduler
+from repro.joins.strategies import MergeScanSchedule
+
+
+def explore_squares(rounds=6):
+    scheduler = TileScheduler(policy=RectangularCompletion())
+    cumulative = []
+    processed = 0
+    for index, axis in enumerate(MergeScanSchedule().prefix(rounds * 2)):
+        processed += len(scheduler.on_fetch(axis))
+        if index % 2 == 1:  # after each complete x+y round
+            cumulative.append(processed)
+    return cumulative
+
+
+def test_e06_growing_squares(benchmark):
+    cumulative = benchmark(explore_squares)
+    expected = [n * n for n in range(1, len(cumulative) + 1)]
+    # Fig. 7's series: 1, 4, 9, 16, 25, 36 explored tiles.
+    assert cumulative == expected
+
+    benchmark.extra_info["squares"] = cumulative
+    report(
+        "E06 Fig. 7 squares of increasing size (MS/rect, r=1)",
+        [
+            f"cumulative tiles after each balanced round: {cumulative}",
+            f"expected perfect squares:                  {expected}",
+        ],
+    )

@@ -1,0 +1,86 @@
+"""E07 — Fig. 8: the three-phase branch-and-bound structure.
+
+Reproduces the optimizer's phase structure on the running example:
+phase 1 (access patterns / binding choices), phase 2 (topologies),
+phase 3 (fetch vectors), with pruning counts and the anytime incumbent
+trace ("the search ... can be stopped at any time, and it will
+nevertheless return a valid solution").
+"""
+
+from conftest import report
+
+from repro.core.cost import ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.core.topology import enumerate_topologies
+from repro.query.feasibility import enumerate_binding_choices
+
+
+def test_e07_phase_structure(benchmark, movie_query):
+    def phases():
+        choices = list(enumerate_binding_choices(movie_query))
+        topologies = sum(
+            len(list(enumerate_topologies(movie_query, {}, choice)))
+            for choice in choices
+        )
+        outcome = Optimizer(
+            movie_query, OptimizerConfig(metric=ExecutionTimeMetric())
+        ).optimize()
+        return choices, topologies, outcome
+
+    choices, topologies, outcome = benchmark(phases)
+
+    assert len(choices) == 1  # one acyclic binding choice (T feeds R)
+    assert topologies == 4  # Fig. 9
+    assert outcome.best is not None and outcome.best.satisfies_k
+    assert outcome.stats.pruned > 0  # bounding step engaged
+
+    benchmark.extra_info["binding_choices"] = len(choices)
+    benchmark.extra_info["topologies"] = topologies
+    benchmark.extra_info["expanded"] = outcome.stats.expanded
+    benchmark.extra_info["pruned"] = outcome.stats.pruned
+    report(
+        "E07 Fig. 8 branch-and-bound phases (running example)",
+        [
+            f"phase 1: {len(choices)} feasible binding choice(s)",
+            f"phase 2: {topologies} distinct topologies",
+            f"phase 3 + search: {outcome.stats.expanded} states expanded, "
+            f"{outcome.stats.pruned} pruned, "
+            f"{outcome.stats.leaves} complete plans priced",
+            f"best cost: {outcome.best.cost:.2f}",
+        ],
+    )
+
+
+def test_e07_anytime_behaviour(benchmark, movie_query):
+    """Any budget returns a valid (k-satisfying) plan; quality improves
+    monotonically with budget down to the optimum."""
+
+    def sweep():
+        costs = []
+        for budget in (1, 2, 5, 10, 50, None):
+            outcome = Optimizer(
+                movie_query,
+                OptimizerConfig(metric=ExecutionTimeMetric(), budget=budget),
+            ).optimize()
+            assert outcome.best is not None
+            assert outcome.best.satisfies_k
+            costs.append((budget, outcome.best.cost))
+        return costs
+
+    costs = benchmark(sweep)
+    values = [cost for _, cost in costs]
+    # Larger budgets never hurt.
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    optimum = values[-1]
+    assert values[0] >= optimum
+
+    benchmark.extra_info["anytime"] = [
+        (str(budget), round(cost, 2)) for budget, cost in costs
+    ]
+    report(
+        "E07 anytime incumbent quality",
+        [
+            f"budget {str(budget):>5s}: cost {cost:8.2f}"
+            for budget, cost in costs
+        ],
+    )

@@ -1,0 +1,60 @@
+"""E08 — Fig. 9: the four alternative topologies of the running example.
+
+"As for the second phase, four topologies are to be considered" — with
+Theatre always preceding Restaurant (the pipe dependency), split between
+two serial arrangements (join-as-selection) and two parallel ones
+(Restaurant before vs. after the Movie join).
+"""
+
+from conftest import report
+
+from repro.core.annotate import annotate
+from repro.core.topology import enumerate_topologies
+from repro.query.feasibility import enumerate_binding_choices
+
+FIG10_FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+def enumerate_all(movie_query):
+    choice = next(enumerate_binding_choices(movie_query))
+    return list(enumerate_topologies(movie_query, {}, choice))
+
+
+def test_e08_four_topologies(benchmark, movie_query):
+    plans = benchmark(enumerate_all, movie_query)
+
+    # The headline number.
+    assert len(plans) == 4
+
+    # "In all configurations Theatre precedes Restaurant."
+    for plan in plans:
+        order = plan.topological_order()
+        assert order.index(plan.service_node_for("T").node_id) < order.index(
+            plan.service_node_for("R").node_id
+        )
+
+    # Two serial / two parallel, and the parallel ones place Restaurant
+    # before and after the Movie join.
+    parallel = [p for p in plans if p.join_nodes()]
+    serial = [p for p in plans if not p.join_nodes()]
+    assert len(parallel) == 2 and len(serial) == 2
+    placements = set()
+    for plan in parallel:
+        order = plan.topological_order()
+        join_id = plan.join_nodes()[0].node_id
+        placements.add(
+            order.index(plan.service_node_for("R").node_id) > order.index(join_id)
+        )
+    assert placements == {True, False}
+
+    lines = [f"{len(plans)} admissible topologies (paper: four, Fig. 9)"]
+    for index, plan in enumerate(plans):
+        ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+        shape = "parallel" if plan.join_nodes() else "serial"
+        lines.append(
+            f"({chr(ord('a') + index)}) {shape:8s} estimated results "
+            f"{ann.estimated_results(plan):6.1f}, estimated calls "
+            f"{ann.total_calls():6.1f}"
+        )
+    benchmark.extra_info["topologies"] = len(plans)
+    report("E08 Fig. 9 alternative topologies", lines)

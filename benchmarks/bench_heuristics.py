@@ -1,0 +1,138 @@
+"""E13 — Sections 5.3-5.5: the heuristic grid, measured.
+
+Runs the full 2x2x2 grid of phase heuristics on both example queries:
+plan cost, optimizer work, and the quality of the pure-greedy dive (the
+first plan each heuristic combination builds — the chapter's "build
+efficient plans quickly" promise).
+"""
+
+from conftest import report
+
+from repro.core.cost import ExecutionTimeMetric
+from repro.core.heuristics import (
+    BoundIsBetter,
+    GreedyFetch,
+    ParallelIsBetter,
+    SelectiveFirst,
+    SquareIsBetter,
+    UnboundIsEasier,
+)
+from repro.core.optimizer import Optimizer, OptimizerConfig
+
+GRID = [
+    (phase1, phase2, phase3)
+    for phase1 in (BoundIsBetter(), UnboundIsEasier())
+    for phase2 in (SelectiveFirst(), ParallelIsBetter())
+    for phase3 in (GreedyFetch(), SquareIsBetter())
+]
+
+
+def run_grid(query):
+    rows = []
+    for phase1, phase2, phase3 in GRID:
+        config = OptimizerConfig(
+            metric=ExecutionTimeMetric(),
+            phase1=phase1,
+            phase2=phase2,
+            phase3=phase3,
+        )
+        optimizer = Optimizer(query, config)
+        greedy = optimizer.greedy_candidate()
+        outcome = Optimizer(query, config).optimize()
+        rows.append(
+            (
+                phase1.name,
+                phase2.name,
+                phase3.name,
+                greedy.cost if greedy else float("inf"),
+                outcome.best.cost,
+                outcome.stats.expanded,
+            )
+        )
+    return rows
+
+
+def test_e13_heuristic_grid_movie(benchmark, movie_query):
+    rows = benchmark.pedantic(run_grid, args=(movie_query,), rounds=1)
+
+    best_final = min(row[4] for row in rows)
+    # Every greedy-fetch combination reaches the optimum after exhaustion.
+    for p1, p2, p3, _, final, _ in rows:
+        if p3 == "greedy":
+            assert abs(final - best_final) < 1e-6, (p1, p2, p3)
+    # The greedy dive is always a valid upper bound on the final cost.
+    for row in rows:
+        assert row[3] >= row[4] - 1e-9
+
+    benchmark.extra_info["rows"] = [
+        (p1, p2, p3, round(g, 2), round(f, 2), e) for p1, p2, p3, g, f, e in rows
+    ]
+    report(
+        "E13 heuristic grid (running example, execution-time metric)",
+        [
+            f"{p1:16s} {p2:17s} {p3:16s} greedy={g:8.2f} "
+            f"final={f:8.2f} expanded={e:4d}"
+            for p1, p2, p3, g, f, e in rows
+        ],
+    )
+
+
+def test_e13_parallel_is_better_dives_better_on_time(
+    benchmark, conference_query
+):
+    """Phase-2 guidance: 'incrementing the parallelism plays in favor of
+    those metrics that take time into account' — on the conference query
+    (where the serial and parallel shapes differ sharply) the
+    parallel-is-better greedy dive lands a first plan no worse than
+    selective-first's under the execution-time metric."""
+
+    def dive(phase2):
+        config = OptimizerConfig(metric=ExecutionTimeMetric(), phase2=phase2)
+        candidate = Optimizer(conference_query, config).greedy_candidate()
+        assert candidate is not None
+        return candidate.cost
+
+    def both():
+        return dive(ParallelIsBetter()), dive(SelectiveFirst())
+
+    parallel_cost, selective_cost = benchmark(both)
+    assert parallel_cost <= selective_cost + 1e-9
+
+    benchmark.extra_info["parallel_dive"] = round(parallel_cost, 2)
+    benchmark.extra_info["selective_dive"] = round(selective_cost, 2)
+    report(
+        "E13 phase-2 heuristic dives under execution-time (conference)",
+        [
+            f"parallel-is-better first plan: {parallel_cost:.2f}",
+            f"selective-first first plan:    {selective_cost:.2f}",
+        ],
+    )
+
+
+def test_e13_selective_first_dives_better_on_calls(benchmark, movie_query):
+    """Conversely, 'sequencing selective services plays in favor of
+    metrics that minimize the overall number of invocations'."""
+    from repro.core.cost import CallCountMetric
+
+    def dive(phase2):
+        config = OptimizerConfig(metric=CallCountMetric(), phase2=phase2)
+        candidate = Optimizer(movie_query, config).greedy_candidate()
+        assert candidate is not None
+        return candidate.cost
+
+    def both():
+        return dive(SelectiveFirst()), dive(ParallelIsBetter())
+
+    selective_cost, parallel_cost = benchmark(both)
+    # Selective-first's dive is competitive on call counts: within 25%.
+    assert selective_cost <= parallel_cost * 1.25 + 1e-9
+
+    benchmark.extra_info["selective_dive"] = round(selective_cost, 2)
+    benchmark.extra_info["parallel_dive"] = round(parallel_cost, 2)
+    report(
+        "E13 phase-2 heuristic dives under call-count",
+        [
+            f"selective-first first plan:    {selective_cost:.2f} calls",
+            f"parallel-is-better first plan: {parallel_cost:.2f} calls",
+        ],
+    )

@@ -1,0 +1,161 @@
+"""E17 — optimizer scalability over query size and shape.
+
+The chapter: "Each phase is combinatorial and the considered problem is
+hardly tractable by exact methods, even with queries involving few
+services. ... we have evidence ... that the optimization can find
+reasonably good solutions in acceptable execution time."  Measured:
+
+* chain queries scale linearly in plan states (one topology per size);
+* star queries grow combinatorially; branch-and-bound still explores a
+  tiny fraction of the exhaustive grid and matches its optimum where the
+  grid is computable;
+* the anytime budget caps work on the largest instances with bounded
+  quality loss.
+"""
+
+import time
+
+from conftest import report
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.core.cost import ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.synth import chain_workload, mixed_workload, star_workload
+
+
+def optimize(workload, budget=None):
+    query = compile_query(parse_query(workload.query_text), workload.registry)
+    config = OptimizerConfig(metric=ExecutionTimeMetric(), budget=budget)
+    started = time.perf_counter()
+    outcome = Optimizer(query, config).optimize()
+    elapsed = time.perf_counter() - started
+    return query, outcome, elapsed
+
+
+def test_e17_chain_scaling(benchmark):
+    def run():
+        rows = []
+        for size in (2, 3, 4, 5, 6, 7, 8):
+            workload = chain_workload(size)
+            _, outcome, elapsed = optimize(workload)
+            rows.append((size, outcome.stats.expanded, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    # Chains have a single topology: expansions grow gently with size.
+    expanded = [e for _, e, _ in rows]
+    assert expanded == sorted(expanded)
+    assert expanded[-1] < 200
+    assert all(elapsed < 5.0 for _, _, elapsed in rows)
+
+    benchmark.extra_info["rows"] = [(s, e, round(t, 3)) for s, e, t in rows]
+    report(
+        "E17 chain queries (one deep topology)",
+        [
+            f"n={size}: expanded {expanded:4d} states in {elapsed * 1000:7.1f} ms"
+            for size, expanded, elapsed in rows
+        ],
+    )
+
+
+def test_e17_star_scaling_and_exhaustive_gap(benchmark):
+    def run():
+        rows = []
+        for size in (3, 4, 5, 6):
+            workload = star_workload(size)
+            query, outcome, elapsed = optimize(workload)
+            exhaustive_priced = None
+            match = None
+            if size <= 5:
+                truth = exhaustive_optimum(
+                    query, metric=ExecutionTimeMetric(), max_fetch=4
+                )
+                exhaustive_priced = truth.candidates_priced
+                match = abs(outcome.best.cost - truth.best.cost) < 1e-6
+            rows.append(
+                (size, outcome.stats.expanded, elapsed, exhaustive_priced, match)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    # B&B matches the exhaustive optimum wherever the grid is computable.
+    assert all(match for _, _, _, priced, match in rows if match is not None)
+    # ...while pricing a small fraction of what enumeration prices.
+    for size, expanded, _, priced, _ in rows:
+        if priced:
+            assert expanded < priced
+
+    benchmark.extra_info["rows"] = [
+        (s, e, round(t, 2), p, m) for s, e, t, p, m in rows
+    ]
+    report(
+        "E17 star queries (combinatorial topologies)",
+        [
+            f"n={size}: expanded {expanded:5d} in {elapsed:6.2f} s"
+            + (
+                f"; exhaustive priced {priced}, optimum matched: {match}"
+                if priced
+                else ""
+            )
+            for size, expanded, elapsed, priced, match in rows
+        ],
+    )
+
+
+def test_e17_anytime_budget_on_large_star(benchmark):
+    """On the largest star, a small expansion budget returns a valid plan
+    orders of magnitude faster, at bounded extra cost."""
+
+    def run():
+        workload = star_workload(6)
+        _, full, full_time = optimize(workload)
+        _, limited, limited_time = optimize(workload, budget=50)
+        return full, full_time, limited, limited_time
+
+    full, full_time, limited, limited_time = benchmark.pedantic(run, rounds=1)
+    assert limited.best is not None and limited.best.satisfies_k
+    assert limited_time < full_time
+    # Bounded quality loss: within 3x of the exhaustive-search optimum.
+    assert limited.best.cost <= full.best.cost * 3 + 1e-9
+
+    benchmark.extra_info["full"] = (round(full.best.cost, 2), round(full_time, 2))
+    benchmark.extra_info["limited"] = (
+        round(limited.best.cost, 2),
+        round(limited_time, 2),
+    )
+    report(
+        "E17 anytime budget on star n=6",
+        [
+            f"unbounded: cost {full.best.cost:8.2f} in {full_time:6.2f} s "
+            f"({full.stats.expanded} expansions)",
+            f"budget 50: cost {limited.best.cost:8.2f} in {limited_time:6.2f} s "
+            f"({limited.stats.expanded} expansions)",
+        ],
+    )
+
+
+def test_e17_mixed_shape(benchmark):
+    def run():
+        rows = []
+        for size in (4, 5, 6, 7):
+            workload = mixed_workload(size)
+            _, outcome, elapsed = optimize(workload)
+            rows.append((size, outcome.stats.expanded, elapsed, outcome.best.cost))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    assert all(elapsed < 10.0 for _, _, elapsed, _ in rows)
+
+    benchmark.extra_info["rows"] = [
+        (s, e, round(t, 2), round(c, 1)) for s, e, t, c in rows
+    ]
+    report(
+        "E17 mixed chain+fan-out queries",
+        [
+            f"n={size}: expanded {expanded:5d} in {elapsed:6.2f} s, "
+            f"cost {cost:10.1f}"
+            for size, expanded, elapsed, cost in rows
+        ],
+    )

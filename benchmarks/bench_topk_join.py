@@ -1,0 +1,135 @@
+"""E16 — extension: the guaranteed top-k rank join vs. fast joins.
+
+The chapter's Section 4 methods "do not guarantee top-k results, but are
+normally faster than top-k join methods".  Measured: correctness of the
+rank join against brute force, the extra calls it pays over the fast
+merge-scan/triangular join, and the fast join's recall of the true top-k.
+"""
+
+import random
+import statistics
+
+from conftest import report
+
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.topk import RankJoinExecutor
+from repro.model.scoring import ExponentialScoring, LinearScoring
+from repro.model.tuples import ServiceTuple
+
+
+def make_source(scoring, name, seed, n=80, chunk=5, keys=8):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(keys)},
+            score=min(1.0, max(0.0, scoring.score_at(i))),
+            source=name,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def brute_topk(x_tuples, y_tuples, k):
+    scores = sorted(
+        (
+            0.5 * a.score + 0.5 * b.score
+            for a in x_tuples
+            for b in y_tuples
+            if a.values["k"] == b.values["k"]
+        ),
+        reverse=True,
+    )
+    return scores[:k]
+
+
+def compare(seed, scoring, k=10):
+    predicate = lambda a, b: a.values["k"] == b.values["k"]
+    x = make_source(scoring, "X", seed)
+    y = make_source(scoring, "Y", seed + 50)
+    exact = RankJoinExecutor(x, y, predicate, k=k).run()
+
+    x2 = make_source(scoring, "X", seed)
+    y2 = make_source(scoring, "Y", seed + 50)
+    fast = ParallelJoinExecutor(
+        x2,
+        y2,
+        predicate,
+        k=k,
+        scorer=lambda a, b: 0.5 * a.score + 0.5 * b.score,
+    ).run()
+
+    truth = brute_topk(x.tuples, y.tuples, k)
+    exact_ok = [round(p.score, 9) for p in exact.pairs] == [
+        round(s, 9) for s in truth
+    ]
+    fast_scores = {round(p.score, 9) for p in fast.pairs}
+    recall = len(fast_scores & {round(s, 9) for s in truth}) / max(1, len(truth))
+    return (
+        exact_ok,
+        exact.stats.total_calls,
+        fast.stats.total_calls,
+        recall,
+    )
+
+
+def test_e16_rank_join_correct_fast_join_cheaper(benchmark):
+    scoring = LinearScoring(horizon=80)
+
+    def run():
+        rows = [compare(seed, scoring) for seed in range(10)]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+
+    # The rank join is always exactly the top-k.
+    assert all(row[0] for row in rows)
+    exact_calls = statistics.mean(row[1] for row in rows)
+    fast_calls = statistics.mean(row[2] for row in rows)
+    mean_recall = statistics.mean(row[3] for row in rows)
+    # The fast join never pays more calls than the guaranteed one (its
+    # whole point), while still recalling most of the true top-k.
+    assert fast_calls <= exact_calls + 1e-9
+    assert mean_recall >= 0.5
+
+    benchmark.extra_info["exact_calls"] = round(exact_calls, 1)
+    benchmark.extra_info["fast_calls"] = round(fast_calls, 1)
+    benchmark.extra_info["fast_recall"] = round(mean_recall, 3)
+    report(
+        "E16 top-k rank join vs. fast MS/tri join (10 seeds, k=10)",
+        [
+            f"rank join:  exact top-k in 10/10 runs, "
+            f"mean calls {exact_calls:.1f}",
+            f"fast join:  mean calls {fast_calls:.1f}, "
+            f"top-k recall {mean_recall:.0%}",
+            "the fast methods trade guarantees for calls, as Section 3.2 "
+            "describes",
+        ],
+    )
+
+
+def test_e16_rank_join_call_growth_with_k(benchmark):
+    """Calls grow with k: deeper guarantees need deeper exploration."""
+    scoring = ExponentialScoring(rate=0.03)
+
+    def run():
+        series = []
+        for k in (1, 5, 10, 20, 40):
+            predicate = lambda a, b: a.values["k"] == b.values["k"]
+            x = make_source(scoring, "X", 3, n=120, chunk=5)
+            y = make_source(scoring, "Y", 4, n=120, chunk=5)
+            result = RankJoinExecutor(x, y, predicate, k=k).run()
+            series.append((k, result.stats.total_calls, len(result.pairs)))
+        return series
+
+    series = benchmark.pedantic(run, rounds=1)
+    calls = [c for _, c, _ in series]
+    assert calls == sorted(calls)  # non-decreasing in k
+    assert all(found >= min(k, found) for k, _, found in series)
+
+    benchmark.extra_info["series"] = series
+    report(
+        "E16 rank-join calls as k grows",
+        [f"k={k:3d}: {c:3d} calls, {found} results" for k, c, found in series],
+    )

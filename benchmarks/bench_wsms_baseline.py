@@ -1,0 +1,146 @@
+"""E15 — Section 2.4 / [22]: the WSMS baseline.
+
+Srivastava et al. optimize pipelined plans over exact services under the
+bottleneck metric.  Reproduced here:
+
+* the greedy adjacent-exchange chain matches the enumerated bottleneck
+  optimum on randomized selective-service workloads;
+* service order matters: the optimal chain beats the worst by the factor
+  the cost ratios imply;
+* the chapter's remark that "in absence of access limitations
+  [parallel-is-better] gives the optimal solution, as proved in [22]":
+  with no access limitations, our optimizer's time-optimal plan runs the
+  independent services in parallel.
+"""
+
+import random
+
+from conftest import report
+
+from repro.baselines.wsms import (
+    WsmsService,
+    chain_bottleneck,
+    exchange_sorted_chain,
+    optimal_chain,
+)
+from repro.core.cost import ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.model.registry import ServiceRegistry
+from repro.model.service import ServiceInterface, ServiceMart, ServiceStats
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+
+
+def random_services(count, seed):
+    rng = random.Random(seed)
+    return [
+        WsmsService(
+            name=f"s{i}",
+            cost=rng.uniform(0.5, 5.0),
+            selectivity=rng.uniform(0.05, 0.95),
+        )
+        for i in range(count)
+    ]
+
+
+def test_e15_greedy_chain_is_bottleneck_optimal(benchmark):
+    def run():
+        matches = 0
+        gaps = []
+        for seed in range(20):
+            services = random_services(6, seed)
+            _, best = optimal_chain(services)
+            greedy_cost = chain_bottleneck(exchange_sorted_chain(services))
+            worst = max(
+                chain_bottleneck(order)
+                for order in [services, list(reversed(services))]
+            )
+            if abs(greedy_cost - best) < 1e-9:
+                matches += 1
+            gaps.append(worst / best)
+        return matches, sum(gaps) / len(gaps)
+
+    matches, mean_gap = benchmark.pedantic(run, rounds=1)
+    # The exchange sort lands the enumerated optimum on selective services.
+    assert matches == 20
+    # Ordering matters: naive orders are measurably worse.
+    assert mean_gap > 1.3
+
+    benchmark.extra_info["optimal_matches"] = f"{matches}/20"
+    benchmark.extra_info["naive_over_optimal"] = round(mean_gap, 2)
+    report(
+        "E15 WSMS bottleneck chains (20 random workloads, n=6)",
+        [
+            f"greedy exchange order optimal in {matches}/20 workloads",
+            f"naive order / optimal order bottleneck ratio: {mean_gap:.2f}x",
+        ],
+    )
+
+
+def _no_access_limits_registry():
+    """Three exact services with NO input attributes (no access
+    limitations), to be combined by a cross-match query."""
+    registry = ServiceRegistry()
+    key = Domain("k", DataType.INTEGER, size=4)
+    for index, latency in ((0, 2.0), (1, 1.0), (2, 0.5)):
+        mart = ServiceMart(
+            f"Free{index}",
+            (Attribute("Key", key), Attribute("Val")),
+        )
+        registry.register_interface(
+            ServiceInterface(
+                name=f"FreeSvc{index}",
+                mart=mart,
+                stats=ServiceStats(
+                    avg_cardinality=8, chunk_size=None, latency=latency
+                ),
+            )
+        )
+    return registry
+
+
+def test_e15_parallel_optimal_without_access_limits(benchmark):
+    registry = _no_access_limits_registry()
+    query = compile_query(
+        parse_query(
+            "SELECT FreeSvc0 AS A, FreeSvc1 AS B, FreeSvc2 AS C "
+            "WHERE A.Key = B.Key AND B.Key = C.Key LIMIT 5"
+        ),
+        registry,
+    )
+
+    def run():
+        return Optimizer(
+            query, OptimizerConfig(metric=ExecutionTimeMetric())
+        ).optimize()
+
+    outcome = benchmark.pedantic(run, rounds=1)
+    best = outcome.best
+    assert best is not None
+
+    # [22]'s theorem via the chapter: with no access limitations,
+    # maximal parallelism is time-optimal — every service is invoked once
+    # and the critical path is the slowest single service.
+    assert len(best.plan.join_nodes()) >= 1
+    slowest = max(
+        iface.stats.latency
+        for iface in (
+            registry.interface("FreeSvc0"),
+            registry.interface("FreeSvc1"),
+            registry.interface("FreeSvc2"),
+        )
+    )
+    assert abs(best.cost - slowest) < 1e-6
+
+    benchmark.extra_info["plan_cost"] = round(best.cost, 2)
+    benchmark.extra_info["slowest_service"] = slowest
+    report(
+        "E15 parallel-is-better without access limitations",
+        [
+            f"time-optimal plan cost: {best.cost:.2f} "
+            f"(= slowest single service {slowest:.2f})",
+            f"join nodes in plan: {len(best.plan.join_nodes())} "
+            "(full parallel combination)",
+        ],
+    )

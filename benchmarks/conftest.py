@@ -1,0 +1,66 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark module reproduces one experiment of EXPERIMENTS.md (the
+chapter's figures, its worked example, and the quantitative claims its
+prose makes).  Conventions:
+
+* timing goes through the ``benchmark`` fixture (pytest-benchmark);
+* the reproduced numbers — the rows/series a paper table would show — are
+  attached to ``benchmark.extra_info`` and printed via :func:`report`, so
+  ``pytest benchmarks/ --benchmark-only -s`` shows the series inline;
+* shape assertions (who wins, by roughly what factor, where crossovers
+  fall) are enforced with asserts, so regressions fail the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print one experiment's reproduced table/series."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print("  " + line)
+
+
+@pytest.fixture(scope="session")
+def movie_registry():
+    return movie_night_registry()
+
+
+@pytest.fixture(scope="session")
+def movie_query(movie_registry):
+    return compile_query(parse_query(RUNNING_EXAMPLE_QUERY), movie_registry)
+
+
+@pytest.fixture(scope="session")
+def movie_inputs():
+    return dict(RUNNING_EXAMPLE_INPUTS)
+
+
+@pytest.fixture(scope="session")
+def conference_registry():
+    return conference_trip_registry()
+
+
+@pytest.fixture(scope="session")
+def conference_query(conference_registry):
+    return compile_query(parse_query(CONFERENCE_QUERY), conference_registry)
+
+
+@pytest.fixture(scope="session")
+def conference_inputs():
+    return dict(CONFERENCE_INPUTS)

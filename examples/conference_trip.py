@@ -1,0 +1,94 @@
+"""Conference trip: the Fig. 2/3 scenario with a selective-in-context service.
+
+"Find conferences on my topic where the weather is warm, with a cheap
+flight and a good hotel."  Demonstrates:
+
+* an exact proliferative service (Conference, ~20 answers),
+* a service that is *selective in the context of the query* (Weather +
+  the AvgTemp > 26 predicate),
+* two chunked search services explored in parallel and combined by a
+  merge-scan parallel join,
+* optimization under execution-time vs. call-count metrics — time favours
+  the parallel topology, calls favour serial filtering.
+
+    python examples/conference_trip.py
+"""
+
+from repro import (
+    Optimizer,
+    OptimizerConfig,
+    ServicePool,
+    compile_query,
+    execute_plan,
+    parse_query,
+)
+from repro.core.annotate import annotate
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    conference_trip_registry,
+)
+
+
+def main() -> None:
+    registry = conference_trip_registry()
+    print("Query:")
+    print(" ", CONFERENCE_QUERY)
+    query = compile_query(parse_query(CONFERENCE_QUERY), registry)
+
+    for metric in (ExecutionTimeMetric(), CallCountMetric()):
+        outcome = Optimizer(query, OptimizerConfig(metric=metric)).optimize()
+        best = outcome.best
+        assert best is not None
+        print()
+        print(f"=== optimized for {metric.name} ===")
+        print(
+            f"cost {best.cost:.2f}, estimated results "
+            f"{best.estimated_results:.1f}, fetches {best.fetch_vector()}, "
+            f"explored {outcome.stats.expanded} states"
+        )
+        print(best.render())
+
+        annotations = annotate(
+            best.plan, query, fetches=best.fetch_vector()
+        )
+        weather = best.plan.service_node_for("W")
+        tin = annotations.tin(weather.node_id)
+        tout = annotations.tout(weather.node_id)
+        print(
+            f"Weather is selective in context: tin={tin:.1f} -> tout={tout:.1f} "
+            f"(the AvgTemp > {CONFERENCE_INPUTS['INPUT2']} filter)"
+        )
+
+    # Execute the time-optimal plan.
+    outcome = Optimizer(
+        query, OptimizerConfig(metric=ExecutionTimeMetric())
+    ).optimize()
+    best = outcome.best
+    assert best is not None
+    pool = ServicePool(registry, global_seed=77)
+    result = execute_plan(
+        best.plan, query, pool, CONFERENCE_INPUTS, best.fetch_vector()
+    )
+    print()
+    print(
+        f"=== execution === {result.total_calls} calls, "
+        f"{result.execution_time:.2f} virtual seconds, "
+        f"{len(result.tuples)} trip combinations"
+    )
+    for rank, combo in enumerate(result.tuples[:10], start=1):
+        conf = combo.component("C").values
+        flight = combo.component("F").values
+        hotel = combo.component("H").values
+        temp = combo.component("W").values["AvgTemp"]
+        print(
+            f"  {rank:2d}. score={combo.score:.3f}  {conf['Name']} in "
+            f"{conf['City']} ({temp:.0f}C)  flight {flight['Airline']} "
+            f"{flight['FPrice']:.0f}EUR  hotel {hotel['HName']} "
+            f"({hotel['Stars']}*)"
+        )
+
+
+if __name__ == "__main__":
+    main()

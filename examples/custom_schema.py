@@ -1,0 +1,170 @@
+"""Custom schema: registering your own marts, interfaces, and patterns.
+
+Shows the full adoption path for a new domain — a job-hunting scenario
+("companies hiring for my skill, apartments near the office, gyms
+nearby") — from schema definition through optimization and execution.
+
+    python examples/custom_schema.py
+"""
+
+from repro import (
+    Optimizer,
+    OptimizerConfig,
+    ServicePool,
+    compile_query,
+    execute_plan,
+    parse_query,
+)
+from repro.core.cost import ExecutionTimeMetric
+from repro.model.attributes import Attribute, DataType, Domain, RepeatingGroup
+from repro.model.connections import AttributePair, ConnectionPattern
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import LinearScoring, PowerLawScoring
+from repro.model.service import (
+    AccessPattern,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+
+
+def build_registry() -> ServiceRegistry:
+    """Define the job-hunt schema: three marts, three interfaces, two
+    connection patterns."""
+    registry = ServiceRegistry()
+
+    skill = Domain("skill", DataType.STRING, size=15)
+    district = Domain("district", DataType.STRING, size=12)
+    money = Domain("salary", DataType.INTEGER, size=100)
+
+    company = ServiceMart(
+        "Company",
+        (
+            Attribute("CName"),
+            Attribute("District", district),
+            Attribute("Salary", money),
+            RepeatingGroup("Roles", (Attribute("Skill", skill),), avg_members=2),
+        ),
+        description="Open positions ranked by fit",
+    )
+    apartment = ServiceMart(
+        "Apartment",
+        (
+            Attribute("AAddress"),
+            Attribute("ADistrict", district),
+            Attribute("Rent", money),
+            Attribute("Rooms", Domain("rooms", DataType.INTEGER, size=5)),
+        ),
+        description="Rental listings ranked by value",
+    )
+    gym = ServiceMart(
+        "Gym",
+        (
+            Attribute("GName"),
+            Attribute("GDistrict", district),
+            Attribute("MonthlyFee", Domain("fee", DataType.INTEGER, size=80)),
+        ),
+        description="Gyms ranked by rating",
+    )
+
+    registry.register_interface(
+        ServiceInterface(
+            name="JobSearch",
+            mart=company,
+            access_pattern=AccessPattern.from_spec({"Roles.Skill": "I"}),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=60, chunk_size=10, latency=1.2),
+            scoring=PowerLawScoring(exponent=0.4),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="FlatFinder",
+            mart=apartment,
+            access_pattern=AccessPattern.from_spec({"ADistrict": "I"}),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=30, chunk_size=5, latency=0.9),
+            scoring=LinearScoring(horizon=30),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="GymGuide",
+            mart=gym,
+            access_pattern=AccessPattern.from_spec({"GDistrict": "I"}),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=8, chunk_size=4, latency=0.5),
+            scoring=LinearScoring(horizon=8),
+        )
+    )
+
+    registry.register_pattern(
+        ConnectionPattern(
+            name="LivesNear",
+            source=company,
+            target=apartment,
+            pairs=(AttributePair.parse("District", "ADistrict"),),
+            selectivity=0.7,
+            description="Apartment in the company's district",
+        )
+    )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="TrainsNear",
+            source=apartment,
+            target=gym,
+            pairs=(AttributePair.parse("ADistrict", "GDistrict"),),
+            selectivity=0.6,
+            description="Gym in the apartment's district",
+        )
+    )
+    return registry
+
+
+QUERY = (
+    "SELECT JobSearch AS J, FlatFinder AS A, GymGuide AS G "
+    "WHERE LivesNear(J, A) AND TrainsNear(A, G) "
+    "AND J.Roles.Skill = INPUT1 AND J.Salary >= INPUT2 "
+    "RANK BY 0.5*J, 0.3*A, 0.2*G LIMIT 8"
+)
+
+INPUTS = {"INPUT1": "skill#4", "INPUT2": 40}
+
+
+def main() -> None:
+    registry = build_registry()
+    print(registry.describe())
+    print()
+    print("Query:", QUERY)
+
+    query = compile_query(parse_query(QUERY), registry)
+    outcome = Optimizer(
+        query, OptimizerConfig(metric=ExecutionTimeMetric())
+    ).optimize()
+    best = outcome.best
+    assert best is not None
+    print()
+    print(
+        f"Best plan: cost {best.cost:.2f}, fetches {best.fetch_vector()}, "
+        f"estimated {best.estimated_results:.1f} results"
+    )
+    print(best.render())
+
+    pool = ServicePool(registry, global_seed=99)
+    result = execute_plan(best.plan, query, pool, INPUTS, best.fetch_vector())
+    print()
+    print(f"{result.total_calls} calls -> {len(result.tuples)} combinations:")
+    for rank, combo in enumerate(result.tuples, start=1):
+        job = combo.component("J").values
+        flat = combo.component("A").values
+        gym_t = combo.component("G").values
+        print(
+            f"  {rank}. score={combo.score:.3f}  {job['CName']} "
+            f"({job['District']}, {job['Salary']}k)  flat {flat['Rooms']} rooms "
+            f"@{flat['Rent']}  gym {gym_t['GName']} @{gym_t['MonthlyFee']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

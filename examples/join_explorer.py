@@ -1,0 +1,148 @@
+"""Join explorer: visualising the Section 4 search-space strategies.
+
+Renders ASCII pictures of the tile exploration order for every join
+method combination (Figs. 5, 6, 7), measures calls-to-k for each, checks
+extraction optimality, and contrasts the fast methods with the guaranteed
+top-k rank join.
+
+    python examples/join_explorer.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.joins.completion import RectangularCompletion, TriangularCompletion
+from repro.joins.extraction import count_local_violations
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.strategies import MergeScanSchedule, NestedLoopSchedule
+from repro.joins.topk import RankJoinExecutor
+from repro.model.scoring import LinearScoring, StepScoring
+from repro.model.tuples import ServiceTuple
+
+GRID = 6  # tiles per axis in the pictures
+
+
+def make_source(scoring, name, seed, n=60, chunk=5, keys=8):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(keys)},
+            score=min(1.0, max(0.0, scoring.score_at(i))),
+            source=name,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def picture(trace, size=GRID):
+    """ASCII grid: the order in which tiles were processed (1-based)."""
+    order = {tile: index + 1 for index, tile in enumerate(trace)}
+    lines = []
+    for y in range(size - 1, -1, -1):
+        cells = []
+        for x in range(size):
+            from repro.joins.searchspace import Tile
+
+            number = order.get(Tile(x, y))
+            cells.append(f"{number:3d}" if number else "  .")
+        lines.append(f"  y={y} |" + " ".join(cells))
+    lines.append("       " + "".join(f"  x={x}" for x in range(size)))
+    return "\n".join(lines)
+
+
+def explore(title, schedule, policy, scoring_x, scoring_y, k=12):
+    x = make_source(scoring_x, "X", seed=1)
+    y = make_source(scoring_y, "Y", seed=2)
+    executor = ParallelJoinExecutor(
+        x,
+        y,
+        lambda a, b: a.values["k"] == b.values["k"],
+        schedule=schedule,
+        policy=policy,
+        k=k,
+    )
+    result = executor.run()
+    stats = result.stats
+    violations = count_local_violations(stats.events, executor.space)
+    print(f"--- {title} ---")
+    print(picture(stats.trace))
+    print(
+        f"  calls: {stats.calls_x}+{stats.calls_y}={stats.total_calls}, "
+        f"tiles: {stats.tiles_processed}, candidates: {stats.candidates}, "
+        f"results: {len(result)}, local violations: {violations}"
+    )
+    print()
+
+
+def main() -> None:
+    linear = LinearScoring(horizon=60)
+    step = StepScoring(step_position=10)
+
+    print("=" * 64)
+    print("Merge-scan + triangular (the default parallel method, Fig. 5b)")
+    print("=" * 64)
+    explore(
+        "MS/tri, ratio 1/1, progressive scores",
+        MergeScanSchedule(),
+        TriangularCompletion(),
+        linear,
+        linear,
+    )
+
+    print("=" * 64)
+    print("Merge-scan + rectangular with ratio 1: growing squares (Fig. 7)")
+    print("=" * 64)
+    explore(
+        "MS/rect, ratio 1/1",
+        MergeScanSchedule(),
+        RectangularCompletion(),
+        linear,
+        linear,
+    )
+
+    print("=" * 64)
+    print("Nested-loop + rectangular on a step service (Fig. 5a)")
+    print("=" * 64)
+    explore(
+        "NL/rect, h=2 (step at position 10, chunk 5)",
+        NestedLoopSchedule(step_chunks=2),
+        RectangularCompletion(),
+        step,
+        linear,
+    )
+
+    print("=" * 64)
+    print("Merge-scan 3/5 ratio + triangular (asymmetric services)")
+    print("=" * 64)
+    explore(
+        "MS/tri, ratio 3/5",
+        MergeScanSchedule(Fraction(3, 5)),
+        TriangularCompletion(r1=3, r2=5),
+        linear,
+        linear,
+    )
+
+    print("=" * 64)
+    print("Guaranteed top-k rank join vs. extraction-optimal join")
+    print("=" * 64)
+    predicate = lambda a, b: a.values["k"] == b.values["k"]
+    fast_x = make_source(linear, "X", seed=1)
+    fast_y = make_source(linear, "Y", seed=2)
+    fast = ParallelJoinExecutor(fast_x, fast_y, predicate, k=10).run()
+    rank_x = make_source(linear, "X", seed=1)
+    rank_y = make_source(linear, "Y", seed=2)
+    exact = RankJoinExecutor(rank_x, rank_y, predicate, k=10).run()
+    fast_scores = [round(p.score, 3) for p in fast.pairs]
+    exact_scores = [round(p.score, 3) for p in exact.pairs]
+    print(f"fast MS/tri join : {fast.stats.total_calls} calls, scores {fast_scores}")
+    print(f"rank join (top-k): {exact.stats.total_calls} calls, scores {exact_scores}")
+    print(
+        "The rank join guarantees the global top-k order; the fast join "
+        "approximates it at lower (or equal) cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

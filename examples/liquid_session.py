@@ -1,0 +1,66 @@
+"""Liquid session: the Section 3.2 user-interaction loop.
+
+"A user can either be satisfied with the first k answers, or ask for more
+results of the same query, or change the choice of input keywords and
+resubmit the same query ..." — and "ranking functions can be altered
+dynamically through the query interface".  This example drives all three
+interactions over one optimized plan and reports the cumulative
+service-call bill.
+
+    python examples/liquid_session.py
+"""
+
+from repro import ServicePool, compile_query, optimize_query, parse_query
+from repro.engine.liquid import LiquidQuerySession
+from repro.services.marts import (
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    movie_night_registry,
+)
+
+
+def show(title, combos, session):
+    print(f"--- {title} (total calls so far: {session.total_calls}) ---")
+    for rank, combo in enumerate(combos[:5], start=1):
+        print(
+            f"  {rank}. score={combo.score:.3f}  "
+            f"movie={combo.component('M').values['Title']}  "
+            f"theatre={combo.component('T').values['Name']}"
+        )
+    if len(combos) > 5:
+        print(f"  ... and {len(combos) - 5} more")
+    print()
+
+
+def main() -> None:
+    registry = movie_night_registry()
+    query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+    best = optimize_query(query)
+    session = LiquidQuerySession(
+        candidate=best,
+        query=query,
+        pool=ServicePool(registry, global_seed=13),
+        inputs=dict(RUNNING_EXAMPLE_INPUTS),
+    )
+
+    # 1. First screen of results.
+    show("initial run", session.run(), session)
+
+    # 2. "Give me more": fetch factors double, earlier results stay put.
+    show("after MORE", session.more(), session)
+    print(f"fetch factors grew to: {session.fetch_factors}\n")
+
+    # 3. Re-rank by movie quality only — zero new service calls.
+    before = session.total_calls
+    reranked = session.rerank({"M": 1.0, "T": 0.0, "R": 0.0})
+    assert session.total_calls == before
+    show("re-ranked by movie score (no new calls)", reranked, session)
+
+    # 4. Change the genre keyword and resubmit.
+    changed = dict(RUNNING_EXAMPLE_INPUTS)
+    changed["INPUT1"] = "genre#6"
+    show("resubmitted with a new genre", session.resubmit(changed), session)
+
+
+if __name__ == "__main__":
+    main()

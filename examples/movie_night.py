@@ -1,0 +1,104 @@
+"""Movie night: the running example, phase by phase (Sections 3-5).
+
+Walks the optimizer's three phases explicitly on the Movie / Theatre /
+Restaurant query: feasibility and binding choices (phase 1), the four
+Fig. 9 topologies (phase 2), the Fig. 10 fetch assignment (phase 3), and
+a cost comparison of every topology under every metric.
+
+    python examples/movie_night.py
+"""
+
+from repro import ServicePool, compile_query, execute_plan, parse_query
+from repro.core.annotate import annotate
+from repro.core.cost import DEFAULT_METRICS
+from repro.core.topology import enumerate_topologies
+from repro.query.feasibility import check_feasibility, enumerate_binding_choices
+from repro.services.marts import (
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    movie_night_registry,
+)
+
+FIG10_FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+def main() -> None:
+    registry = movie_night_registry()
+    query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+
+    # ---- Phase 1: access patterns and feasibility -------------------------
+    print("=== Phase 1: access-pattern selection ===")
+    feasibility = check_feasibility(query)
+    print(f"feasible: {feasibility.feasible}; reachability order: {feasibility.order}")
+    choices = list(enumerate_binding_choices(query))
+    print(f"acyclic binding choices: {len(choices)}")
+    choice = choices[0]
+    for alias, deps in sorted(choice.dependencies_over(query.aliases).items()):
+        source = ", ".join(sorted(deps)) if deps else "user INPUT only"
+        print(f"  {alias} is fed by: {source}")
+
+    # ---- Phase 2: the four Fig. 9 topologies ------------------------------
+    print()
+    print("=== Phase 2: alternative topologies (Fig. 9) ===")
+    plans = list(enumerate_topologies(query, {}, choice))
+    print(f"{len(plans)} admissible topologies\n")
+    for index, plan in enumerate(plans):
+        print(f"--- topology ({chr(ord('a') + index)}) ---")
+        print(plan.render())
+        print()
+
+    # ---- Phase 3: Fig. 10's fully instantiated plan -----------------------
+    print("=== Phase 3: fetch factors (Fig. 10 instantiation) ===")
+    print(f"fetch factors: {FIG10_FETCHES}  (5x20 movies, 5x5 theatres, 1 restaurant)")
+    for index, plan in enumerate(plans):
+        annotations = annotate(plan, query, fetches=FIG10_FETCHES)
+        estimated = annotations.estimated_results(plan)
+        calls = annotations.total_calls()
+        print(
+            f"topology ({chr(ord('a') + index)}): estimated results "
+            f"{estimated:6.1f}, estimated calls {calls:6.1f}"
+        )
+
+    # ---- Cost comparison under every metric -------------------------------
+    print()
+    print("=== Cost of each topology under each metric (Fig. 10 fetches) ===")
+    header = f"{'metric':18s}" + "".join(
+        f"   ({chr(ord('a') + i)})   " for i in range(len(plans))
+    )
+    print(header)
+    for name, metric in DEFAULT_METRICS.items():
+        row = f"{name:18s}"
+        for plan in plans:
+            annotations = annotate(plan, query, fetches=FIG10_FETCHES)
+            row += f" {metric.cost(plan, annotations):8.2f}"
+        print(row)
+
+    # ---- Execute the Fig. 10 plan ------------------------------------------
+    print()
+    print("=== Executing the Fig. 10 plan ===")
+    fig10 = next(
+        plan
+        for plan in plans
+        if plan.join_nodes()
+        and getattr(
+            plan.node(plan.children(plan.join_nodes()[0].node_id)[0]), "alias", None
+        )
+        == "R"
+    )
+    pool = ServicePool(registry, global_seed=10)
+    result = execute_plan(
+        fig10, query, pool, RUNNING_EXAMPLE_INPUTS, FIG10_FETCHES
+    )
+    print(
+        f"actual: {result.total_calls} calls, {len(result.tuples)} combinations, "
+        f"{result.execution_time:.2f} virtual seconds"
+    )
+    for node_id, stats in result.node_stats.items():
+        print(
+            f"  {node_id:10s} tin={stats.tin:5d} tout={stats.tout:5d} "
+            f"calls={stats.calls:3d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

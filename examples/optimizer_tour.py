@@ -1,0 +1,112 @@
+"""Optimizer tour: heuristics, pruning, anytime behaviour, baselines.
+
+Puts the branch-and-bound machinery through its paces on the running
+example: the 2x2x2 heuristic grid, pruning on vs. off, anytime budgets,
+and a comparison against the exhaustive / first-feasible / random
+baselines.
+
+    python examples/optimizer_tour.py
+"""
+
+import time
+
+from repro import Optimizer, OptimizerConfig, compile_query, parse_query
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.baselines.naive import first_feasible_candidate, random_candidate
+from repro.core.cost import ExecutionTimeMetric
+from repro.core.heuristics import (
+    BoundIsBetter,
+    GreedyFetch,
+    ParallelIsBetter,
+    SelectiveFirst,
+    SquareIsBetter,
+    UnboundIsEasier,
+)
+from repro.services.marts import RUNNING_EXAMPLE_QUERY, movie_night_registry
+
+
+def main() -> None:
+    registry = movie_night_registry()
+    query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+    metric = ExecutionTimeMetric()
+
+    # ---- Ground truth -------------------------------------------------------
+    t0 = time.perf_counter()
+    truth = exhaustive_optimum(query, metric=metric)
+    t_truth = time.perf_counter() - t0
+    assert truth.best is not None
+    print(
+        f"Exhaustive optimum: cost {truth.best.cost:.2f} "
+        f"({truth.candidates_priced} candidates priced in {t_truth*1000:.0f} ms)"
+    )
+
+    # ---- Heuristic grid ------------------------------------------------------
+    print()
+    print("=== 2x2x2 heuristic grid (all run to exhaustion) ===")
+    print(
+        f"{'phase1':18s} {'phase2':18s} {'phase3':18s} "
+        f"{'cost':>8s} {'expanded':>9s} {'pruned':>7s}"
+    )
+    for phase1 in (BoundIsBetter(), UnboundIsEasier()):
+        for phase2 in (SelectiveFirst(), ParallelIsBetter()):
+            for phase3 in (GreedyFetch(), SquareIsBetter()):
+                config = OptimizerConfig(
+                    metric=metric, phase1=phase1, phase2=phase2, phase3=phase3
+                )
+                outcome = Optimizer(query, config).optimize()
+                best = outcome.best
+                assert best is not None
+                print(
+                    f"{phase1.name:18s} {phase2.name:18s} {phase3.name:18s} "
+                    f"{best.cost:8.2f} {outcome.stats.expanded:9d} "
+                    f"{outcome.stats.pruned:7d}"
+                )
+
+    # ---- Pruning ablation ----------------------------------------------------
+    print()
+    print("=== Pruning ablation ===")
+    for prune in (True, False):
+        outcome = Optimizer(
+            query, OptimizerConfig(metric=metric, prune=prune)
+        ).optimize()
+        assert outcome.best is not None
+        print(
+            f"prune={str(prune):5s}: cost {outcome.best.cost:.2f}, "
+            f"expanded {outcome.stats.expanded}, enqueued {outcome.stats.enqueued}"
+        )
+
+    # ---- Anytime behaviour ----------------------------------------------------
+    print()
+    print("=== Anytime behaviour (expansion budget -> incumbent cost) ===")
+    for budget in (1, 3, 10, 30, 100, None):
+        outcome = Optimizer(
+            query, OptimizerConfig(metric=metric, budget=budget)
+        ).optimize()
+        assert outcome.best is not None
+        label = str(budget) if budget is not None else "unbounded"
+        print(
+            f"budget {label:>9s}: cost {outcome.best.cost:8.2f} "
+            f"(optimal: {abs(outcome.best.cost - truth.best.cost) < 1e-9})"
+        )
+
+    # ---- Baselines -------------------------------------------------------------
+    print()
+    print("=== Baselines ===")
+    naive = first_feasible_candidate(query, metric=metric)
+    print(f"first-feasible plan: cost {naive.cost:.2f}")
+    random_costs = [
+        random_candidate(query, seed=seed, metric=metric).cost for seed in range(10)
+    ]
+    mean_random = sum(random_costs) / len(random_costs)
+    print(
+        f"random plans (10 seeds): mean cost {mean_random:.2f}, "
+        f"min {min(random_costs):.2f}, max {max(random_costs):.2f}"
+    )
+    print(
+        f"optimization pays off: random/optimal = "
+        f"{mean_random / truth.best.cost:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

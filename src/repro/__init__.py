@@ -1,0 +1,56 @@
+"""Search Computing reproduction: join methods and query optimization.
+
+Public API (the names a downstream user needs):
+
+>>> from repro import parse_query, compile_query, optimize_query, execute_plan
+>>> from repro.services import movie_night_registry, RUNNING_EXAMPLE_QUERY
+
+Subpackages:
+
+* :mod:`repro.model` -- service marts, interfaces, scoring, tuples.
+* :mod:`repro.query` -- query language, compilation, feasibility.
+* :mod:`repro.plans` -- query-plan DAG model.
+* :mod:`repro.joins` -- join search space, strategies, methods, top-k.
+* :mod:`repro.core` -- cost metrics, annotation, branch-and-bound optimizer.
+* :mod:`repro.engine` -- dataflow execution over simulated services.
+* :mod:`repro.services` -- simulated service substrate and example schemas.
+* :mod:`repro.baselines` -- exhaustive, WSMS, and naive planners.
+* :mod:`repro.stats` -- selectivity and cardinality estimation.
+"""
+
+from repro.core.annotate import annotate
+from repro.core.cost import DEFAULT_METRICS
+from repro.core.optimizer import (
+    OptimizationOutcome,
+    Optimizer,
+    OptimizerConfig,
+    PlanCandidate,
+    optimize_query,
+)
+from repro.engine.executor import ExecutionResult, execute_plan
+from repro.errors import SearchComputingError
+from repro.model.registry import ServiceRegistry
+from repro.query.compile import CompiledQuery, compile_query
+from repro.query.parser import parse_query
+from repro.services.simulated import ServicePool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "annotate",
+    "DEFAULT_METRICS",
+    "OptimizationOutcome",
+    "Optimizer",
+    "OptimizerConfig",
+    "PlanCandidate",
+    "optimize_query",
+    "ExecutionResult",
+    "execute_plan",
+    "SearchComputingError",
+    "ServiceRegistry",
+    "CompiledQuery",
+    "compile_query",
+    "parse_query",
+    "ServicePool",
+    "__version__",
+]

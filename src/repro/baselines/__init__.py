@@ -1,0 +1,23 @@
+"""Baseline planners: exhaustive ground truth, WSMS [22], naive/random."""
+
+from repro.baselines.exhaustive import ExhaustiveResult, exhaustive_optimum
+from repro.baselines.naive import first_feasible_candidate, random_candidate
+from repro.baselines.wsms import (
+    WsmsService,
+    chain_bottleneck,
+    exchange_sorted_chain,
+    optimal_chain,
+    wsms_service_from_interface,
+)
+
+__all__ = [
+    "ExhaustiveResult",
+    "exhaustive_optimum",
+    "first_feasible_candidate",
+    "random_candidate",
+    "WsmsService",
+    "chain_bottleneck",
+    "exchange_sorted_chain",
+    "optimal_chain",
+    "wsms_service_from_interface",
+]

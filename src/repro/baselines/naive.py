@@ -1,0 +1,142 @@
+"""Naive planners: lower baselines for the optimizer benchmarks.
+
+* :func:`first_feasible_candidate` — take the first interface for every
+  atom, the first acyclic binding choice, the first topology the builder
+  produces, and grow fetch factors uniformly until the estimate reaches
+  ``k``.  This is what a system without an optimizer would do.
+* :func:`random_candidate` — a seeded random walk over the same space:
+  random interface per atom, random binding choice, random topology
+  moves, uniform fetch growth.  Averaging its cost over seeds gives the
+  expected quality of an unoptimized plan (the denominator of the
+  "optimization pays off by X" statements in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.annotate import annotate
+from repro.core.cost import CostMetric, ExecutionTimeMetric
+from repro.core.heuristics import fetch_cap
+from repro.core.optimizer import PlanCandidate
+from repro.core.topology import TopologyBuilder
+from repro.errors import OptimizationError
+from repro.plans.plan import QueryPlan
+from repro.query.compile import CompiledQuery
+from repro.query.feasibility import enumerate_binding_choices
+from repro.stats.estimate import Estimator
+
+__all__ = ["first_feasible_candidate", "random_candidate"]
+
+
+def _grow_fetches_until_k(
+    plan: QueryPlan,
+    query: CompiledQuery,
+    metric: CostMetric,
+    k: int,
+    estimator: Estimator,
+) -> PlanCandidate:
+    """Uniform +1 growth of every fetch factor until the estimate hits k."""
+    chunked = [
+        node
+        for node in plan.service_nodes()
+        if node.interface is not None and node.interface.is_chunked
+    ]
+    fetches = {node.alias: 1 for node in chunked}
+    while True:
+        annotations = annotate(plan, query, fetches=fetches, estimator=estimator)
+        results = annotations.estimated_results(plan)
+        if results >= k:
+            break
+        moved = False
+        for node in chunked:
+            assert node.interface is not None
+            if fetches[node.alias] < fetch_cap(node.interface):
+                fetches[node.alias] += 1
+                moved = True
+        if not moved:
+            break  # saturated below k: best effort
+    annotations = annotate(plan, query, fetches=fetches, estimator=estimator)
+    results = annotations.estimated_results(plan)
+    return PlanCandidate(
+        plan=plan,
+        fetches=dict(fetches),
+        annotations=annotations,
+        cost=metric.cost(plan, annotations),
+        estimated_results=results,
+        satisfies_k=results >= k,
+    )
+
+
+def first_feasible_candidate(
+    query: CompiledQuery,
+    metric: CostMetric | None = None,
+    k: int | None = None,
+) -> PlanCandidate:
+    """First interfaces, first binding choice, first topology, uniform growth."""
+    metric = metric or ExecutionTimeMetric()
+    k = query.k if k is None else k
+    assignment = {
+        atom.alias: query.registry.interfaces_of(atom.mart.name)[0]
+        for atom in query.atoms
+        if atom.interface is None
+    }
+    choice = next(enumerate_binding_choices(query, assignment, limit=1), None)
+    if choice is None:
+        raise OptimizationError("query is not feasible")
+    builder = TopologyBuilder.initial(query, assignment, choice)
+    guard = 0
+    while not builder.is_complete:
+        guard += 1
+        if guard > 1000:  # pragma: no cover - defensive
+            raise OptimizationError("first-feasible construction did not finish")
+        moves = builder.available_moves()
+        if not moves:
+            raise OptimizationError("dead end while building first topology")
+        builder = builder.apply(moves[0])
+    plan = builder.finish()
+    return _grow_fetches_until_k(plan, query, metric, k, Estimator(query))
+
+
+def random_candidate(
+    query: CompiledQuery,
+    seed: int = 0,
+    metric: CostMetric | None = None,
+    k: int | None = None,
+    max_attempts: int = 32,
+) -> PlanCandidate:
+    """Seeded random feasible plan with uniform fetch growth.
+
+    Random walks can dead-end (e.g. a fork whose merge is degenerate);
+    construction retries up to ``max_attempts`` walks before giving up.
+    """
+    metric = metric or ExecutionTimeMetric()
+    k = query.k if k is None else k
+    rng = random.Random(seed)
+
+    for _ in range(max_attempts):
+        assignment = {
+            atom.alias: rng.choice(
+                list(query.registry.interfaces_of(atom.mart.name))
+            )
+            for atom in query.atoms
+            if atom.interface is None
+        }
+        choices = list(enumerate_binding_choices(query, assignment, limit=16))
+        if not choices:
+            continue
+        builder = TopologyBuilder.initial(query, assignment, rng.choice(choices))
+        ok = True
+        for _ in range(1000):
+            if builder.is_complete:
+                break
+            moves = builder.available_moves()
+            if not moves:
+                ok = False
+                break
+            builder = builder.apply(rng.choice(moves))
+        if not ok or not builder.is_complete:
+            continue
+        plan = builder.finish()
+        return _grow_fetches_until_k(plan, query, metric, k, Estimator(query))
+    raise OptimizationError("no feasible random plan found")

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``registry``  — print a built-in schema catalogue (marts, interfaces,
+  patterns).
+* ``plan``      — optimize a query and render the chosen fully
+  instantiated plan, with optimizer statistics.
+* ``run``       — optimize and execute a query on the simulator; print
+  the top-k combinations and the call/time accounting.
+* ``topologies``— enumerate the admissible topologies of a query.
+
+Built-in schemas: ``movie`` (the running example) and ``conference``
+(Figs. 2/3).  Custom queries are accepted with ``--query``; INPUT
+bindings with repeated ``--input NAME=VALUE`` flags (values are parsed as
+Python literals when possible, else kept as strings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as python_ast
+import sys
+from typing import Any
+
+from repro.core.cost import DEFAULT_METRICS
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import execute_plan
+from repro.query.compile import compile_query
+from repro.query.feasibility import enumerate_binding_choices
+from repro.query.parser import parse_query
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+from repro.services.simulated import ServicePool
+
+__all__ = ["main", "build_parser"]
+
+_SCHEMAS = {
+    "movie": (movie_night_registry, RUNNING_EXAMPLE_QUERY, RUNNING_EXAMPLE_INPUTS),
+    "conference": (conference_trip_registry, CONFERENCE_QUERY, CONFERENCE_INPUTS),
+}
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return python_ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _load(args) -> tuple:
+    registry_factory, default_query, default_inputs = _SCHEMAS[args.schema]
+    registry = registry_factory()
+    query_text = args.query or default_query
+    inputs = dict(default_inputs)
+    for binding in args.input or ():
+        name, _, value = binding.partition("=")
+        if not name or not value:
+            raise SystemExit(f"--input needs NAME=VALUE, got {binding!r}")
+        inputs[name.upper()] = _parse_value(value)
+    compiled = compile_query(parse_query(query_text), registry)
+    return registry, compiled, inputs, query_text
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schema",
+        choices=sorted(_SCHEMAS),
+        default="movie",
+        help="built-in schema to use (default: movie)",
+    )
+    parser.add_argument("--query", help="query text (default: the schema's example)")
+    parser.add_argument(
+        "--input",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind an INPUT variable (repeatable)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=sorted(DEFAULT_METRICS),
+        default="execution-time",
+        help="cost metric to optimize (default: execution-time)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        help="anytime expansion budget (default: run to exhaustion)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Search Computing: multi-domain query optimization & execution",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    registry_cmd = commands.add_parser("registry", help="print a schema catalogue")
+    registry_cmd.add_argument(
+        "--schema", choices=sorted(_SCHEMAS), default="movie"
+    )
+
+    plan_cmd = commands.add_parser("plan", help="optimize and render a plan")
+    _add_common(plan_cmd)
+
+    run_cmd = commands.add_parser("run", help="optimize and execute a query")
+    _add_common(run_cmd)
+    run_cmd.add_argument("--seed", type=int, default=2009, help="simulator seed")
+    run_cmd.add_argument(
+        "--fetch-boost",
+        type=int,
+        default=1,
+        help="multiply every fetch factor (ask for more results)",
+    )
+
+    topo_cmd = commands.add_parser(
+        "topologies", help="enumerate admissible plan topologies"
+    )
+    _add_common(topo_cmd)
+    return parser
+
+
+def _cmd_registry(args) -> int:
+    registry_factory, _, _ = _SCHEMAS[args.schema]
+    print(registry_factory().describe())
+    return 0
+
+
+def _optimize(args):
+    registry, compiled, inputs, query_text = _load(args)
+    config = OptimizerConfig(
+        metric=DEFAULT_METRICS[args.metric], budget=args.budget
+    )
+    outcome = Optimizer(compiled, config).optimize()
+    if outcome.best is None:
+        raise SystemExit("no feasible plan found")
+    return registry, compiled, inputs, query_text, outcome
+
+
+def _cmd_plan(args) -> int:
+    _, _, _, query_text, outcome = _optimize(args)
+    best = outcome.best
+    print(f"query:   {query_text}")
+    print(
+        f"metric:  {args.metric}  cost: {best.cost:.2f}  "
+        f"estimated results: {best.estimated_results:.1f}"
+    )
+    print(
+        f"search:  {outcome.stats.expanded} expanded, "
+        f"{outcome.stats.pruned} pruned, {outcome.stats.leaves} plans priced"
+    )
+    print(f"fetches: {best.fetch_vector()}")
+    print()
+    print(best.render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    registry, compiled, inputs, _, outcome = _optimize(args)
+    best = outcome.best
+    fetches = {
+        alias: factor * args.fetch_boost
+        for alias, factor in best.fetch_vector().items()
+    }
+    pool = ServicePool(registry, global_seed=args.seed)
+    result = execute_plan(best.plan, compiled, pool, inputs, fetches)
+    print(
+        f"{result.total_calls} service calls, "
+        f"{result.execution_time:.2f} virtual seconds, "
+        f"{len(result.tuples)} combinations"
+    )
+    for rank, combo in enumerate(result.tuples, start=1):
+        parts = []
+        for alias in sorted(combo.aliases):
+            values = combo.component(alias).values
+            label = next(
+                (
+                    str(values[key])
+                    for key in ("Title", "Name", "HName", "CName", "Airline")
+                    if values.get(key) is not None
+                ),
+                "?",
+            )
+            parts.append(f"{alias}={label}")
+        print(f"  {rank:2d}. score={combo.score:.3f}  " + "  ".join(parts))
+    return 0
+
+
+def _cmd_topologies(args) -> int:
+    _, compiled, _, _ = _load(args)
+    total = 0
+    for index, choice in enumerate(enumerate_binding_choices(compiled)):
+        deps = choice.dependencies_over(compiled.aliases)
+        pipes = {a: sorted(d) for a, d in deps.items() if d}
+        print(f"binding choice #{index}: pipe dependencies {pipes or 'none'}")
+        for plan in enumerate_topologies(compiled, {}, choice):
+            total += 1
+            print(f"--- topology {total} ---")
+            print(plan.render())
+    print(f"\n{total} distinct topologies")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "registry": _cmd_registry,
+        "plan": _cmd_plan,
+        "run": _cmd_run,
+        "topologies": _cmd_topologies,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    sys.exit(main())

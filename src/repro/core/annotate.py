@@ -1,0 +1,174 @@
+"""Plan annotation: estimating tuple flow and call counts per node.
+
+Section 3.2 defines the annotation rules that turn a plan into a *fully
+instantiated query plan* (Figs. 3 and 10):
+
+* the user "always injects one single input tuple", so the input node has
+  ``tout = 1``;
+* for **exact services**, ``tout = tin * avg_cardinality`` (times the
+  selectivity of pushed-down selections, which is what makes a service
+  "selective in the context of a query");
+* for **search services**, ``tout`` is "the product of the chunk size with
+  the total number FS of fetches determined by the plan, which may in turn
+  depend on the input tin" — per input tuple the node issues its fetch
+  factor ``F`` calls and retrieves ``F * chunk`` tuples (capped by the
+  service's average cardinality);
+* a **pipe-joined** service additionally multiplies the selectivity of the
+  join predicates it realises (Section 5.6: Restaurant receives 25 input
+  theatres and the 40% DinnerPlace selectivity leaves ``tout = 10``);
+* **selection nodes** multiply their predicate selectivity;
+* **parallel joins** process ``tout_left * tout_right`` candidate
+  combinations — halved by a triangular completion strategy, which
+  considers only "the most promising" half of the Cartesian product
+  (Section 5.6's 2500 → 1250) — and output candidates times the join
+  selectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PlanError
+from repro.joins.spec import CompletionStrategy
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    SelectionNode,
+    ServiceNode,
+)
+from repro.plans.plan import NodeAnnotation, PlanAnnotations, QueryPlan
+from repro.query.compile import CompiledQuery
+from repro.stats.estimate import Estimator, combined_selection_selectivity
+
+__all__ = ["annotate", "TRIANGULAR_CANDIDATE_FACTOR", "pipe_join_selectivity"]
+
+#: Fraction of the chunk Cartesian product a triangular completion
+#: strategy actually processes (Section 5.6: "choosing a triangular
+#: completion strategy assures that only the half of the most promising
+#: combinations ... are considered").
+TRIANGULAR_CANDIDATE_FACTOR = 0.5
+
+
+def pipe_join_selectivity(
+    node: ServiceNode, query: CompiledQuery, estimator: Estimator
+) -> float:
+    """Selectivity of the join predicates this pipe consumer realises."""
+    result = 1.0
+    seen: set[frozenset[str]] = set()
+    for producer in node.pipe_sources:
+        pair = frozenset((node.alias, producer))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        result *= estimator.join_selectivity(node.alias, producer)
+    return result
+
+
+def _service_annotation(
+    node: ServiceNode,
+    tin: float,
+    query: CompiledQuery,
+    estimator: Estimator,
+    fetches: Mapping[str, int],
+) -> NodeAnnotation:
+    interface = node.interface
+    assert interface is not None
+    pushed = combined_selection_selectivity(
+        node.pushed_selections, query.atom(node.alias).mart
+    )
+    pipe_sel = pipe_join_selectivity(node, query, estimator)
+
+    # A piped consumer needs one invocation per upstream tuple (each tuple
+    # carries fresh bindings); a service bound only by constants/INPUT
+    # variables is invoked once, whatever its tin (serial compositions
+    # reuse the single result set for every upstream tuple).
+    invocations = tin if node.pipe_sources else min(tin, 1.0)
+
+    if interface.is_chunked:
+        factor = int(fetches.get(node.alias, 1))
+        if factor < 1:
+            raise PlanError(f"fetch factor for {node.alias!r} must be >= 1")
+        per_input = min(
+            factor * interface.chunk_size, max(interface.stats.avg_cardinality, 0.0)
+        )
+        calls = invocations * factor
+    else:
+        factor = None
+        per_input = interface.stats.avg_cardinality
+        calls = invocations
+
+    tout = tin * per_input * pushed * pipe_sel
+    return NodeAnnotation(tin=tin, tout=tout, fetches=factor, calls=calls)
+
+
+def annotate(
+    plan: QueryPlan,
+    query: CompiledQuery,
+    fetches: Mapping[str, int] | None = None,
+    estimator: Estimator | None = None,
+) -> PlanAnnotations:
+    """Annotate every node of ``plan`` with estimated tin/tout/calls.
+
+    Parameters
+    ----------
+    plan:
+        A validated plan over the atoms of ``query``.
+    fetches:
+        Fetch factors per chunked-service alias; missing aliases default
+        to 1 ("the lowest admissible value ... as all services must
+        contribute to the result", Section 5.5).
+    estimator:
+        Selectivity estimator; defaults to a fresh one over ``query``.
+    """
+    fetches = dict(fetches or {})
+    estimator = estimator or Estimator(query)
+    annotations = PlanAnnotations()
+
+    for node_id in plan.topological_order():
+        node = plan.node(node_id)
+        parents = plan.parents(node_id)
+        if isinstance(node, InputNode):
+            annotations.by_node[node_id] = NodeAnnotation(tin=0.0, tout=1.0)
+            continue
+
+        if isinstance(node, ParallelJoinNode):
+            if len(parents) != 2:
+                raise PlanError(f"join {node_id!r} must have two parents")
+            left_out = annotations.tout(parents[0])
+            right_out = annotations.tout(parents[1])
+            factor = (
+                TRIANGULAR_CANDIDATE_FACTOR
+                if node.method.completion is CompletionStrategy.TRIANGULAR
+                else 1.0
+            )
+            candidates = left_out * right_out * factor
+            selectivity = estimator.predicates_selectivity(node.predicates)
+            annotations.by_node[node_id] = NodeAnnotation(
+                tin=candidates, tout=candidates * selectivity
+            )
+            continue
+
+        if len(parents) != 1:
+            raise PlanError(f"node {node_id!r} must have exactly one parent")
+        tin = annotations.tout(parents[0])
+
+        if isinstance(node, ServiceNode):
+            annotations.by_node[node_id] = _service_annotation(
+                node, tin, query, estimator, fetches
+            )
+        elif isinstance(node, SelectionNode):
+            selectivity = combined_selection_selectivity(
+                node.selections,
+                query.atom(node.selections[0].attr.alias).mart,
+            ) if node.selections else 1.0
+            selectivity *= estimator.predicates_selectivity(node.join_filters)
+            annotations.by_node[node_id] = NodeAnnotation(
+                tin=tin, tout=tin * selectivity
+            )
+        elif isinstance(node, OutputNode):
+            annotations.by_node[node_id] = NodeAnnotation(tin=tin, tout=tin)
+        else:  # pragma: no cover - future node kinds
+            raise PlanError(f"cannot annotate node kind {node.kind}")
+
+    return annotations

@@ -1,0 +1,170 @@
+"""Generic best-first branch-and-bound engine (Section 5.2, Fig. 8).
+
+The chapter's optimizer is "an incremental construction of query plans ...
+Each choice in any of the three phases determines a subdivision of the
+search space into non-overlapping subsets, which is an ideal branching.
+Then, thanks to the mentioned monotonicity, each subset can be assigned a
+lower bound for the cost by calculating the cost on the partially
+constructed plan. ... if the lower bound for some class A is greater than
+the upper bound for some other class B, then A ... may be safely
+discarded."
+
+This module hosts the problem-independent engine: a best-first exploration
+over abstract states with
+
+* ``expand(state)`` — children of a non-leaf state;
+* ``leaf_value(state)`` — ``(cost, payload, satisfies)`` for leaves, where
+  ``satisfies`` marks leaves that meet the goal (k results); incumbent
+  preference is "satisfying, then cheapest", and pruning compares lower
+  bounds against the best *satisfying* incumbent only;
+* ``lower_bound(state)`` — a monotone optimistic cost.
+
+The search is **anytime** (Section 5.2: "the search for the optimal plan
+can be stopped at any time, and it will nevertheless return a valid
+solution"): a node budget bounds expansions, and the incumbent trace
+records every improvement with the expansion count at which it occurred.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, TypeVar
+
+__all__ = ["BnBStats", "BnBOutcome", "BranchAndBound"]
+
+S = TypeVar("S")  # search state
+P = TypeVar("P")  # leaf payload
+
+
+@dataclass
+class BnBStats:
+    """Exploration accounting."""
+
+    expanded: int = 0
+    pruned: int = 0
+    leaves: int = 0
+    incumbent_updates: int = 0
+    enqueued: int = 0
+    budget_exhausted: bool = False
+
+
+@dataclass
+class BnBOutcome(Generic[P]):
+    """Search result: best payload plus statistics and incumbent history."""
+
+    payload: P | None
+    cost: float
+    satisfies: bool
+    stats: BnBStats
+    # (expansions at improvement, cost, satisfies) per incumbent update.
+    incumbents: list[tuple[int, float, bool]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.payload is not None
+
+
+class BranchAndBound(Generic[S, P]):
+    """Best-first branch and bound over user-supplied callbacks.
+
+    Parameters
+    ----------
+    expand:
+        Children of a state; called only on non-leaves.
+    is_leaf:
+        Leaf predicate.
+    leaf_value:
+        ``(cost, payload, satisfies)`` of a leaf.
+    lower_bound:
+        Monotone optimistic cost of any completion of the state.
+    prune:
+        Enable the bounding/pruning step (disable for ablation E12).
+    depth_of:
+        Optional depth function; deeper states win ties so the search
+        dives to a first incumbent quickly (quasi-greedy warm start).
+    """
+
+    def __init__(
+        self,
+        expand: Callable[[S], Iterable[S]],
+        is_leaf: Callable[[S], bool],
+        leaf_value: Callable[[S], tuple[float, P, bool]],
+        lower_bound: Callable[[S], float],
+        prune: bool = True,
+        depth_of: Callable[[S], int] | None = None,
+    ) -> None:
+        self._expand = expand
+        self._is_leaf = is_leaf
+        self._leaf_value = leaf_value
+        self._lower_bound = lower_bound
+        self._prune = prune
+        self._depth_of = depth_of or (lambda state: 0)
+
+    def run(
+        self,
+        root: S,
+        budget: int | None = None,
+        initial: tuple[float, P, bool] | None = None,
+    ) -> BnBOutcome[P]:
+        """Search from ``root``; ``initial`` seeds the incumbent (e.g. from
+        a greedy heuristic dive), enabling pruning from the first pop."""
+        stats = BnBStats()
+        incumbents: list[tuple[int, float, bool]] = []
+        best_payload: P | None = None
+        best_cost = float("inf")
+        best_satisfies = False
+        if initial is not None:
+            best_cost, best_payload, best_satisfies = initial
+            incumbents.append((0, best_cost, best_satisfies))
+        counter = itertools.count()
+
+        heap: list[tuple[float, int, int, S]] = []
+
+        def push(state: S) -> None:
+            bound = self._lower_bound(state)
+            heapq.heappush(
+                heap, (bound, -self._depth_of(state), next(counter), state)
+            )
+            stats.enqueued += 1
+
+        def consider_leaf(state: S) -> None:
+            nonlocal best_payload, best_cost, best_satisfies
+            cost, payload, satisfies = self._leaf_value(state)
+            stats.leaves += 1
+            better = (satisfies, -cost) > (best_satisfies, -best_cost)
+            if best_payload is None or better:
+                best_payload = payload
+                best_cost = cost
+                best_satisfies = satisfies
+                stats.incumbent_updates += 1
+                incumbents.append((stats.expanded, cost, satisfies))
+
+        push(root)
+        while heap:
+            if budget is not None and stats.expanded >= budget:
+                stats.budget_exhausted = True
+                break
+            bound, _, _, state = heapq.heappop(heap)
+            if self._prune and best_satisfies and bound >= best_cost:
+                stats.pruned += 1
+                continue
+            if self._is_leaf(state):
+                consider_leaf(state)
+                continue
+            stats.expanded += 1
+            for child in self._expand(state):
+                if self._prune and best_satisfies:
+                    if self._lower_bound(child) >= best_cost:
+                        stats.pruned += 1
+                        continue
+                push(child)
+
+        return BnBOutcome(
+            payload=best_payload,
+            cost=best_cost,
+            satisfies=best_satisfies,
+            stats=stats,
+            incumbents=incumbents,
+        )

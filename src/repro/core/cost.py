@@ -1,0 +1,299 @@
+"""Cost metrics over fully instantiated query plans (Section 5.1).
+
+A cost metric maps a plan plus its annotations to a non-negative number.
+All metrics implemented here are **monotonic**: extending a partial plan
+with more nodes, or increasing a fetch factor, never decreases the cost.
+Monotonicity is what justifies the branch-and-bound lower bound of
+Section 5.2 ("thanks to the mentioned monotonicity, each subset can be
+assigned a lower bound for the cost by calculating the cost on the
+partially constructed plan").
+
+Implemented metrics:
+
+* :class:`ExecutionTimeMetric` — expected elapsed virtual time from query
+  submission to the k-th answer: the slowest input-to-output path, each
+  node contributing its request-response time.
+* :class:`SumCostMetric` — sum over all operators of their charged cost
+  (service fees plus an optional per-candidate join CPU charge).
+* :class:`RequestResponseMetric` — the special case of the sum metric that
+  counts only service invocation fees.
+* :class:`CallCountMetric` — the further simplification where every call
+  costs 1: "the metric simply counts the number of calls".
+* :class:`BottleneckMetric` — the execution time of the slowest service
+  (Srivastava et al.'s WSMS metric, suited to pipelined continuous
+  queries).
+* :class:`TimeToScreenMetric` — time to the first output tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plans.nodes import ParallelJoinNode, PlanNode, SelectionNode, ServiceNode
+from repro.plans.plan import PlanAnnotations, QueryPlan
+
+__all__ = [
+    "CostMetric",
+    "ExecutionTimeMetric",
+    "SumCostMetric",
+    "RequestResponseMetric",
+    "CallCountMetric",
+    "BottleneckMetric",
+    "TimeToScreenMetric",
+    "service_node_time",
+    "DEFAULT_METRICS",
+]
+
+
+def service_node_time(node: ServiceNode, annotations: PlanAnnotations) -> float:
+    """Total request-response time spent by one service node.
+
+    ``calls * latency`` plus transfer time proportional to the tuples
+    actually shipped (``calls * chunk`` for chunked services).
+    """
+    assert node.interface is not None
+    ann = annotations.by_node[node.node_id]
+    stats = node.interface.stats
+    if node.interface.is_chunked:
+        transferred = ann.calls * node.interface.chunk_size
+    else:
+        transferred = ann.calls * stats.avg_cardinality
+    return ann.calls * stats.latency + transferred * stats.per_tuple_latency
+
+
+class CostMetric:
+    """Base class: price a fully instantiated plan.
+
+    Subclasses must keep :attr:`monotonic` truthful — the optimizer uses
+    partial-plan costs as lower bounds only for monotonic metrics.
+    """
+
+    name: str = "abstract"
+    monotonic: bool = True
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        raise NotImplementedError
+
+    def partial_cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        """Cost of a *partial* plan (possibly without an output node).
+
+        Used as the branch-and-bound lower bound; metrics whose ``cost``
+        needs the output node override this.  By default the full cost
+        function works on partial plans too (sum/max over present nodes).
+        """
+        return self.cost(plan, annotations)
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        """Optimistic cost given only the set of selected interfaces.
+
+        Every selected service must be invoked at least once in any
+        completion; sum-like metrics add one minimal call per service,
+        time-like metrics take the largest single-call latency (all calls
+        could overlap across parallel branches).  Used to bound phase-1
+        states before any plan structure exists.
+        """
+        return 0.0
+
+    def node_time(self, node: PlanNode, annotations: PlanAnnotations) -> float:
+        """Virtual time contributed by one node (shared by path metrics)."""
+        if isinstance(node, ServiceNode):
+            return service_node_time(node, annotations)
+        return 0.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _path_cost(
+    plan: QueryPlan,
+    annotations: PlanAnnotations,
+    node_time,
+    to_output: bool = True,
+) -> float:
+    """Longest input-to-output path under a per-node time function.
+
+    With ``to_output=False`` (partial plans) the longest path to *any*
+    node is returned instead.
+    """
+    finish: dict[str, float] = {}
+    for node_id in plan.topological_order():
+        parents = plan.parents(node_id)
+        start = max((finish[p] for p in parents), default=0.0)
+        finish[node_id] = start + node_time(plan.node(node_id))
+    if to_output:
+        return finish[plan.output_node.node_id]
+    return max(finish.values(), default=0.0)
+
+
+@dataclass
+class ExecutionTimeMetric(CostMetric):
+    """Expected elapsed time to the k-th answer: the slowest dataflow path.
+
+    ``join_cpu_per_candidate`` optionally charges main-memory join work;
+    the chapter's default scenario neglects it ("join requires simple
+    main-memory comparison operations and can be neglected").
+    """
+
+    join_cpu_per_candidate: float = 0.0
+    name: str = "execution-time"
+
+    def node_time(self, node: PlanNode, annotations: PlanAnnotations) -> float:
+        if isinstance(node, ServiceNode):
+            return service_node_time(node, annotations)
+        if isinstance(node, ParallelJoinNode) and self.join_cpu_per_candidate:
+            return annotations.by_node[node.node_id].tin * self.join_cpu_per_candidate
+        return 0.0
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        return _path_cost(
+            plan, annotations, lambda node: self.node_time(node, annotations)
+        )
+
+    def partial_cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        return _path_cost(
+            plan,
+            annotations,
+            lambda node: self.node_time(node, annotations),
+            to_output=False,
+        )
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return max((i.stats.latency for i in interfaces), default=0.0)
+
+
+@dataclass
+class SumCostMetric(CostMetric):
+    """Sum of per-operator costs: invocation fees plus join CPU charges."""
+
+    join_cpu_per_candidate: float = 0.0
+    selection_cpu_per_tuple: float = 0.0
+    name: str = "sum"
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        total = 0.0
+        for node_id, node in plan.nodes.items():
+            ann = annotations.by_node[node_id]
+            if isinstance(node, ServiceNode):
+                assert node.interface is not None
+                total += ann.calls * node.interface.stats.invocation_fee
+            elif isinstance(node, ParallelJoinNode):
+                total += ann.tin * self.join_cpu_per_candidate
+            elif isinstance(node, SelectionNode):
+                total += ann.tin * self.selection_cpu_per_tuple
+        return total
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return sum(i.stats.invocation_fee for i in interfaces)
+
+
+@dataclass
+class RequestResponseMetric(CostMetric):
+    """Only service invocation fees count (network-dominated scenario)."""
+
+    name: str = "request-response"
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        total = 0.0
+        for node in plan.service_nodes():
+            ann = annotations.by_node[node.node_id]
+            assert node.interface is not None
+            total += ann.calls * node.interface.stats.invocation_fee
+        return total
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return sum(i.stats.invocation_fee for i in interfaces)
+
+
+@dataclass
+class CallCountMetric(CostMetric):
+    """Every service invocation costs exactly one unit."""
+
+    name: str = "call-count"
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        return sum(
+            annotations.by_node[node.node_id].calls for node in plan.service_nodes()
+        )
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return float(len(list(interfaces)))
+
+
+@dataclass
+class BottleneckMetric(CostMetric):
+    """Execution time of the slowest service in the plan (WSMS metric).
+
+    Note: the metric is monotonic under plan extension (a max over a
+    superset cannot shrink) but, as the chapter warns, "it is not advised
+    in our context" where search services rarely produce all their tuples.
+    """
+
+    name: str = "bottleneck"
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        times = [
+            service_node_time(node, annotations) for node in plan.service_nodes()
+        ]
+        return max(times, default=0.0)
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return max((i.stats.latency for i in interfaces), default=0.0)
+
+
+@dataclass
+class TimeToScreenMetric(CostMetric):
+    """Time until the first output tuple reaches the user.
+
+    Approximated as the slowest input-to-output path where every service
+    contributes a single request-response (its first chunk): the earliest
+    moment a complete combination can exist.
+    """
+
+    name: str = "time-to-screen"
+
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        def first_call_time(node: PlanNode) -> float:
+            if isinstance(node, ServiceNode):
+                assert node.interface is not None
+                stats = node.interface.stats
+                first_tuples = (
+                    node.interface.chunk_size
+                    if node.interface.is_chunked
+                    else stats.avg_cardinality
+                )
+                return stats.latency + first_tuples * stats.per_tuple_latency
+            return 0.0
+
+        return _path_cost(plan, annotations, first_call_time)
+
+    def partial_cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        def first_call_time(node: PlanNode) -> float:
+            if isinstance(node, ServiceNode):
+                assert node.interface is not None
+                stats = node.interface.stats
+                first_tuples = (
+                    node.interface.chunk_size
+                    if node.interface.is_chunked
+                    else stats.avg_cardinality
+                )
+                return stats.latency + first_tuples * stats.per_tuple_latency
+            return 0.0
+
+        return _path_cost(plan, annotations, first_call_time, to_output=False)
+
+    def interfaces_lower_bound(self, interfaces) -> float:
+        return max((i.stats.latency for i in interfaces), default=0.0)
+
+
+#: The metrics exercised by the benchmark suite, keyed by name.
+DEFAULT_METRICS: dict[str, CostMetric] = {
+    metric.name: metric
+    for metric in (
+        ExecutionTimeMetric(),
+        SumCostMetric(),
+        RequestResponseMetric(),
+        CallCountMetric(),
+        BottleneckMetric(),
+        TimeToScreenMetric(),
+    )
+}

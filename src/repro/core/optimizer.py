@@ -1,0 +1,468 @@
+"""The three-phase branch-and-bound query optimizer (Section 5, Fig. 8).
+
+Given a compiled query, the optimizer explores "the combinatorial solution
+space of all possible translations of the conjunctive query into fully
+instantiated invocation schedules", organised in three phases:
+
+1. **Access-pattern / interface selection** — choose a service interface
+   per mart-level atom and an acyclic binding (provider per input
+   attribute); unfeasible assignments are dead ends.
+2. **Topology selection** — incremental DAG construction via
+   :class:`~repro.core.topology.TopologyBuilder` moves (start / extend /
+   merge), deduplicated by cost-relevant signature.
+3. **Fetch counts** — starting from the all-ones vector ("the lowest
+   admissible value ... as all services must contribute to the result"),
+   increment fetch factors per the phase-3 heuristic until the estimated
+   results reach ``k``.
+
+All phases share one best-first branch-and-bound engine.  Lower bounds
+come from the monotonic cost metric evaluated on the partial construction;
+an optional greedy warm start (following the heuristics to one complete
+plan) seeds the incumbent so pruning engages immediately.  The search is
+anytime: an expansion budget returns the best incumbent found so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.core.annotate import annotate
+from repro.core.bnb import BnBStats, BranchAndBound
+from repro.core.cost import CostMetric, ExecutionTimeMetric
+from repro.core.heuristics import (
+    BoundIsBetter,
+    GreedyFetch,
+    ParallelIsBetter,
+    Phase1Heuristic,
+    Phase2Heuristic,
+    Phase3Heuristic,
+)
+from repro.core.topology import TopologyBuilder, topology_signature
+from repro.errors import OptimizationError
+from repro.joins.spec import JoinMethodSpec
+from repro.model.service import ServiceInterface
+from repro.plans.plan import PlanAnnotations, QueryPlan
+from repro.query.compile import CompiledQuery
+from repro.query.feasibility import (
+    BindingChoice,
+    check_feasibility,
+    enumerate_binding_choices,
+)
+from repro.stats.estimate import Estimator
+
+__all__ = [
+    "PlanCandidate",
+    "OptimizerConfig",
+    "OptimizationOutcome",
+    "Optimizer",
+    "optimize_query",
+]
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One fully instantiated invocation schedule: plan + fetch factors."""
+
+    plan: QueryPlan
+    fetches: Mapping[str, float]
+    annotations: PlanAnnotations
+    cost: float
+    estimated_results: float
+    satisfies_k: bool
+    assignment: Mapping[str, ServiceInterface] = field(default_factory=dict)
+
+    def fetch_vector(self) -> dict[str, int]:
+        return {alias: int(f) for alias, f in self.fetches.items()}
+
+    def render(self) -> str:
+        return self.plan.render(self.annotations)
+
+
+@dataclass
+class OptimizerConfig:
+    """Tunable knobs of the optimizer (heuristics, metric, budgets)."""
+
+    metric: CostMetric = field(default_factory=ExecutionTimeMetric)
+    phase1: Phase1Heuristic = field(default_factory=BoundIsBetter)
+    phase2: Phase2Heuristic = field(default_factory=ParallelIsBetter)
+    phase3: Phase3Heuristic = field(default_factory=GreedyFetch)
+    join_method_options: Sequence[JoinMethodSpec] = (JoinMethodSpec(),)
+    #: When True, merges additionally try the join methods suggested by
+    #: the branches' scoring shapes (nested-loop for step services —
+    #: Section 4.3's strategy-selection rule).
+    auto_join_methods: bool = False
+    k: int | None = None  # defaults to the query's k
+    prune: bool = True  # disable for the E12 pruning ablation
+    budget: int | None = None  # max expansions (anytime behaviour)
+    warm_start: bool = True  # greedy heuristic dive seeds the incumbent
+    binding_choice_limit: int | None = 64
+    max_phase3_depth: int = 256
+
+
+@dataclass
+class OptimizationOutcome:
+    """Search result: the chosen candidate plus exploration accounting."""
+
+    best: PlanCandidate | None
+    stats: BnBStats
+    incumbents: list[tuple[int, float, bool]]
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+
+# ----------------------------------------------------------------------------- #
+# Search states
+# ----------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _AssignState:
+    assignment: tuple[tuple[str, ServiceInterface], ...]
+    next_index: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class _TopoState:
+    builder: TopologyBuilder
+    assignment: tuple[tuple[str, ServiceInterface], ...]
+    depth: int
+
+
+@dataclass(frozen=True)
+class _FetchState:
+    plan: QueryPlan
+    assignment: tuple[tuple[str, ServiceInterface], ...]
+    fetches: tuple[tuple[str, int], ...]
+    depth: int
+
+
+class Optimizer:
+    """Three-phase branch-and-bound optimizer over one compiled query."""
+
+    def __init__(self, query: CompiledQuery, config: OptimizerConfig | None = None):
+        self.query = query
+        self.config = config or OptimizerConfig()
+        self.k = self.config.k if self.config.k is not None else query.k
+        self.estimator = Estimator(query)
+        self._open_aliases = tuple(
+            atom.alias for atom in query.atoms if atom.interface is None
+        )
+        self._seen_topologies: set[tuple] = set()
+        self._seen_partial: set[tuple] = set()
+        self._seen_fetches: set[tuple] = set()
+        # Fetch-state dedup keys on id(plan); keep every finished plan
+        # alive so a garbage-collected plan's id cannot be recycled by a
+        # new plan and shadow its fetch vectors.
+        self._plan_refs: list[QueryPlan] = []
+
+    # -- phase 1 ----------------------------------------------------------------
+
+    def _candidates_for(self, alias: str) -> list[ServiceInterface]:
+        mart = self.query.atom(alias).mart
+        candidates = list(self.query.registry.interfaces_of(mart.name))
+        return self.config.phase1.order_interfaces(alias, candidates)
+
+    def _expand_assign(self, state: _AssignState) -> list:
+        if state.next_index < len(self._open_aliases):
+            alias = self._open_aliases[state.next_index]
+            children = []
+            for interface in self._candidates_for(alias):
+                children.append(
+                    _AssignState(
+                        assignment=state.assignment + ((alias, interface),),
+                        next_index=state.next_index + 1,
+                        depth=state.depth + 1,
+                    )
+                )
+            return children
+        # Assignment complete: branch over acyclic binding choices.
+        assignment = dict(state.assignment)
+        if not check_feasibility(self.query, assignment).feasible:
+            return []
+        children = []
+        for choice in enumerate_binding_choices(
+            self.query, assignment, limit=self.config.binding_choice_limit
+        ):
+            builder = TopologyBuilder.initial(self.query, assignment, choice)
+            children.append(
+                _TopoState(
+                    builder=builder,
+                    assignment=state.assignment,
+                    depth=state.depth + 1,
+                )
+            )
+        return children
+
+    # -- phase 2 ----------------------------------------------------------------
+
+    def _expand_topology(self, state: _TopoState) -> list:
+        children = []
+        moves = self.config.phase2.order_moves(
+            state.builder, state.builder.available_moves()
+        )
+        for move in moves:
+            if move.kind == "merge":
+                methods = list(self.config.join_method_options)
+                if self.config.auto_join_methods:
+                    methods.extend(self._suggested_methods(state.builder, move))
+                    # Deduplicate while keeping order.
+                    unique: list[JoinMethodSpec] = []
+                    for method in methods:
+                        if method not in unique:
+                            unique.append(method)
+                    methods = unique
+                applied = [
+                    state.builder.apply(replace(move, method=method))
+                    for method in methods
+                ]
+            else:
+                applied = [state.builder.apply(move)]
+            for builder in applied:
+                if builder.is_complete:
+                    plan = builder.finish()
+                    assignment_key = tuple(
+                        (alias, iface.name) for alias, iface in state.assignment
+                    )
+                    signature = (assignment_key, topology_signature(plan))
+                    if signature in self._seen_topologies:
+                        continue
+                    self._seen_topologies.add(signature)
+                    self._plan_refs.append(plan)
+                    children.append(
+                        _FetchState(
+                            plan=plan,
+                            assignment=state.assignment,
+                            fetches=self._initial_fetches(plan),
+                            depth=state.depth + 1,
+                        )
+                    )
+                else:
+                    # Different move orders reach identical partial DAGs;
+                    # enqueue one representative per partial signature.
+                    assignment_key = tuple(
+                        (alias, iface.name) for alias, iface in state.assignment
+                    )
+                    partial = (assignment_key, topology_signature(builder.plan))
+                    if partial in self._seen_partial:
+                        continue
+                    self._seen_partial.add(partial)
+                    children.append(
+                        _TopoState(
+                            builder=builder,
+                            assignment=state.assignment,
+                            depth=state.depth + 1,
+                        )
+                    )
+        return children
+
+    def _suggested_methods(self, builder, move) -> list[JoinMethodSpec]:
+        """Join methods suggested by the merged branches' scoring shapes."""
+        from repro.core.heuristics import suggest_join_methods
+        from repro.plans.nodes import ServiceNode
+
+        leaves = builder.leaves()
+        assert move.stream is not None and move.other is not None
+
+        def terminal_interface(leaf_id: str):
+            node_id = leaf_id
+            while True:
+                node = builder.plan.node(node_id)
+                if isinstance(node, ServiceNode):
+                    return node.interface
+                parents = builder.plan.parents(node_id)
+                if not parents:
+                    return None
+                node_id = parents[0]
+
+        left = terminal_interface(leaves[move.stream])
+        right = terminal_interface(leaves[move.other])
+        if left is None or right is None:
+            return []
+        return suggest_join_methods(
+            left.scoring, right.scoring, chunk_size_x=left.chunk_size
+        )
+
+    @staticmethod
+    def _initial_fetches(plan: QueryPlan) -> tuple[tuple[str, int], ...]:
+        return tuple(
+            (node.alias, 1)
+            for node in plan.service_nodes()
+            if node.interface is not None and node.interface.is_chunked
+        )
+
+    # -- phase 3 ----------------------------------------------------------------
+
+    def _annotations(self, state: _FetchState) -> PlanAnnotations:
+        return annotate(
+            state.plan,
+            self.query,
+            fetches=dict(state.fetches),
+            estimator=self.estimator,
+        )
+
+    def _estimated_results(self, state: _FetchState) -> float:
+        return self._annotations(state).estimated_results(state.plan)
+
+    def _expand_fetch(self, state: _FetchState) -> list:
+        if self._estimated_results(state) >= self.k:
+            return []  # leaf: handled by _is_leaf
+        if state.depth >= self.config.max_phase3_depth:
+            return []
+        proposals = self.config.phase3.propose(
+            state.plan,
+            self.query,
+            dict(state.fetches),
+            self.estimator,
+            self.config.metric,
+            self.k,
+        )
+        children = []
+        for vector in proposals:
+            key = (id(state.plan), tuple(sorted(vector.items())))
+            if key in self._seen_fetches:
+                continue
+            self._seen_fetches.add(key)
+            children.append(
+                _FetchState(
+                    plan=state.plan,
+                    assignment=state.assignment,
+                    fetches=tuple(sorted(vector.items())),
+                    depth=state.depth + 1,
+                )
+            )
+        return children
+
+    # -- B&B callbacks --------------------------------------------------------------
+
+    def _expand(self, state) -> list:
+        if isinstance(state, _AssignState):
+            return self._expand_assign(state)
+        if isinstance(state, _TopoState):
+            return self._expand_topology(state)
+        return self._expand_fetch(state)
+
+    def _is_leaf(self, state) -> bool:
+        if not isinstance(state, _FetchState):
+            return False
+        if self._estimated_results(state) >= self.k:
+            return True
+        if state.depth >= self.config.max_phase3_depth:
+            return True
+        # Saturated: no proposal can move any factor.
+        return not self.config.phase3.propose(
+            state.plan,
+            self.query,
+            dict(state.fetches),
+            self.estimator,
+            self.config.metric,
+            self.k,
+        )
+
+    def _leaf_value(self, state: _FetchState):
+        annotations = self._annotations(state)
+        cost = self.config.metric.cost(state.plan, annotations)
+        results = annotations.estimated_results(state.plan)
+        candidate = PlanCandidate(
+            plan=state.plan,
+            fetches=dict(state.fetches),
+            annotations=annotations,
+            cost=cost,
+            estimated_results=results,
+            satisfies_k=results >= self.k,
+            assignment=dict(state.assignment),
+        )
+        return cost, candidate, candidate.satisfies_k
+
+    def _lower_bound(self, state) -> float:
+        metric = self.config.metric
+        if isinstance(state, _AssignState):
+            fixed = [
+                atom.interface
+                for atom in self.query.atoms
+                if atom.interface is not None
+            ]
+            chosen = [iface for _, iface in state.assignment]
+            return metric.interfaces_lower_bound(fixed + chosen)
+        if isinstance(state, _TopoState):
+            annotations = annotate(
+                state.builder.plan,
+                self.query,
+                fetches={},
+                estimator=self.estimator,
+            )
+            return metric.partial_cost(state.builder.plan, annotations)
+        annotations = self._annotations(state)
+        return metric.cost(state.plan, annotations)
+
+    @staticmethod
+    def _depth(state) -> int:
+        return state.depth
+
+    # -- entry points -----------------------------------------------------------------
+
+    def greedy_candidate(self) -> PlanCandidate | None:
+        """Follow the heuristics' first choice to one complete candidate.
+
+        This is the pure-heuristic construction the chapter describes as
+        "heuristics for choosing the branches so as to build efficient
+        plans quickly"; its result seeds the branch-and-bound incumbent.
+        """
+        root = _AssignState(assignment=(), next_index=0, depth=0)
+        stack = [root]
+        steps = 0
+        while stack:
+            steps += 1
+            if steps > 10_000:  # pragma: no cover - defensive
+                raise OptimizationError("greedy dive failed to terminate")
+            state = stack.pop()
+            if isinstance(state, _FetchState) and self._is_leaf(state):
+                _, candidate, _ = self._leaf_value(state)
+                return candidate
+            children = self._expand(state)
+            # Depth-first along the heuristics' first choice, backtracking
+            # out of dead ends (e.g. a fork whose merge is degenerate).
+            stack.extend(reversed(children))
+        return None
+
+    def optimize(self) -> OptimizationOutcome:
+        """Run the three-phase branch-and-bound search."""
+        engine = BranchAndBound(
+            expand=self._expand,
+            is_leaf=self._is_leaf,
+            leaf_value=self._leaf_value,
+            lower_bound=self._lower_bound,
+            prune=self.config.prune,
+            depth_of=self._depth,
+        )
+        initial = None
+        if self.config.warm_start:
+            seed = self.greedy_candidate()
+            if seed is not None:
+                initial = (seed.cost, seed, seed.satisfies_k)
+        # The warm start consumed dedup state; reset so the search space
+        # is complete.
+        self._seen_topologies.clear()
+        self._seen_partial.clear()
+        self._seen_fetches.clear()
+        self._plan_refs.clear()
+        root = _AssignState(assignment=(), next_index=0, depth=0)
+        outcome = engine.run(root, budget=self.config.budget, initial=initial)
+        return OptimizationOutcome(
+            best=outcome.payload,
+            stats=outcome.stats,
+            incumbents=outcome.incumbents,
+        )
+
+
+def optimize_query(
+    query: CompiledQuery, config: OptimizerConfig | None = None
+) -> PlanCandidate:
+    """Optimize and return the best candidate, raising when none exists."""
+    outcome = Optimizer(query, config).optimize()
+    if outcome.best is None:
+        raise OptimizationError("no feasible plan found")
+    return outcome.best

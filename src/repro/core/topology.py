@@ -1,0 +1,475 @@
+"""Phase 2: incremental construction of query-plan topologies.
+
+Section 5.4: "The construction of all possible DAGs for a query plan can
+be done incrementally.  It starts by placing after the initial node some
+node corresponding to a reachable service, and then by progressively
+adding nodes corresponding to services that are reachable by virtue of the
+user input variables and the services already included in the query.
+Nodes can be added in series or in parallel with respect to already
+included nodes, compatibly with the constraints enforced by I/O
+dependencies."
+
+The :class:`TopologyBuilder` is that incremental constructor.  Following
+the chapter's wording literally, a service can be **attached after any
+already-placed node** whose upstream flow covers its pipe dependencies:
+
+* attaching after the input node *starts* a new branch (a source service
+  bound only by constants/INPUT variables);
+* attaching after a branch's current leaf *extends* it serially (a pipe
+  join when the service is piped from that branch, a serial composition
+  with a join-filter selection otherwise);
+* attaching after an interior node *forks* a parallel branch at that
+  point (Fig. 2's Flight/Hotel branches both fed by the Conference/
+  Weather prefix).
+
+The open branches are exactly the DAG's current *leaves*; a **merge** move
+joins two leaves with an explicit parallel-join node carrying the join
+predicates that cross them.  Merges that would be degenerate (one branch
+subsuming the other) or cost-dominated (re-combining branches that share a
+prefix one side carries gratuitously) are filtered — see
+:meth:`TopologyBuilder.available_moves`.
+
+Enumeration deduplicates complete plans by :func:`topology_signature` — a
+cost-relevant canonical form under which serial chains that differ only in
+the order of adjacent *unpiped* services coincide (their annotations,
+hence costs, are identical under every metric).  With that
+canonicalisation the running example yields exactly the four alternative
+topologies of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import PlanError
+from repro.joins.spec import JoinMethodSpec
+from repro.model.service import ServiceInterface
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    SelectionNode,
+    ServiceNode,
+)
+from repro.plans.plan import QueryPlan
+from repro.query.ast import JoinPredicate
+from repro.query.compile import CompiledQuery
+from repro.query.feasibility import BindingChoice, ProviderKind
+
+__all__ = [
+    "Move",
+    "TopologyBuilder",
+    "enumerate_topologies",
+    "topology_signature",
+]
+
+InterfaceAssignment = Mapping[str, ServiceInterface]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One construction step.
+
+    ``kind`` is the flavour the heuristics rank:
+
+    * ``start``  — attach a source service after the input node;
+    * ``extend`` — attach a service after a current leaf (serial);
+    * ``fork``   — attach a service after an interior node (parallel
+      branch at that point);
+    * ``merge``  — join two leaves with a parallel-join node.
+    """
+
+    kind: str  # "start" | "extend" | "fork" | "merge"
+    alias: str | None = None
+    node: str | None = None  # attach point for start/extend/fork
+    stream: int | None = None  # leaf indexes for merge
+    other: int | None = None
+    method: JoinMethodSpec | None = None
+
+    def __str__(self) -> str:
+        if self.kind == "merge":
+            return f"merge(#{self.stream}, #{self.other}, {self.method})"
+        return f"{self.kind}({self.alias} after {self.node})"
+
+
+@dataclass
+class TopologyBuilder:
+    """Mutable-by-copy incremental plan constructor (one search-tree node)."""
+
+    query: CompiledQuery
+    assignment: Mapping[str, ServiceInterface]
+    choice: BindingChoice
+    plan: QueryPlan = field(default_factory=QueryPlan)
+    placed: frozenset[str] = frozenset()
+    realized: frozenset[JoinPredicate] = frozenset()
+    _counter: int = 0
+
+    @classmethod
+    def initial(
+        cls,
+        query: CompiledQuery,
+        assignment: Mapping[str, ServiceInterface],
+        choice: BindingChoice,
+    ) -> "TopologyBuilder":
+        plan = QueryPlan()
+        plan.add(InputNode())
+        return cls(query=query, assignment=assignment, choice=choice, plan=plan)
+
+    # -- introspection ----------------------------------------------------------
+
+    def leaves(self) -> tuple[str, ...]:
+        """Current open branches: nodes with no children (input excluded
+        once construction has begun)."""
+        out = []
+        for node_id in self.plan.nodes:
+            if self.plan.children(node_id):
+                continue
+            if isinstance(self.plan.node(node_id), InputNode) and self.placed:
+                continue
+            out.append(node_id)
+        return tuple(sorted(out))
+
+    def upstream_aliases(self, node_id: str) -> frozenset[str]:
+        """Aliases whose tuples flow through ``node_id`` (inclusive)."""
+        seen: set[str] = set()
+        aliases: set[str] = set()
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            node = self.plan.node(current)
+            if isinstance(node, ServiceNode):
+                aliases.add(node.alias)
+            stack.extend(self.plan.parents(current))
+        return frozenset(aliases)
+
+    @property
+    def is_complete(self) -> bool:
+        if self.placed != frozenset(self.query.aliases):
+            return False
+        return len(self.leaves()) == 1
+
+    def dependencies(self, alias: str) -> frozenset[str]:
+        return self.choice.dependencies_over(self.query.aliases)[alias]
+
+    def interface_of(self, alias: str) -> ServiceInterface:
+        atom = self.query.atom(alias)
+        if atom.interface is not None:
+            return atom.interface
+        return self.assignment[alias]
+
+    # -- move generation ----------------------------------------------------------
+
+    def available_moves(self) -> list[Move]:
+        """All legal construction steps from this state."""
+        moves: list[Move] = []
+        leaves = self.leaves()
+        leaf_set = set(leaves)
+        unplaced = [a for a in self.query.aliases if a not in self.placed]
+
+        for alias in unplaced:
+            deps = self.dependencies(alias)
+            for node_id in self.plan.nodes:
+                if isinstance(self.plan.node(node_id), InputNode):
+                    if not deps:
+                        moves.append(Move("start", alias=alias, node=node_id))
+                    continue
+                if not deps <= self.upstream_aliases(node_id):
+                    continue
+                kind = "extend" if node_id in leaf_set else "fork"
+                if kind == "fork" and not deps:
+                    # Branching an unpiped service off an interior node is
+                    # never cheaper than starting it from the input.
+                    continue
+                moves.append(Move(kind, alias=alias, node=node_id))
+
+        for i, j in itertools.combinations(range(len(leaves)), 2):
+            left = self.upstream_aliases(leaves[i])
+            right = self.upstream_aliases(leaves[j])
+            if left <= right or right <= left:
+                continue  # degenerate merge: one branch subsumes the other
+            shared = left & right
+            if shared and not self._crossing_joins(left, right):
+                # Overlapping branches with no crossing predicate join
+                # purely on shared provenance.  Legitimate when both
+                # branches *need* the shared prefix (a star query's
+                # satellites); a dominated re-combination when one branch
+                # carries a shared service gratuitously — the filter that
+                # keeps the running example at its four Fig. 9 topologies.
+                if not (
+                    self._prefix_justified(left, shared)
+                    and self._prefix_justified(right, shared)
+                ):
+                    continue
+            moves.append(
+                Move("merge", stream=i, other=j, method=JoinMethodSpec())
+            )
+        return moves
+
+    def _crossing_joins(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> tuple[JoinPredicate, ...]:
+        """Unrealised join predicates crossing the two alias sets."""
+        union = left | right
+        return tuple(
+            join
+            for join in self.query.joins
+            if join not in self.realized
+            and join.left.alias in union
+            and join.right.alias in union
+            and not join.aliases <= left
+            and not join.aliases <= right
+        )
+
+    def _prefix_justified(
+        self, side: frozenset[str], shared: frozenset[str]
+    ) -> bool:
+        """Every shared alias is a (transitive) pipe ancestor of an extra."""
+        deps = self.choice.dependencies_over(self.query.aliases)
+
+        def ancestors(alias: str) -> frozenset[str]:
+            seen: set[str] = set()
+            stack = list(deps[alias])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(deps[node])
+            return frozenset(seen)
+
+        extras = side - shared
+        return all(
+            any(alias in ancestors(extra) for extra in extras) for alias in shared
+        )
+
+    # -- application --------------------------------------------------------------
+
+    def apply(self, move: Move) -> "TopologyBuilder":
+        """Return a new builder with ``move`` applied (self is untouched)."""
+        child = replace(
+            self,
+            plan=self.plan.copy(),
+            placed=self.placed,
+            realized=self.realized,
+        )
+        if move.kind in ("start", "extend", "fork"):
+            assert move.node is not None
+            child._attach(move.alias or "", move.node)
+        elif move.kind == "merge":
+            assert move.stream is not None and move.other is not None
+            child._merge(move.stream, move.other, move.method or JoinMethodSpec())
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"unknown move kind {move.kind!r}")
+        return child
+
+    def _next_id(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}:{self._counter}"
+
+    def _service_node(self, alias: str) -> ServiceNode:
+        interface = self.interface_of(alias)
+        providers = tuple(p for p in self.choice.providers if p.alias == alias)
+        # Selections consumed as input bindings (equality or range, e.g.
+        # "Openings.Date > INPUT3") are applied server-side by the service
+        # and are already reflected in its average-cardinality statistic,
+        # so they are not pushed client-side filters.
+        binding_sels = {
+            id(p.selection)
+            for p in providers
+            if p.kind is ProviderKind.CONSTANT and p.selection is not None
+        }
+        pushed = tuple(
+            sel
+            for sel in self.query.selections_on(alias)
+            if id(sel) not in binding_sels
+        )
+        return ServiceNode(
+            node_id=f"svc:{alias}",
+            alias=alias,
+            interface=interface,
+            providers=providers,
+            pushed_selections=pushed,
+        )
+
+    def _consumed_joins(self, alias: str) -> frozenset[JoinPredicate]:
+        """Join predicates realised by this alias's pipe bindings."""
+        return frozenset(
+            p.join
+            for p in self.choice.providers
+            if p.alias == alias and p.join is not None
+        )
+
+    def _attach(self, alias: str, parent: str) -> None:
+        """Append ``alias``'s service (plus newly evaluable join-filter
+        selections) after node ``parent``."""
+        node = self.plan.add(self._service_node(alias))
+        self.plan.connect(parent, node)
+        head = node.node_id
+        aliases = self.upstream_aliases(parent) | {alias}
+        self.placed = self.placed | {alias}
+        self.realized = self.realized | self._consumed_joins(alias)
+        residual = tuple(
+            j
+            for j in self.query.joins_involving(alias)
+            if j not in self.realized and j.aliases <= aliases
+        )
+        if residual:
+            sel = self.plan.add(
+                SelectionNode(node_id=self._next_id("sel"), join_filters=residual)
+            )
+            self.plan.connect(head, sel)
+            self.realized = self.realized | frozenset(residual)
+
+    def _merge(self, i: int, j: int, method: JoinMethodSpec) -> None:
+        leaves = self.leaves()
+        left_head, right_head = leaves[i], leaves[j]
+        left = self.upstream_aliases(left_head)
+        right = self.upstream_aliases(right_head)
+        predicates = self._crossing_joins(left, right)
+        node = self.plan.add(
+            ParallelJoinNode(
+                node_id=self._next_id("join"),
+                predicates=predicates,
+                method=method,
+            )
+        )
+        self.plan.connect(left_head, node)
+        self.plan.connect(right_head, node)
+        self.realized = self.realized | frozenset(predicates)
+
+    def finish(self) -> QueryPlan:
+        """Connect the single remaining leaf to the output and validate."""
+        if not self.is_complete:
+            raise PlanError("cannot finish an incomplete topology")
+        plan = self.plan.copy()
+        head = self.leaves()[0]
+        leftovers = tuple(j for j in self.query.joins if j not in self.realized)
+        if leftovers:
+            sel = SelectionNode(node_id="sel:final", join_filters=leftovers)
+            plan.add(sel)
+            plan.connect(head, sel)
+            head = sel.node_id
+        plan.add(OutputNode())
+        plan.connect(head, plan.output_node)
+        return plan.validate()
+
+
+def topology_signature(plan: QueryPlan) -> tuple:
+    """Cost-relevant canonical signature of a plan topology.
+
+    Two plans with the same signature have identical annotations (hence
+    identical costs under every metric of Section 5.1): the signature
+    records, for every service node, its interface, whether it is piped,
+    and — only when its calls depend on upstream flow (piped consumers) —
+    the set of upstream aliases; plus the branch structure of parallel
+    joins and the upstream sets of selection nodes.
+    """
+
+    upstream: dict[str, frozenset[str]] = {}
+    for node_id in plan.topological_order():
+        acc: set[str] = set()
+        for parent in plan.parents(node_id):
+            acc |= upstream[parent]
+            parent_node = plan.node(parent)
+            if isinstance(parent_node, ServiceNode):
+                acc.add(parent_node.alias)
+        upstream[node_id] = frozenset(acc)
+
+    services = []
+    for node in plan.service_nodes():
+        piped = bool(node.pipe_sources)
+        assert node.interface is not None
+        services.append(
+            (
+                node.alias,
+                node.interface.name,
+                piped,
+                upstream[node.node_id] if piped else None,
+            )
+        )
+    joins = []
+    for node in plan.join_nodes():
+        left, right = plan.parents(node.node_id)
+        branches = frozenset(
+            (
+                upstream[left] | _own_alias(plan, left),
+                upstream[right] | _own_alias(plan, right),
+            )
+        )
+        joins.append(
+            (
+                frozenset(str(p) for p in node.predicates),
+                branches,
+                node.method.label,
+            )
+        )
+    selections = []
+    for node in plan.selection_nodes():
+        predicates = frozenset(
+            [str(p) for p in node.selections] + [str(p) for p in node.join_filters]
+        )
+        selections.append((predicates, upstream[node.node_id]))
+
+    return (
+        tuple(sorted(services)),
+        tuple(sorted(joins, key=str)),
+        tuple(sorted(selections, key=str)),
+    )
+
+
+def _own_alias(plan: QueryPlan, node_id: str) -> frozenset[str]:
+    node = plan.node(node_id)
+    if isinstance(node, ServiceNode):
+        return frozenset({node.alias})
+    return frozenset()
+
+
+def enumerate_topologies(
+    query: CompiledQuery,
+    assignment: Mapping[str, ServiceInterface],
+    choice: BindingChoice,
+    method_options: Sequence[JoinMethodSpec] = (JoinMethodSpec(),),
+    limit: int | None = None,
+) -> Iterator[QueryPlan]:
+    """Yield all distinct complete topologies (deduplicated by signature).
+
+    ``method_options`` lists the join-method specifications tried at every
+    merge (the default is the sensible parallel default, merge-scan with
+    triangular completion); passing several multiplies the space
+    accordingly.
+    """
+    seen: set[tuple] = set()
+    seen_partial: set[tuple] = set()
+    produced = 0
+
+    def recurse(state: TopologyBuilder) -> Iterator[QueryPlan]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if state.is_complete:
+            plan = state.finish()
+            signature = topology_signature(plan)
+            if signature not in seen:
+                seen.add(signature)
+                produced += 1
+                yield plan
+            return
+        # Different move orders reach identical partial DAGs (attaching X
+        # then Y vs. Y then X); expanding one representative suffices.
+        partial = topology_signature(state.plan)
+        if partial in seen_partial:
+            return
+        seen_partial.add(partial)
+        for move in state.available_moves():
+            if move.kind == "merge":
+                for method in method_options:
+                    yield from recurse(state.apply(replace(move, method=method)))
+            else:
+                yield from recurse(state.apply(move))
+
+    yield from recurse(TopologyBuilder.initial(query, assignment, choice))

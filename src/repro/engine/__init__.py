@@ -1,0 +1,26 @@
+"""Execution engine: virtual time, call logging, clocks, plan execution."""
+
+from repro.engine.clock import JoinClock
+from repro.engine.events import CallLog, CallRecord, VirtualClock
+from repro.engine.liquid import LiquidQuerySession
+from repro.engine.streaming import StreamedJoin, stream_binary_join
+from repro.engine.executor import (
+    ExecutionResult,
+    NodeRunStats,
+    PlanExecutor,
+    execute_plan,
+)
+
+__all__ = [
+    "LiquidQuerySession",
+    "StreamedJoin",
+    "stream_binary_join",
+    "JoinClock",
+    "CallLog",
+    "CallRecord",
+    "VirtualClock",
+    "ExecutionResult",
+    "NodeRunStats",
+    "PlanExecutor",
+    "execute_plan",
+]

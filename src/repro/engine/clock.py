@@ -1,0 +1,98 @@
+"""Clocks: units regulating the inter-service call ratio.
+
+Section 4.3.2 closes with a pointer: "In Chapter 12 we show units for
+controlling the execution strategy, called clocks, whose function is to
+regulate service calls based upon the inter-service ratio."  This module
+implements that controller as an extension feature: a :class:`JoinClock`
+tracks the calls issued to the two sides of a join, decides which side is
+due next so the realised ratio follows a target ``r = r1/r2``, and can be
+*retuned* at run time (the "variable inter-service ratio" of the top-k
+methods): changing the target mid-execution smoothly shifts future calls
+without replaying the past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.errors import ExecutionError
+from repro.joins.strategies import Axis, VariableRatioSchedule
+
+__all__ = ["JoinClock"]
+
+
+@dataclass
+class JoinClock:
+    """Controller keeping ``calls_x : calls_y`` close to a target ratio.
+
+    The clock is deliberately stateless about *time*: it only counts calls
+    (ticks).  ``next_axis()`` returns the side that is furthest behind its
+    quota; :meth:`tick` records the call.  ``retune`` replaces the target
+    ratio, and the controller converges to the new ratio over subsequent
+    ticks (history is kept, so the realised cumulative ratio approaches the
+    new target asymptotically — matching how a live engine would retune).
+    """
+
+    ratio: Fraction = Fraction(1, 1)
+    calls_x: int = 0
+    calls_y: int = 0
+    _history: list[Axis] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise ExecutionError("clock ratio must be positive")
+
+    def next_axis(self) -> Axis:
+        """The side due next under the current target ratio.
+
+        Uses the same cross-multiplication rule as the merge-scan
+        schedule: call X while ``calls_x / calls_y <= r1 / r2``.
+        """
+        r1, r2 = self.ratio.numerator, self.ratio.denominator
+        if self.calls_x * r2 <= self.calls_y * r1:
+            return Axis.X
+        return Axis.Y
+
+    def tick(self, axis: Axis | None = None) -> Axis:
+        """Record one call (to ``axis``, or to the due side) and return it."""
+        chosen = axis or self.next_axis()
+        if chosen is Axis.X:
+            self.calls_x += 1
+        else:
+            self.calls_y += 1
+        self._history.append(chosen)
+        return chosen
+
+    def retune(self, ratio: Fraction) -> None:
+        """Change the target inter-service ratio at run time."""
+        if ratio <= 0:
+            raise ExecutionError("clock ratio must be positive")
+        self.ratio = ratio
+
+    @property
+    def realised_ratio(self) -> Fraction | None:
+        """Cumulative calls ratio so far, or None before any Y call."""
+        if self.calls_y == 0:
+            return None
+        return Fraction(self.calls_x, self.calls_y)
+
+    @property
+    def history(self) -> tuple[Axis, ...]:
+        return tuple(self._history)
+
+    def as_schedule(self) -> VariableRatioSchedule:
+        """Expose the clock as an invocation schedule for join executors.
+
+        The schedule's chooser consults (and ticks) this clock, so
+        retuning the clock while a join is running changes the join's
+        call pattern from that point on.
+        """
+
+        def chooser(calls_x: int, calls_y: int) -> Axis:
+            # Trust the executor's counts: they include schedule priming.
+            self.calls_x = calls_x
+            self.calls_y = calls_y
+            return self.tick()
+
+        return VariableRatioSchedule(chooser=chooser)

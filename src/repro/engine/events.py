@@ -1,0 +1,93 @@
+"""Virtual time and call accounting for simulated execution.
+
+The paper's cost metrics are defined over service request-response times.
+Executing against live Web services would make every measurement
+irreproducible, so the engine runs on **virtual time**: each simulated
+request-response advances a :class:`VirtualClock` by a deterministic,
+seeded latency draw, and every call is appended to a :class:`CallLog`.
+Measured metrics (execution time, bottleneck, time-to-screen) are then
+exact functions of the log, reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+
+__all__ = ["VirtualClock", "CallRecord", "CallLog"]
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically advancing virtual timestamp."""
+
+    now: float = 0.0
+
+    def advance(self, delta: float) -> float:
+        """Advance by ``delta`` (must be non-negative); returns the new time."""
+        if delta < 0:
+            raise ExecutionError("cannot advance the clock backwards")
+        self.now += delta
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move forward to ``timestamp`` if it is later than now."""
+        if timestamp > self.now:
+            self.now = timestamp
+        return self.now
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One simulated request-response round trip."""
+
+    service: str
+    alias: str
+    chunk_index: int
+    started_at: float
+    latency: float
+    tuples: int
+
+    @property
+    def finished_at(self) -> float:
+        return self.started_at + self.latency
+
+
+@dataclass
+class CallLog:
+    """Append-only log of simulated service calls."""
+
+    records: list[CallRecord] = field(default_factory=list)
+
+    def record(self, record: CallRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def calls_to(self, service: str) -> int:
+        return sum(1 for r in self.records if r.service == service)
+
+    def calls_by_alias(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.alias] = out.get(record.alias, 0) + 1
+        return out
+
+    def total_calls(self) -> int:
+        return len(self.records)
+
+    def total_latency(self) -> float:
+        return sum(r.latency for r in self.records)
+
+    def busy_time(self, alias: str) -> float:
+        """Total request-response time spent by one alias's service."""
+        return sum(r.latency for r in self.records if r.alias == alias)
+
+    def tuples_transferred(self, alias: str | None = None) -> int:
+        return sum(
+            r.tuples
+            for r in self.records
+            if alias is None or r.alias == alias
+        )

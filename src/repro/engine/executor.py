@@ -1,0 +1,394 @@
+"""Dataflow execution of fully instantiated query plans (Section 3.2).
+
+The :class:`PlanExecutor` runs a validated plan against a
+:class:`~repro.services.simulated.ServicePool`: it walks the DAG in
+topological order, materialising each node's composite-tuple output —
+
+* the **input node** emits the single user input tuple;
+* a **service node** invokes its interface once per distinct input
+  binding (invocations are memoised, so serial compositions that pipe no
+  attributes cost one call batch), draws its fetch factor's worth of
+  chunks, filters results through the alias's selection predicates with
+  joint-witness semantics, and composes survivors with the upstream
+  composite;
+* a **selection node** filters composites through its residual predicates;
+* a **parallel-join node** matches the two branch outputs — composites
+  must agree on shared aliases (tuples stemming from the same upstream
+  row) and satisfy the join predicates; a triangular completion strategy
+  restricts the candidate pairs to the most promising half of the rank
+  Cartesian product, mirroring the annotation model;
+* the **output node** applies the final joint-witness semantic check over
+  the *entire* predicate set (the Section 3.1 semantics is defined over
+  one witness mapping for all predicates, which staged evaluation alone
+  cannot guarantee), sorts by the global ranking function, and returns the
+  best ``k`` combinations.
+
+Execution is measured on virtual time: every service call advances the
+pool's clock and appends to its log; the executor derives per-node busy
+times and a critical-path *measured execution time* comparable with the
+optimizer's estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.annotate import pipe_join_selectivity
+from repro.engine.events import CallLog
+from repro.errors import ExecutionError
+from repro.joins.spec import CompletionStrategy
+from repro.model.tuples import CompositeTuple, RankingFunction
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    SelectionNode,
+    ServiceNode,
+)
+from repro.plans.plan import QueryPlan
+from repro.query.ast import Comparator, SelectionPredicate
+from repro.query.compile import CompiledQuery
+from repro.query.feasibility import ProviderKind
+from repro.query.predicates import satisfies, tuple_satisfies_selections
+from repro.stats.estimate import Estimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.services.simulated import ServicePool
+
+__all__ = ["NodeRunStats", "ExecutionResult", "PlanExecutor", "execute_plan"]
+
+
+@dataclass
+class NodeRunStats:
+    """Actual (not estimated) tuple flow and call counts of one node."""
+
+    tin: int = 0
+    tout: int = 0
+    calls: int = 0
+    busy_time: float = 0.0
+    #: Latency of the node's first request-response (0 for non-services).
+    first_call_latency: float = 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one plan execution."""
+
+    tuples: list[CompositeTuple]
+    log: CallLog
+    node_stats: dict[str, NodeRunStats]
+    execution_time: float
+    #: Measured time until a first complete combination could exist: the
+    #: critical path of per-node *first-call* latencies (compare with the
+    #: TimeToScreenMetric estimate).
+    time_to_screen: float = 0.0
+    total_candidates: int = 0
+
+    @property
+    def total_calls(self) -> int:
+        return self.log.total_calls()
+
+    def calls_by_alias(self) -> dict[str, int]:
+        return self.log.calls_by_alias()
+
+
+class PlanExecutor:
+    """Executes one plan over a service pool.
+
+    Parameters
+    ----------
+    plan:
+        A validated plan.
+    query:
+        The compiled query the plan implements (predicates, ranking, k).
+    pool:
+        Simulated-service pool providing invocations, clock, and log.
+    inputs:
+        Bindings for the query's INPUT variables.
+    fetches:
+        Fetch factors per chunked-service alias (default 1 each).
+    k:
+        Result-list cut-off; defaults to the query's ``k``.
+    final_semantic_check:
+        Re-evaluate the full predicate set on every output combination
+        with joint-witness semantics (recommended; see module docstring).
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        query: CompiledQuery,
+        pool: "ServicePool",
+        inputs: Mapping[str, Any],
+        fetches: Mapping[str, int] | None = None,
+        k: int | None = None,
+        final_semantic_check: bool = True,
+    ) -> None:
+        self.plan = plan
+        self.query = query
+        self.pool = pool
+        self.inputs = dict(inputs)
+        self.fetches = dict(fetches or {})
+        self.k = query.k if k is None else k
+        self.final_semantic_check = final_semantic_check
+        self._invocation_cache: dict[tuple, list] = {}
+        self._estimator = Estimator(query)
+
+    # -- public entry point ------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        outputs: dict[str, list[CompositeTuple]] = {}
+        stats: dict[str, NodeRunStats] = {}
+        candidates = 0
+
+        for node_id in self.plan.topological_order():
+            node = self.plan.node(node_id)
+            parents = self.plan.parents(node_id)
+            before_calls = self.pool.log.total_calls()
+            before_busy = self.pool.log.total_latency()
+
+            if isinstance(node, InputNode):
+                result = [CompositeTuple({}, 0.0)]
+                tin = 0
+            elif isinstance(node, ServiceNode):
+                upstream = outputs[parents[0]]
+                tin = len(upstream)
+                result = self._run_service(node, upstream)
+            elif isinstance(node, SelectionNode):
+                upstream = outputs[parents[0]]
+                tin = len(upstream)
+                result = [
+                    comp
+                    for comp in upstream
+                    if satisfies(
+                        comp,
+                        selections=node.selections,
+                        joins=node.join_filters,
+                        inputs=self.inputs,
+                    )
+                ]
+            elif isinstance(node, ParallelJoinNode):
+                left = outputs[parents[0]]
+                right = outputs[parents[1]]
+                tin = len(left) * len(right)
+                result, pair_count = self._run_parallel_join(node, left, right)
+                candidates += pair_count
+            elif isinstance(node, OutputNode):
+                upstream = outputs[parents[0]]
+                tin = len(upstream)
+                result = self._finalise(upstream)
+            else:  # pragma: no cover - future node kinds
+                raise ExecutionError(f"cannot execute node kind {node.kind}")
+
+            outputs[node_id] = result
+            calls_made = self.pool.log.total_calls() - before_calls
+            first_latency = (
+                self.pool.log.records[before_calls].latency if calls_made else 0.0
+            )
+            stats[node_id] = NodeRunStats(
+                tin=tin,
+                tout=len(result),
+                calls=calls_made,
+                busy_time=self.pool.log.total_latency() - before_busy,
+                first_call_latency=first_latency,
+            )
+
+        execution_time = self._critical_path(stats)
+        time_to_screen = self._critical_path(stats, first_call_only=True)
+        return ExecutionResult(
+            tuples=outputs[self.plan.output_node.node_id],
+            log=self.pool.log,
+            node_stats=stats,
+            execution_time=execution_time,
+            time_to_screen=time_to_screen,
+            total_candidates=candidates,
+        )
+
+    # -- node runners ---------------------------------------------------------------
+
+    def _resolve_constant(self, selection: SelectionPredicate) -> Any:
+        return selection.resolved_operand(self.inputs)
+
+    def _source_value(self, composite: CompositeTuple, alias: str, path) -> Any:
+        """Value piped from an upstream component; nested paths use the
+        first group member as witness."""
+        component = composite.component(alias)
+        if path.is_nested:
+            members = component.group_members(path.group or "")
+            if not members:
+                return None
+            return members[0].get(path.name)
+        return component.values.get(path.name)
+
+    def _run_service(
+        self, node: ServiceNode, upstream: list[CompositeTuple]
+    ) -> list[CompositeTuple]:
+        assert node.interface is not None
+        alias = node.alias
+        factor = max(1, int(self.fetches.get(alias, 1)))
+        selections = list(self.query.selections_on(alias))
+        out: list[CompositeTuple] = []
+
+        for composite in upstream:
+            bindings: dict[str, Any] = {}
+            constraints: list[SelectionPredicate] = []
+            for provider in node.providers:
+                path_key = str(provider.path)
+                if provider.kind is ProviderKind.CONSTANT:
+                    assert provider.selection is not None
+                    value = self._resolve_constant(provider.selection)
+                    if provider.selection.comparator is Comparator.EQ:
+                        bindings[path_key] = value
+                    # Every constant provider is also a server-side
+                    # constraint: the EQ ones are satisfied by echo, but
+                    # including them makes the generator's rejection
+                    # sampling enforce the *joint* witness (one member
+                    # satisfying, e.g., both Country= and Date>).
+                    constraints.append(
+                        SelectionPredicate(
+                            provider.selection.attr,
+                            provider.selection.comparator,
+                            value,
+                        )
+                    )
+                    bindings.setdefault(path_key, None)
+                else:
+                    assert provider.source_alias is not None
+                    bindings[path_key] = self._source_value(
+                        composite, provider.source_alias, provider.source_path
+                    )
+            # Inputs constrained only by range predicates carry no single
+            # value; they are passed as None and the simulated service
+            # treats a None binding as "no preference" (no echo), leaving
+            # the server-side constraint filter to do the work.
+            for path in node.interface.input_paths():
+                bindings.setdefault(path, None)
+
+            tuples = self._fetch(node, bindings, constraints, factor)
+            for tup in tuples:
+                if selections and not tuple_satisfies_selections(
+                    tup, alias, selections, self.inputs
+                ):
+                    continue
+                components = dict(composite.components)
+                components[alias] = tup
+                score = self.query.ranking.score_composite(components)
+                out.append(CompositeTuple(components, score))
+        return out
+
+    def _fetch(
+        self,
+        node: ServiceNode,
+        bindings: Mapping[str, Any],
+        constraints: list[SelectionPredicate],
+        factor: int,
+    ) -> list:
+        """Invoke (memoised per distinct binding) and draw ``factor`` chunks."""
+        assert node.interface is not None
+        key = (
+            node.interface.name,
+            node.alias,
+            factor,
+            tuple(sorted((k, repr(v)) for k, v in bindings.items())),
+        )
+        if key in self._invocation_cache:
+            return self._invocation_cache[key]
+        invocation = self.pool.invoke(
+            node.interface.name,
+            bindings,
+            alias=node.alias,
+            constraints=constraints,
+            availability=pipe_join_selectivity(node, self.query, self._estimator),
+        )
+        tuples: list = []
+        for _ in range(factor):
+            chunk = invocation.next_chunk()
+            if chunk is None:
+                break
+            tuples.extend(chunk)
+        self._invocation_cache[key] = tuples
+        return tuples
+
+    def _run_parallel_join(
+        self,
+        node: ParallelJoinNode,
+        left: list[CompositeTuple],
+        right: list[CompositeTuple],
+    ) -> tuple[list[CompositeTuple], int]:
+        triangular = node.method.completion is CompletionStrategy.TRIANGULAR
+        n_left = max(1, len(left))
+        n_right = max(1, len(right))
+        out: list[CompositeTuple] = []
+        pair_count = 0
+        for i, lc in enumerate(left):
+            for j, rc in enumerate(right):
+                if triangular and (i / n_left + j / n_right) >= 1.0:
+                    # Outside the "most promising" diagonal half.
+                    continue
+                pair_count += 1
+                shared = set(lc.components) & set(rc.components)
+                if any(lc.components[a] != rc.components[a] for a in shared):
+                    continue
+                components = dict(lc.components)
+                components.update(rc.components)
+                if node.predicates and not satisfies(
+                    components, joins=node.predicates, inputs=self.inputs
+                ):
+                    continue
+                score = self.query.ranking.score_composite(components)
+                out.append(CompositeTuple(components, score))
+        out.sort(key=lambda c: -c.score)
+        return out, pair_count
+
+    def _finalise(self, upstream: list[CompositeTuple]) -> list[CompositeTuple]:
+        result = upstream
+        if self.final_semantic_check:
+            result = [
+                comp
+                for comp in result
+                if satisfies(
+                    comp,
+                    selections=self.query.selections,
+                    joins=self.query.joins,
+                    inputs=self.inputs,
+                )
+            ]
+        result = sorted(result, key=lambda c: -c.score)
+        if self.k is not None:
+            result = result[: self.k]
+        return result
+
+    # -- measurement -------------------------------------------------------------------
+
+    def _critical_path(
+        self, stats: Mapping[str, NodeRunStats], first_call_only: bool = False
+    ) -> float:
+        """Measured critical path: busy time (execution time) or first-call
+        latencies only (time to screen)."""
+        finish: dict[str, float] = {}
+        for node_id in self.plan.topological_order():
+            parents = self.plan.parents(node_id)
+            start = max((finish[p] for p in parents), default=0.0)
+            node_stats = stats[node_id]
+            step = (
+                node_stats.first_call_latency
+                if first_call_only
+                else node_stats.busy_time
+            )
+            finish[node_id] = start + step
+        return finish[self.plan.output_node.node_id]
+
+
+def execute_plan(
+    plan: QueryPlan,
+    query: CompiledQuery,
+    pool: "ServicePool",
+    inputs: Mapping[str, Any],
+    fetches: Mapping[str, int] | None = None,
+    k: int | None = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
+    return PlanExecutor(
+        plan=plan, query=query, pool=pool, inputs=inputs, fetches=fetches, k=k
+    ).run()

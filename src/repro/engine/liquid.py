@@ -1,0 +1,171 @@
+"""Liquid-query sessions: the user interactions Section 3.2 describes.
+
+"A user can either be satisfied with the first k answers, or ask for more
+results of the same query, or change the choice of input keywords and
+resubmit the same query, or turn to a different query...  Ranking
+functions ... can also be altered dynamically through the query
+interface."  (Details are deferred to the book's Chapter 13; this module
+implements the interaction loop as an extension feature.)
+
+A :class:`LiquidQuerySession` wraps an optimized plan and a service pool
+and supports:
+
+* :meth:`run` — execute and materialise the current result list;
+* :meth:`more` — raise every fetch factor and re-execute, returning a
+  strictly larger (or equal, when services are exhausted) result list;
+  invocation memoisation in the executor means already-fetched chunks are
+  regenerated identically, so earlier results remain stable;
+* :meth:`rerank` — change the ranking-function weights *without* new
+  service calls: cached combinations are re-scored and re-ordered;
+* :meth:`resubmit` — change INPUT bindings and re-execute (fresh
+  invocations, same plan);
+* a running :attr:`total_calls` account across the whole interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.optimizer import PlanCandidate
+from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.errors import ExecutionError
+from repro.model.tuples import CompositeTuple, RankingFunction
+from repro.query.compile import CompiledQuery
+
+__all__ = ["LiquidQuerySession"]
+
+
+@dataclass
+class LiquidQuerySession:
+    """Interactive result-list management over one optimized plan.
+
+    Parameters
+    ----------
+    candidate:
+        The optimizer's chosen plan (fetch vector included).
+    query:
+        The compiled query it implements.
+    pool:
+        Simulated-service pool; its seed fixes the session's data.
+    inputs:
+        Initial INPUT variable bindings.
+    growth:
+        Multiplicative fetch-factor step used by :meth:`more`.
+    """
+
+    candidate: PlanCandidate
+    query: CompiledQuery
+    pool: Any  # ServicePool (kept untyped to avoid an import cycle)
+    inputs: dict[str, Any]
+    growth: int = 2
+    _fetches: dict[str, int] = field(init=False)
+    _ranking: RankingFunction = field(init=False)
+    _last: ExecutionResult | None = field(init=False, default=None)
+    _raw: list[CompositeTuple] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.growth < 2:
+            raise ExecutionError("growth must be at least 2")
+        self._fetches = dict(self.candidate.fetch_vector())
+        self._ranking = self.query.ranking
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self) -> ExecutionResult:
+        executor = PlanExecutor(
+            plan=self.candidate.plan,
+            query=self.query,
+            pool=self.pool,
+            inputs=self.inputs,
+            fetches=self._fetches,
+            k=None,
+        )
+        # Materialise the *raw* (untruncated) list so re-ranking and
+        # "more" can reuse it; presentation applies k.
+        executor.k = 10**9
+        result = executor.run()
+        self._raw = list(result.tuples)
+        self._last = result
+        return result
+
+    def run(self, k: int | None = None) -> list[CompositeTuple]:
+        """Execute (or re-present) the current query; returns the top-k."""
+        if self._last is None:
+            self._execute()
+        return self._present(k)
+
+    def _present(self, k: int | None) -> list[CompositeTuple]:
+        limit = self.query.k if k is None else k
+        rescored = [
+            CompositeTuple(c.components, self._ranking.score_composite(c.components))
+            for c in self._raw
+        ]
+        rescored.sort(key=lambda c: -c.score)
+        return rescored[:limit]
+
+    # -- interactions --------------------------------------------------------------
+
+    def more(self, k: int | None = None) -> list[CompositeTuple]:
+        """Ask for more results: grow every fetch factor and re-execute.
+
+        "A plan execution can be continued, after an explicit user
+        request, thereby producing more tuples."
+        """
+        self._fetches = {
+            alias: factor * self.growth for alias, factor in self._fetches.items()
+        }
+        before = len(self._raw)
+        self._execute()
+        if len(self._raw) < before:  # pragma: no cover - defensive
+            raise ExecutionError("result list shrank while fetching more")
+        limit = self.query.k if k is None else k
+        return self._present(max(limit, before + 1) if self._raw else limit)
+
+    def rerank(
+        self, weights: Mapping[str, float], k: int | None = None
+    ) -> list[CompositeTuple]:
+        """Alter the ranking function dynamically — no new service calls.
+
+        "Ranking functions may be ... altered dynamically through the
+        query interface, yielding to changes in the query execution
+        strategy.  Only ranking functions defined at query definition
+        time can be used for query optimization" — so the plan is kept
+        and only presentation changes.
+        """
+        for alias in weights:
+            if alias not in self.query.aliases:
+                raise ExecutionError(f"unknown alias {alias!r} in ranking weights")
+        calls_before = self.pool.log.total_calls()
+        self._ranking = RankingFunction(dict(weights))
+        if self._last is None:
+            self._execute()
+            calls_before = None  # first run necessarily calls services
+        result = self._present(k)
+        if calls_before is not None:
+            assert self.pool.log.total_calls() == calls_before
+        return result
+
+    def resubmit(
+        self, inputs: Mapping[str, Any], k: int | None = None
+    ) -> list[CompositeTuple]:
+        """Change the INPUT keywords and re-execute the same plan."""
+        self.inputs = dict(inputs)
+        self._fetches = dict(self.candidate.fetch_vector())
+        self._execute()
+        return self._present(k)
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def total_calls(self) -> int:
+        """Service calls issued across the whole interaction so far."""
+        return self.pool.log.total_calls()
+
+    @property
+    def fetch_factors(self) -> dict[str, int]:
+        return dict(self._fetches)
+
+    @property
+    def result_count(self) -> int:
+        return len(self._raw)

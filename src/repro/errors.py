@@ -1,0 +1,74 @@
+"""Exception hierarchy for the Search Computing reproduction.
+
+All library-specific errors derive from :class:`SearchComputingError` so that
+callers can catch a single base class at API boundaries while still being
+able to discriminate failure modes (schema problems, query problems,
+planning problems, execution problems).
+"""
+
+from __future__ import annotations
+
+
+class SearchComputingError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(SearchComputingError):
+    """A service mart, interface, or connection pattern is ill-formed.
+
+    Raised during schema construction and registration, e.g. for duplicate
+    attribute names, adornments referring to unknown attributes, or
+    connection patterns over attributes with incompatible types.
+    """
+
+
+class QueryError(SearchComputingError):
+    """A query is syntactically or semantically invalid."""
+
+
+class QueryParseError(QueryError):
+    """The textual query could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset in the query string where the
+        problem was detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class UnfeasibleQueryError(QueryError):
+    """No choice of access patterns makes every service reachable.
+
+    Carries the set of services that could not be reached so callers can
+    report precisely which inputs are missing bindings.
+    """
+
+    def __init__(self, message: str, unreachable: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.unreachable = unreachable
+
+
+class PlanError(SearchComputingError):
+    """A query plan is structurally invalid (cycles, arity violations...)."""
+
+
+class OptimizationError(SearchComputingError):
+    """The optimizer could not produce a plan."""
+
+
+class ExecutionError(SearchComputingError):
+    """Plan execution failed at runtime."""
+
+
+class ServiceInvocationError(ExecutionError):
+    """A (simulated) service call failed or was invoked incorrectly.
+
+    Typical causes: missing input bindings, fetching past exhaustion on a
+    non-resumable invocation, or an injected fault from the failure-injection
+    test harness.
+    """

@@ -1,0 +1,82 @@
+"""Join methods for Search Computing (Section 4).
+
+Building blocks: the tile search-space model, invocation schedules
+(nested-loop, merge-scan), completion policies (rectangular, triangular),
+runnable pipe/parallel join executors, extraction-optimality analysers,
+and the guaranteed top-k rank join extension.
+"""
+
+from repro.joins.completion import (
+    CompletionPolicy,
+    RectangularCompletion,
+    TileScheduler,
+    TriangularCompletion,
+)
+from repro.joins.extraction import (
+    JoinEvent,
+    adjacency_rule_holds,
+    count_local_violations,
+    is_globally_extraction_optimal,
+)
+from repro.joins.methods import (
+    ChunkSource,
+    JoinResult,
+    JoinStatistics,
+    JoinedPair,
+    ListChunkSource,
+    ParallelJoinExecutor,
+    PipeJoinExecutor,
+    make_executor,
+    product_score,
+)
+from repro.joins.searchspace import SearchSpace, Tile
+from repro.joins.spec import (
+    ALL_METHODS,
+    CompletionStrategy,
+    InvocationStrategy,
+    JoinMethodSpec,
+    JoinTopology,
+)
+from repro.joins.strategies import (
+    Axis,
+    cost_aware_schedule,
+    InvocationSchedule,
+    MergeScanSchedule,
+    NestedLoopSchedule,
+    VariableRatioSchedule,
+)
+from repro.joins.topk import RankJoinExecutor
+
+__all__ = [
+    "CompletionPolicy",
+    "RectangularCompletion",
+    "TileScheduler",
+    "TriangularCompletion",
+    "JoinEvent",
+    "adjacency_rule_holds",
+    "count_local_violations",
+    "is_globally_extraction_optimal",
+    "ChunkSource",
+    "JoinResult",
+    "JoinStatistics",
+    "JoinedPair",
+    "ListChunkSource",
+    "ParallelJoinExecutor",
+    "PipeJoinExecutor",
+    "make_executor",
+    "product_score",
+    "SearchSpace",
+    "Tile",
+    "ALL_METHODS",
+    "CompletionStrategy",
+    "InvocationStrategy",
+    "JoinMethodSpec",
+    "JoinTopology",
+    "Axis",
+    "InvocationSchedule",
+    "MergeScanSchedule",
+    "NestedLoopSchedule",
+    "VariableRatioSchedule",
+    "cost_aware_schedule",
+    "RankJoinExecutor",
+]

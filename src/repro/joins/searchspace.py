@@ -1,0 +1,112 @@
+"""The tile model of the join search space (Section 4.1, Fig. 4).
+
+Joining two search services ``SX`` and ``SY`` is modelled on a Cartesian
+plane: each axis lists one service's results in decreasing ranking order.
+Every point is a candidate pair ``(xi, yj)``; chunking divides the plane
+into rectangular **tiles** of ``nX * nY`` points, tile ``t(i, j)`` holding
+the pairs from ``SX``'s *i*-th chunk and ``SY``'s *j*-th chunk.  Two tiles
+are *adjacent* when they share an edge.  After ``m`` request-responses to
+``SX`` and ``n`` to ``SY`` the explorable region is the ``m x n`` rectangle
+of tiles at the origin.
+
+The tile's *representative score* is the ranking of its first (best) tuple
+pair — the product ``rho_X * rho_Y`` of the chunk-leading scores — which is
+what extraction-optimality is defined over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.model.scoring import ScoringFunction
+
+__all__ = ["Tile", "SearchSpace"]
+
+
+@dataclass(frozen=True, order=True)
+class Tile:
+    """One chunk-pair region of the search space; indexes are zero-based."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0 or self.y < 0:
+            raise PlanError("tile indexes must be non-negative")
+
+    @property
+    def index_sum(self) -> int:
+        """Sum of chunk indexes; adjacency-ordering uses this (Section 4.1:
+        "if two tiles are adjacent, then the one with smaller index sum is
+        extracted first by extraction-optimal methods")."""
+        return self.x + self.y
+
+    def is_adjacent(self, other: "Tile") -> bool:
+        """True when the two tiles share an edge."""
+        dx = abs(self.x - other.x)
+        dy = abs(self.y - other.y)
+        return dx + dy == 1
+
+    def __str__(self) -> str:
+        return f"t({self.x},{self.y})"
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Geometry and scoring of the join search space of two chunked services.
+
+    Parameters
+    ----------
+    chunk_size_x, chunk_size_y:
+        The chunk sizes ``nX`` and ``nY``.
+    scoring_x, scoring_y:
+        Scoring functions of the two services; drive representative scores.
+    """
+
+    chunk_size_x: int
+    chunk_size_y: int
+    scoring_x: ScoringFunction
+    scoring_y: ScoringFunction
+
+    def __post_init__(self) -> None:
+        if self.chunk_size_x <= 0 or self.chunk_size_y <= 0:
+            raise PlanError("chunk sizes must be positive")
+
+    @property
+    def points_per_tile(self) -> int:
+        """Candidate pairs per tile: ``nX * nY``."""
+        return self.chunk_size_x * self.chunk_size_y
+
+    def representative_score(self, tile: Tile) -> float:
+        """Score of the tile's best pair: product of chunk-leading scores.
+
+        Section 4.4/4.1 extend extraction-optimality "from tuples to tiles
+        by using the ranking of the first tuple of the tile as
+        representative for the entire tile".
+        """
+        sx = self.scoring_x.chunk_representative(tile.x, self.chunk_size_x)
+        sy = self.scoring_y.chunk_representative(tile.y, self.chunk_size_y)
+        return sx * sy
+
+    def rectangle(self, fetched_x: int, fetched_y: int) -> tuple[Tile, ...]:
+        """All tiles explorable after the given fetch counts, row-major."""
+        return tuple(
+            Tile(x, y) for x in range(fetched_x) for y in range(fetched_y)
+        )
+
+    def best_unexplored(
+        self, fetched_x: int, fetched_y: int, explored: frozenset[Tile]
+    ) -> Tile | None:
+        """Loaded-but-unexplored tile with the best representative score."""
+        candidates = [
+            tile
+            for tile in self.rectangle(fetched_x, fetched_y)
+            if tile not in explored
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda tile: (self.representative_score(tile), -tile.index_sum),
+        )

@@ -1,0 +1,134 @@
+"""Join-method specification: the three orthogonal axes of Section 4.
+
+A join method is characterised by
+
+* **topology** — pipe (sequential, output of one service feeding the input
+  of another) vs. parallel (independent invocations composed by an explicit
+  join node);
+* **invocation strategy** — nested-loop (exhaust the ``h`` high-score
+  chunks of a *step* service first) vs. merge-scan (alternate calls,
+  possibly with an inter-service ratio ``r = r1/r2``);
+* **completion strategy** — rectangular (process every tile as soon as its
+  chunks are available) vs. triangular (process tiles diagonally, bounded
+  by ``x*r2 + y*r1 < c`` for growing ``c``).
+
+The classification "gives rise to eight possible methods", not all of
+which make practical sense (Section 4.5); :func:`JoinMethodSpec.is_sensible`
+encodes the chapter's judgements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+
+from repro.errors import PlanError
+
+__all__ = [
+    "JoinTopology",
+    "InvocationStrategy",
+    "CompletionStrategy",
+    "JoinMethodSpec",
+    "ALL_METHODS",
+]
+
+
+class JoinTopology(Enum):
+    """How the two joined services are invoked relative to each other."""
+
+    PIPE = "pipe"
+    PARALLEL = "parallel"
+
+
+class InvocationStrategy(Enum):
+    """Order and frequency of calls to the two services (Section 4.3)."""
+
+    NESTED_LOOP = "nested-loop"
+    MERGE_SCAN = "merge-scan"
+
+
+class CompletionStrategy(Enum):
+    """Order in which tiles are processed by the join (Section 4.4)."""
+
+    RECTANGULAR = "rectangular"
+    TRIANGULAR = "triangular"
+
+
+@dataclass(frozen=True)
+class JoinMethodSpec:
+    """A fully specified join method.
+
+    Parameters
+    ----------
+    topology, invocation, completion:
+        The three orthogonal choices.
+    ratio:
+        Merge-scan inter-service ratio ``r1/r2`` — calls to the first
+        service per ``r2`` calls to the second (Section 4.3.2's example is
+        ``r = 3/5``).  Ignored by nested-loop.
+    step_chunks:
+        Nested-loop plateau width ``h`` — chunks fetched from the step
+        service before scanning the other.  Ignored by merge-scan.
+    """
+
+    topology: JoinTopology = JoinTopology.PARALLEL
+    invocation: InvocationStrategy = InvocationStrategy.MERGE_SCAN
+    completion: CompletionStrategy = CompletionStrategy.TRIANGULAR
+    ratio: Fraction = Fraction(1, 1)
+    step_chunks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise PlanError("inter-service ratio must be positive")
+        if self.step_chunks <= 0:
+            raise PlanError("step_chunks (h) must be positive")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``MS/tri`` (as annotated in Fig. 2)."""
+        inv = "NL" if self.invocation is InvocationStrategy.NESTED_LOOP else "MS"
+        comp = "rect" if self.completion is CompletionStrategy.RECTANGULAR else "tri"
+        return f"{inv}/{comp}"
+
+    def is_sensible(self) -> bool:
+        """Whether the combination "makes sense in practice" (Section 4.5).
+
+        The chapter singles out two judgements: merge-scan with rectangular
+        completion and ratio 1 "typically makes sense for parallel joins";
+        pipe joins "are better performed via nested loops with rectangular
+        completion"; and "rectangular completion applied to nested loop"
+        *in a parallel setting* "makes little sense" — the nested-loop
+        exploration is inherently column-shaped, so pairing it with the
+        diagonal-processing triangular completion wastes the step
+        information.  We encode: pipe joins pair with nested-loop +
+        rectangular; parallel joins accept everything except
+        nested-loop + triangular.
+        """
+        if self.topology is JoinTopology.PIPE:
+            return (
+                self.invocation is InvocationStrategy.NESTED_LOOP
+                and self.completion is CompletionStrategy.RECTANGULAR
+            )
+        return not (
+            self.invocation is InvocationStrategy.NESTED_LOOP
+            and self.completion is CompletionStrategy.TRIANGULAR
+        )
+
+    def __str__(self) -> str:
+        parts = [self.topology.value, self.invocation.value, self.completion.value]
+        if self.invocation is InvocationStrategy.MERGE_SCAN and self.ratio != 1:
+            parts.append(f"r={self.ratio}")
+        if self.invocation is InvocationStrategy.NESTED_LOOP:
+            parts.append(f"h={self.step_chunks}")
+        return "+".join(parts)
+
+
+#: Every (topology, invocation, completion) combination — the "eight
+#: possible methods" of Section 4.5 — with default parameters.
+ALL_METHODS: tuple[JoinMethodSpec, ...] = tuple(
+    JoinMethodSpec(topology=topo, invocation=inv, completion=comp)
+    for topo in JoinTopology
+    for inv in InvocationStrategy
+    for comp in CompletionStrategy
+)

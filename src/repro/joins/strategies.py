@@ -1,0 +1,176 @@
+"""Invocation strategies: the order and frequency of service calls.
+
+Section 4.3 defines two named strategies:
+
+* **Nested-loop** (4.3.1) — for a join whose first service has a *step*
+  scoring function: extract all ``h`` high-ranking chunks of the step
+  service first, then extract the other service's chunks one by one in
+  ranking order (each new chunk completes a column of ``h`` tiles).
+* **Merge-scan** (4.3.2) — absent a clear step, move "diagonally": evenly
+  alternate calls, or follow an inter-service ratio ``r = r1/r2`` (fixed,
+  e.g. 3/5, or variable).
+
+A strategy here is an infinite schedule of axis choices (``X`` or ``Y``)
+plus the convention of Section 4.4.1 that "the first two calls are always
+alternated so as to have at least one tile for starting the exploration".
+Executors consume the schedule, skipping exhausted axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Callable, Iterator
+
+from repro.errors import PlanError
+
+__all__ = [
+    "Axis",
+    "InvocationSchedule",
+    "NestedLoopSchedule",
+    "MergeScanSchedule",
+    "VariableRatioSchedule",
+    "cost_aware_schedule",
+]
+
+
+class Axis(Enum):
+    """Which of the two joined services the next call goes to."""
+
+    X = "x"
+    Y = "y"
+
+    @property
+    def other(self) -> "Axis":
+        return Axis.Y if self is Axis.X else Axis.X
+
+
+class InvocationSchedule:
+    """Base class: an unbounded iterator of axis choices."""
+
+    def __iter__(self) -> Iterator[Axis]:
+        raise NotImplementedError
+
+    def prefix(self, length: int) -> tuple[Axis, ...]:
+        """The first ``length`` scheduled calls (testing/inspection aid)."""
+        out: list[Axis] = []
+        for axis in self:
+            out.append(axis)
+            if len(out) >= length:
+                break
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class NestedLoopSchedule(InvocationSchedule):
+    """Exhaust ``h`` chunks of the step service, then scan the other.
+
+    The step service is conventionally the X axis.  The first two calls
+    are alternated (X then Y) so that tile (0, 0) is explorable
+    immediately; the remaining ``h - 1`` X fetches follow, then Y fetches
+    forever.
+    """
+
+    step_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.step_chunks <= 0:
+            raise PlanError("step_chunks (h) must be positive")
+
+    def __iter__(self) -> Iterator[Axis]:
+        yield Axis.X
+        yield Axis.Y
+        for _ in range(self.step_chunks - 1):
+            yield Axis.X
+        while True:
+            yield Axis.Y
+
+
+@dataclass(frozen=True)
+class MergeScanSchedule(InvocationSchedule):
+    """Alternate calls following a fixed inter-service ratio ``r1/r2``.
+
+    ``ratio = Fraction(r1, r2)`` means ``r1`` calls to X per ``r2`` calls
+    to Y.  The default 1/1 "evenly alternate[s] service calls in the lack
+    of better estimates of the score functions".  Scheduling uses an error
+    accumulator (Bresenham style) so calls interleave as evenly as the
+    ratio permits, starting X-then-Y.
+    """
+
+    ratio: Fraction = Fraction(1, 1)
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise PlanError("inter-service ratio must be positive")
+
+    def __iter__(self) -> Iterator[Axis]:
+        yield Axis.X
+        yield Axis.Y
+        # Maintain calls_x / calls_y ~= ratio; always call the axis whose
+        # deficit w.r.t. the target proportion is larger.
+        calls_x, calls_y = 1, 1
+        r1 = self.ratio.numerator
+        r2 = self.ratio.denominator
+        while True:
+            # Compare calls_x / calls_y with r1 / r2 without division.
+            if calls_x * r2 <= calls_y * r1:
+                calls_x += 1
+                yield Axis.X
+            else:
+                calls_y += 1
+                yield Axis.Y
+
+
+@dataclass(frozen=True)
+class VariableRatioSchedule(InvocationSchedule):
+    """Merge-scan with a variable ratio decided call-by-call.
+
+    ``chooser(calls_x, calls_y)`` returns the axis for the next call; this
+    is the hook the chapter's *clocks* (Chapter 12 pointer) and the cost-
+    driven variable-ratio top-k methods (Chapter 11 pointer) plug into.
+    """
+
+    chooser: Callable[[int, int], Axis]
+
+    def __iter__(self) -> Iterator[Axis]:
+        yield Axis.X
+        yield Axis.Y
+        calls_x, calls_y = 1, 1
+        while True:
+            axis = self.chooser(calls_x, calls_y)
+            if axis is Axis.X:
+                calls_x += 1
+            else:
+                calls_y += 1
+            yield axis
+
+
+def cost_aware_schedule(
+    latency_x: float, latency_y: float
+) -> VariableRatioSchedule:
+    """Merge-scan whose variable ratio is driven by service costs.
+
+    Section 4.3.2 points to "top-k optimal join methods whose invocation
+    strategy is merge-scan with variable inter-service ratios, based upon
+    service costs" (Chapter 11).  This chooser greedily maximises *newly
+    explorable tiles per unit latency*: after (cx, cy) calls, one more X
+    call opens ``cy`` tiles at cost ``latency_x``, one more Y call opens
+    ``cx`` tiles at cost ``latency_y`` — pick the larger ratio.  For equal
+    latencies this degenerates to even alternation; a cheap service gets
+    proportionally more calls.
+    """
+    if latency_x <= 0 or latency_y <= 0:
+        raise PlanError("latencies must be positive")
+
+    def chooser(calls_x: int, calls_y: int) -> Axis:
+        gain_x = calls_y / latency_x
+        gain_y = calls_x / latency_y
+        if gain_x > gain_y:
+            return Axis.X
+        if gain_y > gain_x:
+            return Axis.Y
+        # Tie: keep the realised ratio near the latency-implied one.
+        return Axis.X if calls_x * latency_x <= calls_y * latency_y else Axis.Y
+
+    return VariableRatioSchedule(chooser=chooser)

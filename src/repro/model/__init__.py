@@ -1,0 +1,66 @@
+"""Service model substrate: attributes, marts, interfaces, scoring, tuples.
+
+This package implements the schema layer of Search Computing (book
+Chapter 9 as summarised by the reproduced Chapter 10): typed attributes and
+repeating groups, service marts, adorned service interfaces classified as
+exact or search services, connection patterns, relevance scoring shapes,
+and the tuple/composite-tuple value model with the weighted-sum global
+ranking function.
+"""
+
+from repro.model.attributes import (
+    Attribute,
+    AttributePath,
+    DataType,
+    Domain,
+    RepeatingGroup,
+    parse_path,
+)
+from repro.model.connections import AttributePair, ConnectionPattern
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import (
+    ConstantScoring,
+    ExponentialScoring,
+    LinearScoring,
+    OpaqueScoring,
+    PowerLawScoring,
+    ScoringFunction,
+    StepScoring,
+)
+from repro.model.service import (
+    AccessPattern,
+    Adornment,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+from repro.model.tuples import CompositeTuple, RankingFunction, ServiceTuple
+
+__all__ = [
+    "Attribute",
+    "AttributePath",
+    "DataType",
+    "Domain",
+    "RepeatingGroup",
+    "parse_path",
+    "AttributePair",
+    "ConnectionPattern",
+    "ServiceRegistry",
+    "ConstantScoring",
+    "ExponentialScoring",
+    "LinearScoring",
+    "OpaqueScoring",
+    "PowerLawScoring",
+    "ScoringFunction",
+    "StepScoring",
+    "AccessPattern",
+    "Adornment",
+    "ServiceInterface",
+    "ServiceKind",
+    "ServiceMart",
+    "ServiceStats",
+    "CompositeTuple",
+    "RankingFunction",
+    "ServiceTuple",
+]

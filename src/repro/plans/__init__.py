@@ -1,0 +1,32 @@
+"""Query-plan DAG model (Fig. 1 elements, Section 3.2 structure)."""
+
+from repro.plans.export import plan_to_dict, plan_to_json
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    PlanNode,
+    SelectionNode,
+    ServiceNode,
+)
+from repro.plans.plan import (
+    NodeAnnotation,
+    PlanAnnotations,
+    QueryPlan,
+    fetch_vector,
+)
+
+__all__ = [
+    "plan_to_dict",
+    "plan_to_json",
+    "InputNode",
+    "OutputNode",
+    "ParallelJoinNode",
+    "PlanNode",
+    "SelectionNode",
+    "ServiceNode",
+    "NodeAnnotation",
+    "PlanAnnotations",
+    "QueryPlan",
+    "fetch_vector",
+]

@@ -1,0 +1,108 @@
+"""Plan export: JSON-friendly dictionaries for logging and inspection.
+
+A query processor needs to ship plans across process boundaries (to an
+execution engine, a monitoring UI, a regression log).  This module
+provides a stable one-way export of a plan — optionally fully
+instantiated with its annotations and fetch vector — as plain dicts/lists
+ready for ``json.dumps``.  Interfaces are exported *by name* (the
+receiving side resolves them against its registry); predicates are
+exported in the query language's own syntax, so they re-parse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    SelectionNode,
+    ServiceNode,
+)
+from repro.plans.plan import PlanAnnotations, QueryPlan
+
+__all__ = ["plan_to_dict", "plan_to_json"]
+
+
+def _node_to_dict(node) -> dict[str, Any]:
+    base: dict[str, Any] = {"id": node.node_id, "kind": node.kind}
+    if isinstance(node, ServiceNode):
+        assert node.interface is not None
+        base.update(
+            {
+                "alias": node.alias,
+                "interface": node.interface.name,
+                "service_kind": node.interface.kind.value,
+                "chunk_size": node.interface.stats.chunk_size,
+                "piped_from": list(node.pipe_sources),
+                "pushed_selections": [str(p) for p in node.pushed_selections],
+                "bindings": [str(p) for p in node.providers],
+            }
+        )
+    elif isinstance(node, ParallelJoinNode):
+        base.update(
+            {
+                "predicates": [str(p) for p in node.predicates],
+                "method": {
+                    "topology": node.method.topology.value,
+                    "invocation": node.method.invocation.value,
+                    "completion": node.method.completion.value,
+                    "ratio": str(node.method.ratio),
+                    "step_chunks": node.method.step_chunks,
+                },
+            }
+        )
+    elif isinstance(node, SelectionNode):
+        base["predicates"] = [str(p) for p in node.selections] + [
+            str(p) for p in node.join_filters
+        ]
+    elif isinstance(node, (InputNode, OutputNode)):
+        pass
+    return base
+
+
+def plan_to_dict(
+    plan: QueryPlan,
+    annotations: PlanAnnotations | None = None,
+    fetches: dict[str, int] | None = None,
+) -> dict[str, Any]:
+    """Export a plan (plus optional instantiation) as JSON-ready dicts.
+
+    The export is versioned (``format``) and ordered topologically so a
+    reader can replay the dataflow without re-sorting.
+    """
+    order = plan.topological_order()
+    out: dict[str, Any] = {
+        "format": "repro-plan/1",
+        "nodes": [_node_to_dict(plan.node(node_id)) for node_id in order],
+        "arcs": [{"from": src, "to": dst} for src, dst in plan.arcs],
+    }
+    if fetches:
+        out["fetches"] = dict(fetches)
+    if annotations is not None:
+        out["annotations"] = {
+            node_id: {
+                "tin": ann.tin,
+                "tout": ann.tout,
+                "calls": ann.calls,
+                **({"fetches": ann.fetches} if ann.fetches is not None else {}),
+            }
+            for node_id, ann in annotations.by_node.items()
+        }
+    return out
+
+
+def plan_to_json(
+    plan: QueryPlan,
+    annotations: PlanAnnotations | None = None,
+    fetches: dict[str, int] | None = None,
+    indent: int | None = 2,
+) -> str:
+    """As :func:`plan_to_dict`, serialised to a JSON string."""
+    return json.dumps(
+        plan_to_dict(plan, annotations=annotations, fetches=fetches),
+        indent=indent,
+        sort_keys=True,
+    )

@@ -1,0 +1,322 @@
+"""The query-plan DAG (Section 3.2).
+
+A :class:`QueryPlan` is a directed acyclic graph whose nodes are the
+elements of :mod:`repro.plans.nodes` and whose arcs "indicate data flow and
+parameter passing".  The class offers a small builder API plus the
+structural services the optimizer and engine need: validation, topological
+ordering, parent/child lookup with stable arc order (a parallel join's
+first parent is its *left* input), structural keys for deduplication, and
+plan statistics.
+
+Annotations (``tin``/``tout``/fetch counts per node — Figs. 3 and 10) are
+kept separate in :class:`PlanAnnotations`; a plan plus its annotations is a
+*fully instantiated query plan* and can be priced by a cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import PlanError
+from repro.plans.nodes import (
+    InputNode,
+    OutputNode,
+    ParallelJoinNode,
+    PlanNode,
+    SelectionNode,
+    ServiceNode,
+)
+
+__all__ = ["QueryPlan", "NodeAnnotation", "PlanAnnotations"]
+
+
+@dataclass
+class QueryPlan:
+    """A mutable plan DAG with a builder API.
+
+    Build plans with :meth:`add` and :meth:`connect`, then call
+    :meth:`validate` (idempotent) before handing them to the annotator,
+    cost model, or execution engine.
+    """
+
+    nodes: dict[str, PlanNode] = field(default_factory=dict)
+    arcs: list[tuple[str, str]] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, node: PlanNode) -> PlanNode:
+        if node.node_id in self.nodes:
+            raise PlanError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        return node
+
+    def connect(self, source: str | PlanNode, target: str | PlanNode) -> None:
+        src = source.node_id if isinstance(source, PlanNode) else source
+        dst = target.node_id if isinstance(target, PlanNode) else target
+        for node_id in (src, dst):
+            if node_id not in self.nodes:
+                raise PlanError(f"unknown node {node_id!r}")
+        if (src, dst) in self.arcs:
+            raise PlanError(f"duplicate arc {src!r} -> {dst!r}")
+        if src == dst:
+            raise PlanError(f"self-loop on {src!r}")
+        self.arcs.append((src, dst))
+
+    # -- structure queries --------------------------------------------------------
+
+    def node(self, node_id: str) -> PlanNode:
+        if node_id not in self.nodes:
+            raise PlanError(f"unknown node {node_id!r}")
+        return self.nodes[node_id]
+
+    def parents(self, node_id: str) -> tuple[str, ...]:
+        """Parent ids in arc-insertion order (join left input first)."""
+        return tuple(src for src, dst in self.arcs if dst == node_id)
+
+    def children(self, node_id: str) -> tuple[str, ...]:
+        return tuple(dst for src, dst in self.arcs if src == node_id)
+
+    @property
+    def input_node(self) -> InputNode:
+        for node in self.nodes.values():
+            if isinstance(node, InputNode):
+                return node
+        raise PlanError("plan has no input node")
+
+    @property
+    def output_node(self) -> OutputNode:
+        for node in self.nodes.values():
+            if isinstance(node, OutputNode):
+                return node
+        raise PlanError("plan has no output node")
+
+    def service_nodes(self) -> tuple[ServiceNode, ...]:
+        return tuple(
+            node for node in self.nodes.values() if isinstance(node, ServiceNode)
+        )
+
+    def join_nodes(self) -> tuple[ParallelJoinNode, ...]:
+        return tuple(
+            node for node in self.nodes.values() if isinstance(node, ParallelJoinNode)
+        )
+
+    def selection_nodes(self) -> tuple[SelectionNode, ...]:
+        return tuple(
+            node for node in self.nodes.values() if isinstance(node, SelectionNode)
+        )
+
+    def service_node_for(self, alias: str) -> ServiceNode:
+        for node in self.service_nodes():
+            if node.alias == alias:
+                return node
+        raise PlanError(f"plan has no service node for alias {alias!r}")
+
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(node.alias for node in self.service_nodes())
+
+    # -- validation ---------------------------------------------------------------
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Kahn topological sort; raises :class:`PlanError` on cycles."""
+        indegree = {node_id: 0 for node_id in self.nodes}
+        for _, dst in self.arcs:
+            indegree[dst] += 1
+        ready = sorted(node_id for node_id, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(node_id)
+            for child in self.children(node_id):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+            ready.sort()
+        if len(order) != len(self.nodes):
+            raise PlanError("plan graph contains a cycle")
+        return tuple(order)
+
+    def validate(self) -> "QueryPlan":
+        """Check the structural invariants of Section 3.2 plans.
+
+        * exactly one input node (no parents) and one output node (no
+          children), with the output reachable from the input;
+        * parallel joins have exactly two parents; services and selections
+          exactly one; the output exactly one;
+        * the graph is acyclic and weakly connected;
+        * no two service nodes share an alias.
+        """
+        inputs = [n for n in self.nodes.values() if isinstance(n, InputNode)]
+        outputs = [n for n in self.nodes.values() if isinstance(n, OutputNode)]
+        if len(inputs) != 1:
+            raise PlanError(f"plan needs exactly one input node, found {len(inputs)}")
+        if len(outputs) != 1:
+            raise PlanError(f"plan needs exactly one output node, found {len(outputs)}")
+        order = self.topological_order()  # also proves acyclicity
+
+        for node_id, node in self.nodes.items():
+            n_parents = len(self.parents(node_id))
+            n_children = len(self.children(node_id))
+            if isinstance(node, InputNode):
+                if n_parents:
+                    raise PlanError("input node cannot have parents")
+                if not n_children:
+                    raise PlanError("input node must feed at least one node")
+            elif isinstance(node, OutputNode):
+                if n_children:
+                    raise PlanError("output node cannot have children")
+                if n_parents != 1:
+                    raise PlanError("output node needs exactly one parent")
+            elif isinstance(node, ParallelJoinNode):
+                if n_parents != 2:
+                    raise PlanError(
+                        f"parallel join {node_id!r} needs 2 parents, has {n_parents}"
+                    )
+                if not n_children:
+                    raise PlanError(f"join {node_id!r} feeds nothing")
+            else:  # ServiceNode | SelectionNode
+                if n_parents != 1:
+                    raise PlanError(
+                        f"node {node_id!r} needs exactly one parent, has {n_parents}"
+                    )
+                if not n_children:
+                    raise PlanError(f"node {node_id!r} feeds nothing")
+
+        aliases = [node.alias for node in self.service_nodes()]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError("two service nodes share an alias")
+
+        # Weak connectivity follows from the in/out degree rules plus a
+        # single input: every node other than input has a parent chain.
+        reachable = set()
+        stack = [self.input_node.node_id]
+        while stack:
+            node_id = stack.pop()
+            if node_id in reachable:
+                continue
+            reachable.add(node_id)
+            stack.extend(self.children(node_id))
+        if reachable != set(self.nodes):
+            missing = sorted(set(self.nodes) - reachable)
+            raise PlanError(f"nodes unreachable from input: {missing}")
+        del order
+        return self
+
+    # -- deduplication ---------------------------------------------------------------
+
+    def structural_key(self) -> str:
+        """Canonical string identifying the plan's structure.
+
+        Two plans with the same key are the same DAG up to node ids.  The
+        two inputs of a parallel join are treated as unordered (joining A
+        with B equals joining B with A).
+        """
+        memo: dict[str, str] = {}
+
+        def key_of(node_id: str) -> str:
+            if node_id in memo:
+                return memo[node_id]
+            node = self.nodes[node_id]
+            parent_keys = [key_of(p) for p in self.parents(node_id)]
+            if isinstance(node, ParallelJoinNode):
+                parent_keys.sort()
+            body = f"{node.signature()}({';'.join(parent_keys)})"
+            memo[node_id] = body
+            return body
+
+        return key_of(self.output_node.node_id)
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self, annotations: "PlanAnnotations | None" = None) -> str:
+        """Multi-line indented rendering of the DAG, output-rooted."""
+        lines: list[str] = []
+
+        def walk(node_id: str, depth: int) -> None:
+            node = self.nodes[node_id]
+            note = ""
+            if annotations is not None and node_id in annotations.by_node:
+                ann = annotations.by_node[node_id]
+                bits = [f"tin={ann.tin:g}", f"tout={ann.tout:g}"]
+                if ann.fetches is not None:
+                    bits.append(f"fetches={ann.fetches}")
+                note = "  [" + ", ".join(bits) + "]"
+            lines.append("  " * depth + node.label() + note)
+            for parent in self.parents(node_id):
+                walk(parent, depth + 1)
+
+        walk(self.output_node.node_id, 0)
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz rendering for documentation and debugging."""
+        out = ["digraph plan {", "  rankdir=LR;"]
+        for node_id, node in self.nodes.items():
+            shape = {
+                "InputNode": "circle",
+                "OutputNode": "doublecircle",
+                "ServiceNode": "box",
+                "ParallelJoinNode": "diamond",
+                "SelectionNode": "hexagon",
+            }[node.kind]
+            out.append(f'  "{node_id}" [shape={shape}, label="{node.label()}"];')
+        for src, dst in self.arcs:
+            out.append(f'  "{src}" -> "{dst}";')
+        out.append("}")
+        return "\n".join(out)
+
+    def copy(self) -> "QueryPlan":
+        return QueryPlan(nodes=dict(self.nodes), arcs=list(self.arcs))
+
+
+@dataclass(frozen=True)
+class NodeAnnotation:
+    """Estimated tuple flow through one node (Fig. 3 annotations).
+
+    ``fetches`` is the per-input-tuple fetch factor for chunked services
+    and ``None`` elsewhere.  ``calls`` is the estimated total number of
+    request-responses issued by the node.
+    """
+
+    tin: float
+    tout: float
+    fetches: int | None = None
+    calls: float = 0.0
+
+
+@dataclass
+class PlanAnnotations:
+    """tin/tout/fetch annotations for every node of a plan."""
+
+    by_node: dict[str, NodeAnnotation] = field(default_factory=dict)
+
+    def tout(self, node_id: str) -> float:
+        return self.by_node[node_id].tout
+
+    def tin(self, node_id: str) -> float:
+        return self.by_node[node_id].tin
+
+    def calls(self, node_id: str) -> float:
+        return self.by_node[node_id].calls
+
+    def total_calls(self) -> float:
+        return sum(ann.calls for ann in self.by_node.values())
+
+    def estimated_results(self, plan: QueryPlan) -> float:
+        """Estimated tuples delivered at the plan output."""
+        return self.by_node[plan.output_node.node_id].tout
+
+    def items(self) -> Iterator[tuple[str, NodeAnnotation]]:
+        return iter(self.by_node.items())
+
+
+def fetch_vector(
+    plan: QueryPlan, annotations: PlanAnnotations
+) -> Mapping[str, int]:
+    """Per-alias fetch factors of the chunked services in the plan."""
+    out: dict[str, int] = {}
+    for node in plan.service_nodes():
+        ann = annotations.by_node.get(node.node_id)
+        if ann is not None and ann.fetches is not None:
+            out[node.alias] = ann.fetches
+    return out

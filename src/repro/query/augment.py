@@ -1,0 +1,185 @@
+"""Query augmentation with off-query services (Section 2.3).
+
+"For some queries, it may happen that no permissible choice of access
+patterns exists.  Although, in this case, the original user query cannot
+be answered, it may still be possible to obtain a subset of the answers
+... by invoking services that are not necessarily mentioned in the query,
+but that are available in the schema.  In particular, such 'off-query'
+services may be invoked so that their output fields provide useful
+bindings for the input fields of the services in the query with the same
+abstract domain."
+
+This module implements the non-recursive (single-step) form of that
+augmentation: given an unfeasible compiled query, it searches the
+registry for helper interfaces that (a) are themselves reachable given
+the query's INPUT variables (possibly needing further helpers, up to a
+depth bound) and (b) output attributes over the *same abstract domain* as
+some uncovered input.  The result is a new :class:`~repro.query.ast.Query`
+with the helper atoms and domain-equality join predicates added — an
+*approximation* of the original query, as the chapter notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import UnfeasibleQueryError
+from repro.model.attributes import AttributePath, parse_path
+from repro.model.service import ServiceInterface
+from repro.query.ast import (
+    AttrRef,
+    Comparator,
+    JoinPredicate,
+    Query,
+    ServiceAtom,
+)
+from repro.query.compile import CompiledQuery, compile_query
+from repro.query.feasibility import check_feasibility, input_providers
+
+__all__ = ["AugmentationStep", "AugmentationResult", "augment_query"]
+
+
+@dataclass(frozen=True)
+class AugmentationStep:
+    """One helper service added to cover one input attribute."""
+
+    helper_alias: str
+    helper_interface: str
+    provides_path: str  # output path of the helper
+    covers_alias: str
+    covers_path: str  # input path of the original query atom
+    domain: str
+
+
+@dataclass
+class AugmentationResult:
+    """An augmented query plus the record of what was added and why."""
+
+    query: Query
+    steps: list[AugmentationStep] = field(default_factory=list)
+
+    @property
+    def augmented(self) -> bool:
+        return bool(self.steps)
+
+
+def _uncovered_inputs(compiled: CompiledQuery) -> list[tuple[str, str]]:
+    """(alias, input path) pairs with no provider at all."""
+    providers = input_providers(compiled)
+    return sorted(key for key, options in providers.items() if not options)
+
+
+def _domain_of(compiled: CompiledQuery, alias: str, path_text: str) -> str | None:
+    attribute = compiled.atom(alias).mart.resolve(parse_path(path_text))
+    return attribute.domain.name
+
+
+def _helper_candidates(
+    compiled: CompiledQuery, domain_name: str
+) -> Iterable[tuple[ServiceInterface, AttributePath]]:
+    """Registry interfaces with an *output* attribute over ``domain_name``.
+
+    Candidates already used as atoms of the query are excluded (a helper
+    is an off-query service by definition).
+    """
+    used = {
+        atom.interface.name for atom in compiled.atoms if atom.interface is not None
+    }
+    for name in compiled.registry.interface_names:
+        interface = compiled.registry.interface(name)
+        if interface.name in used:
+            continue
+        for path in interface.mart.paths():
+            if not interface.adornment_of(path).is_output:
+                continue
+            attribute = interface.mart.resolve(path)
+            if attribute.domain.name == domain_name:
+                yield interface, path
+                break  # one providing path per helper is enough
+
+
+def augment_query(
+    compiled: CompiledQuery, max_helpers: int = 3
+) -> AugmentationResult:
+    """Make an unfeasible query feasible by adding off-query helpers.
+
+    Returns the (possibly unchanged) query plus the augmentation record;
+    raises :class:`~repro.errors.UnfeasibleQueryError` when no helper
+    assignment within ``max_helpers`` additions yields a feasible query.
+    The helpers are attached with domain-equality join predicates, so the
+    augmented query computes an *approximation* (a superset restricted by
+    the domain join) of the original — exactly the chapter's caveat.
+    """
+    if compiled.source is None:
+        raise UnfeasibleQueryError("augmentation needs the source Query AST")
+    if check_feasibility(compiled).feasible:
+        return AugmentationResult(query=compiled.source)
+
+    query = compiled.source
+    steps: list[AugmentationStep] = []
+    current = compiled
+
+    for round_index in range(max_helpers):
+        uncovered = _uncovered_inputs(current)
+        if not uncovered:
+            break
+        alias, path_text = uncovered[0]
+        domain_name = _domain_of(current, alias, path_text)
+        if domain_name is None:
+            raise UnfeasibleQueryError(
+                f"no domain information for {alias}.{path_text}"
+            )
+        added = False
+        for interface, providing_path in _helper_candidates(current, domain_name):
+            helper_alias = f"AUX{round_index}"
+            atoms = query.atoms + (ServiceAtom(helper_alias, interface.name),)
+            join = JoinPredicate(
+                left=AttrRef(helper_alias, providing_path),
+                comparator=Comparator.EQ,
+                right=AttrRef(alias, parse_path(path_text)),
+            )
+            candidate = Query(
+                atoms=atoms,
+                connections=query.connections,
+                selections=query.selections,
+                joins=query.joins + (join,),
+                ranking_weights=dict(query.ranking_weights),
+                k=query.k,
+            )
+            compiled_candidate = compile_query(candidate, compiled.registry)
+            # Keep the helper if it covers the targeted input.  It may
+            # introduce uncovered inputs of its own (a helper needing a
+            # helper — the chapter's recursive case); later rounds cover
+            # those, bounded by ``max_helpers``.
+            remaining = _uncovered_inputs(compiled_candidate)
+            if (alias, path_text) not in remaining:
+                query = candidate
+                current = compiled_candidate
+                steps.append(
+                    AugmentationStep(
+                        helper_alias=helper_alias,
+                        helper_interface=interface.name,
+                        provides_path=str(providing_path),
+                        covers_alias=alias,
+                        covers_path=path_text,
+                        domain=domain_name,
+                    )
+                )
+                added = True
+                break
+        if not added:
+            raise UnfeasibleQueryError(
+                f"no off-query service can bind {alias}.{path_text} "
+                f"(domain {domain_name!r})",
+                unreachable=(alias,),
+            )
+        if check_feasibility(current).feasible:
+            return AugmentationResult(query=query, steps=steps)
+
+    if check_feasibility(current).feasible:
+        return AugmentationResult(query=query, steps=steps)
+    raise UnfeasibleQueryError(
+        f"query still unfeasible after {max_helpers} helper additions",
+        unreachable=check_feasibility(current).unreachable,
+    )

@@ -1,0 +1,262 @@
+"""Textual query language parser.
+
+The surface syntax mirrors the chapter's running-example listing
+(Section 3.1)::
+
+    SELECT Movie1 AS M, Theatre1 AS T, Restaurant1 AS R
+    WHERE Shows(M, T) AND DinnerPlace(T, R)
+      AND M.Genres.Genre = INPUT1 AND M.Openings.Date > INPUT3
+      AND T.UCity = 'Milan' AND M.Title = T.Title
+    RANK BY 0.3*M, 0.5*T, 0.2*R
+    LIMIT 10
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT atom ("," atom)* [WHERE cond (AND cond)*]
+                  [RANK BY weight ("," weight)*] [LIMIT int]
+    atom       := ident [AS ident]
+    cond       := connection | predicate
+    connection := ident "(" ident "," ident ")"
+    predicate  := attref op operand
+    attref     := ident "." ident ["." ident]
+    operand    := attref | INPUTi | string | number | TRUE | FALSE
+    weight     := number "*" ident
+    op         := "=" | "<" | "<=" | ">" | ">=" | LIKE
+
+A predicate whose right-hand side is an attribute reference becomes a join
+predicate; otherwise it is a selection predicate.  When an atom has no
+``AS`` clause its source name doubles as the alias.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryParseError
+from repro.query.ast import (
+    AttrRef,
+    Comparator,
+    ConnectionAtom,
+    InputRef,
+    JoinPredicate,
+    Query,
+    SelectionPredicate,
+    ServiceAtom,
+)
+
+__all__ = ["parse_query", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?(?:\d+\.\d+|\.\d+|\d+))
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|=|<|>|\*|\(|\)|,|\.)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "where", "and", "as", "rank", "by", "limit", "like", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "string" | "op" | "ident" | "kw"
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Tokenize a query string, raising on unrecognized characters."""
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character {text[index]!r}", position=index
+            )
+        index = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("kw", value.lower(), match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query", position=len(self.text))
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise QueryParseError(
+                f"expected {wanted!r}, found {token.text!r}", position=token.position
+            )
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind and (
+            text is None or token.text == text
+        ):
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar productions ---------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("kw", "select")
+        atoms = [self._atom()]
+        while self._accept("op", ","):
+            atoms.append(self._atom())
+
+        connections: list[ConnectionAtom] = []
+        selections: list[SelectionPredicate] = []
+        joins: list[JoinPredicate] = []
+        if self._accept("kw", "where"):
+            self._condition(connections, selections, joins)
+            while self._accept("kw", "and"):
+                self._condition(connections, selections, joins)
+
+        weights: dict[str, float] = {}
+        if self._accept("kw", "rank"):
+            self._expect("kw", "by")
+            alias, weight = self._weight()
+            weights[alias] = weight
+            while self._accept("op", ","):
+                alias, weight = self._weight()
+                weights[alias] = weight
+
+        k = 10
+        if self._accept("kw", "limit"):
+            token = self._expect("number")
+            k = int(float(token.text))
+
+        if self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            raise QueryParseError(
+                f"trailing input {token.text!r}", position=token.position
+            )
+        return Query(
+            atoms=tuple(atoms),
+            connections=tuple(connections),
+            selections=tuple(selections),
+            joins=tuple(joins),
+            ranking_weights=weights,
+            k=k,
+        )
+
+    def _atom(self) -> ServiceAtom:
+        source = self._expect("ident").text
+        alias = source
+        if self._accept("kw", "as"):
+            alias = self._expect("ident").text
+        return ServiceAtom(alias=alias, source=source)
+
+    def _condition(
+        self,
+        connections: list[ConnectionAtom],
+        selections: list[SelectionPredicate],
+        joins: list[JoinPredicate],
+    ) -> None:
+        """Parse one conjunct: a connection atom or a predicate."""
+        first = self._expect("ident")
+        if self._accept("op", "("):
+            left = self._expect("ident").text
+            self._expect("op", ",")
+            right = self._expect("ident").text
+            self._expect("op", ")")
+            connections.append(ConnectionAtom(first.text, left, right))
+            return
+        # Otherwise: attref op operand, with `first` the alias.
+        attr = self._attref_tail(first.text, first.position)
+        comparator = self._comparator()
+        operand = self._operand()
+        if isinstance(operand, AttrRef):
+            joins.append(JoinPredicate(attr, comparator, operand))
+        else:
+            selections.append(SelectionPredicate(attr, comparator, operand))
+
+    def _attref_tail(self, alias: str, position: int) -> AttrRef:
+        """Parse the ``.path[.subpath]`` remainder of an attribute reference."""
+        if self._accept("op", ".") is None:
+            raise QueryParseError(
+                f"expected '.' after alias {alias!r}", position=position
+            )
+        first = self._expect("ident").text
+        if self._accept("op", "."):
+            second = self._expect("ident").text
+            return AttrRef.parse(f"{alias}.{first}.{second}")
+        return AttrRef.parse(f"{alias}.{first}")
+
+    def _comparator(self) -> Comparator:
+        if self._accept("kw", "like"):
+            return Comparator.LIKE
+        token = self._expect("op")
+        try:
+            return Comparator(token.text)
+        except ValueError:
+            raise QueryParseError(
+                f"{token.text!r} is not a comparator", position=token.position
+            ) from None
+
+    def _operand(self):
+        token = self._next()
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("\\'", "'").replace('\\"', '"')
+        if token.kind == "kw" and token.text in ("true", "false"):
+            return token.text == "true"
+        if token.kind == "ident":
+            if token.text.upper().startswith("INPUT"):
+                return InputRef(token.text.upper())
+            return self._attref_tail(token.text, token.position)
+        raise QueryParseError(
+            f"unexpected operand {token.text!r}", position=token.position
+        )
+
+    def _weight(self) -> tuple[str, float]:
+        number = self._expect("number")
+        self._expect("op", "*")
+        alias = self._expect("ident").text
+        return alias, float(number.text)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a registry-independent :class:`Query` AST.
+
+    Raises :class:`~repro.errors.QueryParseError` with a character position
+    on malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,155 @@
+"""Predicate evaluation with repeating-group witness semantics.
+
+Section 3.1 defines query semantics carefully for repeating groups: a
+composite tuple satisfies the predicate set ``P`` iff there exists a single
+mapping ``M`` sending every repeating-group occurrence ``si.R`` mentioned
+in ``P`` to *one* member sub-tuple of ``ti.R`` such that every predicate in
+``P`` holds under that mapping.  The chapter's example: with
+``t2 = ({<2,x>, <1,y>})`` the query ``S1.R.A=1 AND S1.R.B=x`` does *not*
+select ``t2`` — although each conjunct is satisfied by *some* member, no
+single member satisfies both.
+
+This module implements that joint-witness evaluation for arbitrary
+mixtures of selection and join predicates over composite tuples, plus the
+single-service specialisation used when predicates are pushed down to a
+service invocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.model.attributes import AttributePath
+from repro.model.tuples import CompositeTuple, ServiceTuple
+from repro.query.ast import AttrRef, JoinPredicate, SelectionPredicate
+
+__all__ = [
+    "group_occurrences",
+    "satisfies",
+    "tuple_satisfies_selections",
+    "filter_tuples",
+]
+
+#: A repeating-group occurrence: (alias, group name).
+GroupKey = tuple[str, str]
+
+
+def group_occurrences(
+    selections: Iterable[SelectionPredicate],
+    joins: Iterable[JoinPredicate] = (),
+) -> tuple[GroupKey, ...]:
+    """All repeating-group occurrences mentioned by the predicates.
+
+    The result is ordered deterministically (sorted) so that witness
+    enumeration is reproducible.
+    """
+    keys: set[GroupKey] = set()
+    for sel in selections:
+        if sel.attr.path.is_nested:
+            keys.add((sel.attr.alias, sel.attr.path.group or ""))
+    for join in joins:
+        for ref in (join.left, join.right):
+            if ref.path.is_nested:
+                keys.add((ref.alias, ref.path.group or ""))
+    return tuple(sorted(keys))
+
+
+def _resolve(
+    components: Mapping[str, ServiceTuple],
+    witnesses: Mapping[GroupKey, Mapping[str, Any]],
+    ref: AttrRef,
+) -> Any:
+    """Value of ``ref`` under the current witness assignment."""
+    tup = components[ref.alias]
+    path: AttributePath = ref.path
+    if path.is_nested:
+        witness = witnesses[(ref.alias, path.group or "")]
+        return witness.get(path.name)
+    return tup.values.get(path.name)
+
+
+def satisfies(
+    components: Mapping[str, ServiceTuple] | CompositeTuple,
+    selections: Sequence[SelectionPredicate] = (),
+    joins: Sequence[JoinPredicate] = (),
+    inputs: Mapping[str, Any] | None = None,
+) -> bool:
+    """Joint-witness satisfaction of all predicates by a composite tuple.
+
+    Parameters
+    ----------
+    components:
+        Mapping alias → service tuple (or a :class:`CompositeTuple`), which
+        must cover every alias referenced by the predicates.
+    selections, joins:
+        The predicate set ``P``.
+    inputs:
+        Bindings for INPUT variables occurring in selections.
+    """
+    if isinstance(components, CompositeTuple):
+        components = components.components
+    inputs = dict(inputs or {})
+
+    occurrences = group_occurrences(selections, joins)
+    member_choices: list[tuple[Mapping[str, Any], ...]] = []
+    for alias, group in occurrences:
+        members = components[alias].group_members(group)
+        if not members:
+            # An empty repeating group cannot supply a witness, so any
+            # predicate over it is unsatisfiable.
+            return False
+        member_choices.append(members)
+
+    for assignment in itertools.product(*member_choices):
+        witnesses = dict(zip(occurrences, assignment))
+        ok = True
+        for sel in selections:
+            left = _resolve(components, witnesses, sel.attr)
+            right = sel.resolved_operand(inputs)
+            if not sel.comparator.apply(left, right):
+                ok = False
+                break
+        if ok:
+            for join in joins:
+                left = _resolve(components, witnesses, join.left)
+                right = _resolve(components, witnesses, join.right)
+                if not join.comparator.apply(left, right):
+                    ok = False
+                    break
+        if ok:
+            return True
+    return False
+
+
+def tuple_satisfies_selections(
+    tup: ServiceTuple,
+    alias: str,
+    selections: Sequence[SelectionPredicate],
+    inputs: Mapping[str, Any] | None = None,
+) -> bool:
+    """Single-service specialisation of :func:`satisfies`.
+
+    Used when selection predicates are pushed down to the service node that
+    makes them evaluable (Section 3.2: each predicate is "independently
+    evaluated ... immediately after the service call that makes the
+    selection or join predicates evaluable").
+    """
+    return satisfies({alias: tup}, selections=selections, inputs=inputs)
+
+
+def filter_tuples(
+    tuples: Iterable[ServiceTuple],
+    alias: str,
+    selections: Sequence[SelectionPredicate],
+    inputs: Mapping[str, Any] | None = None,
+) -> list[ServiceTuple]:
+    """Filter a tuple stream through pushed-down selection predicates."""
+    predicates = list(selections)
+    if not predicates:
+        return list(tuples)
+    return [
+        tup
+        for tup in tuples
+        if tuple_satisfies_selections(tup, alias, predicates, inputs)
+    ]

@@ -1,0 +1,33 @@
+"""Simulated Web-service substrate and the chapter's example schemas."""
+
+from repro.services.datagen import TupleGenerator, derive_seed, domain_value
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+from repro.services.simulated import (
+    LatencyModel,
+    ServicePool,
+    SimulatedInvocation,
+    SimulatedService,
+)
+
+__all__ = [
+    "TupleGenerator",
+    "derive_seed",
+    "domain_value",
+    "CONFERENCE_INPUTS",
+    "CONFERENCE_QUERY",
+    "RUNNING_EXAMPLE_INPUTS",
+    "RUNNING_EXAMPLE_QUERY",
+    "conference_trip_registry",
+    "movie_night_registry",
+    "LatencyModel",
+    "ServicePool",
+    "SimulatedInvocation",
+    "SimulatedService",
+]

@@ -1,0 +1,200 @@
+"""Deterministic synthetic data generation for simulated services.
+
+The chapter evaluates its framework over live Web sources (movie, theatre,
+restaurant, flight services...).  Those are unavailable and irreproducible,
+so this module synthesises result lists with the *statistical* properties
+the optimizer and join methods actually depend on:
+
+* values of join attributes are drawn uniformly from their declared
+  :class:`~repro.model.attributes.Domain` — an equijoin over a domain of
+  size ``n`` then matches with probability ``1/n``, which is how example
+  schemas encode the chapter's pattern selectivities (e.g. ``Shows`` = 2%
+  via a 50-title domain);
+* input bindings are echoed into result tuples, so pipe joins are
+  consistent by construction (asking a restaurant service for city X
+  yields restaurants in city X);
+* scores follow the interface's scoring function, so results arrive in
+  ranking order with the declared decay shape;
+* everything is a pure function of ``(seed, interface, inputs)`` — the
+  same invocation always returns the same tuples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.ast import SelectionPredicate
+
+from repro.errors import ServiceInvocationError
+from repro.model.attributes import Attribute, DataType, RepeatingGroup
+from repro.model.service import ServiceInterface
+from repro.model.tuples import ServiceTuple
+
+__all__ = ["derive_seed", "domain_value", "TupleGenerator"]
+
+
+def derive_seed(global_seed: int, interface_name: str, inputs: Mapping[str, Any]) -> int:
+    """Stable 64-bit seed for one invocation.
+
+    Uses blake2b over a canonical rendering so the same (seed, service,
+    inputs) triple regenerates identical results across processes —
+    ``hash()`` would not, because of string-hash randomisation.
+    """
+    canonical = f"{global_seed}|{interface_name}|" + "|".join(
+        f"{key}={inputs[key]!r}" for key in sorted(inputs)
+    )
+    digest = hashlib.blake2b(canonical.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def domain_value(attribute: Attribute, rng: random.Random) -> Any:
+    """Draw one uniform value from an attribute's domain.
+
+    Sized domains enumerate ``size`` distinct values; unsized domains fall
+    back to a large universe (join selectivity then effectively zero,
+    suitable for payload attributes like URLs).
+    """
+    domain = attribute.domain
+    size = domain.size or 1_000_000
+    index = rng.randrange(size)
+    dtype = domain.dtype
+    if dtype is DataType.INTEGER:
+        return index
+    if dtype is DataType.FLOAT:
+        # Uniform floats over [0, size); quantised for reproducible display.
+        return round(rng.uniform(0.0, float(size)), 3)
+    if dtype is DataType.BOOLEAN:
+        return index % 2 == 0
+    if dtype is DataType.DATE:
+        # Dates in 2009, the venue year: deterministic day within the year.
+        day = index % 365
+        month, dom = divmod(day, 31)
+        return f"2009-{month % 12 + 1:02d}-{dom + 1:02d}"
+    return f"{domain.name}#{index}"
+
+
+@dataclass(frozen=True)
+class TupleGenerator:
+    """Generates the ranked result list of one simulated invocation."""
+
+    interface: ServiceInterface
+    global_seed: int = 0
+    min_group_members: int = 1
+    max_group_members: int = 3
+
+    def result_size(self, rng: random.Random) -> int:
+        """Invocation cardinality around the declared average.
+
+        Selective services (average below one) return one tuple with the
+        average as probability; proliferative ones draw uniformly within
+        +/-25% of the average, at least one tuple.
+        """
+        avg = self.interface.stats.avg_cardinality
+        if avg <= 0:
+            return 0
+        if avg < 1.0:
+            return 1 if rng.random() < avg else 0
+        spread = max(1, round(avg * 0.25))
+        return max(1, round(avg) + rng.randint(-spread, spread))
+
+    def generate(
+        self,
+        inputs: Mapping[str, Any],
+        constraints: "Sequence[SelectionPredicate]" = (),
+    ) -> list[ServiceTuple]:
+        """Full ranked result list for one invocation.
+
+        ``constraints`` are input-side predicates the real service would
+        apply server-side (e.g. "opening date after X" in a search form);
+        generated tuples that fail their joint-witness evaluation are
+        dropped and the survivors renumbered, preserving ranking order.
+        """
+        missing = [p for p in self.interface.input_paths() if p not in inputs]
+        if missing:
+            raise ServiceInvocationError(
+                f"{self.interface.name}: missing input bindings {missing}"
+            )
+        rng = random.Random(
+            derive_seed(self.global_seed, self.interface.name, inputs)
+        )
+        total = self.result_size(rng)
+        results: list[ServiceTuple] = []
+        # Constraints shape the *data*, not the page size: a service asked
+        # for "openings after X" still returns its usual result-list size,
+        # every entry satisfying the constraint.  Rejection-sample until
+        # `total` satisfying tuples exist (bounded attempts keep
+        # unsatisfiable constraints from looping).
+        attempts = 0
+        max_attempts = max(20, total * 20)
+        while len(results) < total and attempts < max_attempts:
+            attempts += 1
+            position = len(results)
+            values = self._tuple_values(inputs, rng)
+            candidate = ServiceTuple(
+                values=values,
+                score=min(1.0, max(0.0, self.interface.scoring.score_at(position))),
+                source=self.interface.name,
+                position=position,
+            )
+            if constraints and not self._passes(candidate, constraints):
+                continue
+            results.append(candidate)
+        return results
+
+    @staticmethod
+    def _passes(
+        candidate: ServiceTuple, constraints: "Sequence[SelectionPredicate]"
+    ) -> bool:
+        # Local import: the query layer depends on the model layer only, so
+        # importing it here (rather than at module top) keeps the services
+        # package importable from the query tests without a cycle.
+        from repro.query.predicates import satisfies
+
+        alias = constraints[0].attr.alias
+        return satisfies({alias: candidate}, selections=list(constraints))
+
+    def _tuple_values(
+        self, inputs: Mapping[str, Any], rng: random.Random
+    ) -> dict[str, Any]:
+        values: dict[str, Any] = {}
+        for attr in self.interface.mart.attributes:
+            if isinstance(attr, RepeatingGroup):
+                values[attr.name] = self._group_value(attr, inputs, rng)
+            else:
+                bound = inputs.get(attr.name)
+                values[attr.name] = (
+                    bound if bound is not None else domain_value(attr, rng)
+                )
+        return values
+
+    def _group_value(
+        self,
+        group: RepeatingGroup,
+        inputs: Mapping[str, Any],
+        rng: random.Random,
+    ) -> tuple[dict[str, Any], ...]:
+        """Members of one repeating group, echoing any bound sub-attributes.
+
+        When a sub-attribute is an input (e.g. ``Genres.Genre``), the first
+        member echoes the binding — the service was asked for objects whose
+        group contains that value — and the remaining members are random.
+        """
+        if group.avg_members is not None:
+            members = group.avg_members
+        else:
+            members = rng.randint(self.min_group_members, self.max_group_members)
+        out: list[dict[str, Any]] = []
+        for index in range(members):
+            member: dict[str, Any] = {}
+            for sub in group.sub_attributes:
+                bound = inputs.get(f"{group.name}.{sub.name}")
+                if bound is not None and index == 0:
+                    member[sub.name] = bound
+                else:
+                    member[sub.name] = domain_value(sub, rng)
+            out.append(member)
+        return out

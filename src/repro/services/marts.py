@@ -1,0 +1,423 @@
+"""Example service schemas: the chapter's two worked scenarios.
+
+* :func:`movie_night_registry` — the running example (Sections 3.1, 5.6):
+  ``Movie1``, ``Theatre1``, ``Restaurant1`` with the connection patterns
+  ``Shows`` (selectivity 2%) and ``DinnerPlace`` (selectivity 40%), and
+  statistics calibrated to reproduce the Fig. 10 fully instantiated plan
+  (movie chunks of 20, theatre chunks of 5, one restaurant kept per
+  location).
+* :func:`conference_trip_registry` — the Fig. 2/3 example: an exact
+  proliferative ``Conference1`` (20 conferences on average), an exact
+  ``Weather1`` that becomes *selective in the context of the query* via
+  the average-temperature predicate, and chunked search services
+  ``Flight1`` and ``Hotel1`` joined by a merge-scan parallel join.
+
+Deviations from the chapter's listings (which contain internal
+inconsistencies) are deliberate and documented in DESIGN.md:
+``Movie1.Language`` is adorned ``O`` (the chapter's query never binds it
+yet claims feasibility), ``Restaurant1`` takes its address triple as
+inputs ``RAddress/RCity/RCountry`` (the chapter states Restaurant's
+"three input attributes ... are joined with the homonymous ones that are
+in output in Theatre"), and the category selection is placed on ``R``
+(the chapter's ``T.Category`` is a typo — Theatre has no Category).
+"""
+
+from __future__ import annotations
+
+from repro.model.attributes import Attribute, DataType, Domain, RepeatingGroup
+from repro.model.connections import AttributePair, ConnectionPattern
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import ExponentialScoring, LinearScoring, PowerLawScoring
+from repro.model.service import (
+    AccessPattern,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+
+__all__ = [
+    "movie_night_registry",
+    "conference_trip_registry",
+    "RUNNING_EXAMPLE_QUERY",
+    "RUNNING_EXAMPLE_INPUTS",
+    "CONFERENCE_QUERY",
+    "CONFERENCE_INPUTS",
+]
+
+# Shared domains.  Sizes encode join selectivities: a 50-title universe
+# makes P(movie shown in a given theatre) = 1/50 = 2% -- the chapter's
+# estimate for Shows().
+_TITLE = Domain("title", DataType.STRING, size=50)
+_GENRE = Domain("genre", DataType.STRING, size=8)
+_COUNTRY = Domain("country", DataType.STRING, size=10)
+_CITY = Domain("city", DataType.STRING, size=20)
+_ADDRESS = Domain("address", DataType.STRING, size=40)
+_DATE = Domain("caldate", DataType.DATE, size=365)
+_NAME = Domain("name", DataType.STRING, size=1000)
+_CATEGORY = Domain("category", DataType.STRING, size=6)
+_URL = Domain("url", DataType.ANY)
+_MONEY = Domain("price", DataType.FLOAT, size=500)
+_TEMP = Domain("temperature", DataType.FLOAT, size=40)
+_TOPIC = Domain("topic", DataType.STRING, size=12)
+
+
+def movie_night_registry(with_alternates: bool = False) -> ServiceRegistry:
+    """Registry for the Movie/Theatre/Restaurant running example.
+
+    With ``with_alternates=True`` each mart gets a second service
+    interface with a different access pattern and cost profile, so the
+    optimizer's phase 1 has real interface choices to make: ``Movie2``
+    needs only the genre (fewer inputs, bigger answers, slower) and
+    ``Theatre2`` is an expensive high-recall variant.
+    """
+    registry = ServiceRegistry()
+
+    movie = ServiceMart(
+        "Movie",
+        (
+            Attribute("Title", _TITLE),
+            Attribute("Director", _NAME),
+            Attribute("Score", Domain("stars", DataType.FLOAT, size=10)),
+            Attribute("Year", Domain("year", DataType.INTEGER, size=60)),
+            RepeatingGroup("Genres", (Attribute("Genre", _GENRE),), avg_members=2),
+            Attribute("Language", Domain("language", DataType.STRING, size=12)),
+            RepeatingGroup(
+                "Openings",
+                (Attribute("Country", _COUNTRY), Attribute("Date", _DATE)),
+                avg_members=2,
+            ),
+            RepeatingGroup("Actor", (Attribute("Name", _NAME),)),
+        ),
+        description="Movies ranked by critics' score",
+    )
+    theatre = ServiceMart(
+        "Theatre",
+        (
+            Attribute("Name", _NAME),
+            Attribute("UAddress", _ADDRESS),
+            Attribute("UCity", _CITY),
+            Attribute("UCountry", _COUNTRY),
+            Attribute("TAddress", _ADDRESS),
+            Attribute("TCity", _CITY),
+            Attribute("TCountry", _COUNTRY),
+            Attribute("TPhone", Domain("phone", DataType.STRING)),
+            Attribute("Distance", Domain("distance", DataType.FLOAT, size=30)),
+            # One programmed movie per theatre tuple keeps the Shows()
+            # equijoin selectivity at the declared 1/|title| = 2%.
+            RepeatingGroup(
+                "Movie",
+                (
+                    Attribute("Title", _TITLE),
+                    Attribute("StartTimes", Domain("time", DataType.STRING, size=48)),
+                    Attribute("Duration", Domain("minutes", DataType.INTEGER, size=240)),
+                ),
+                avg_members=1,
+            ),
+        ),
+        description="Theatres ranked by distance from the user's address",
+    )
+    restaurant = ServiceMart(
+        "Restaurant",
+        (
+            Attribute("Name", _NAME),
+            Attribute("RAddress", _ADDRESS),
+            Attribute("RCity", _CITY),
+            Attribute("RCountry", _COUNTRY),
+            Attribute("Phone", Domain("phone", DataType.STRING)),
+            Attribute("Url", _URL),
+            Attribute("MapUrl", _URL),
+            Attribute("Distance", Domain("distance", DataType.FLOAT, size=30)),
+            Attribute("Rating", Domain("stars", DataType.FLOAT, size=10)),
+            RepeatingGroup("Category", (Attribute("Name", _CATEGORY),), avg_members=1),
+        ),
+        description="Restaurants ranked by rating and proximity",
+    )
+
+    registry.register_interface(
+        ServiceInterface(
+            name="Movie1",
+            mart=movie,
+            access_pattern=AccessPattern.from_spec(
+                {
+                    "Genres.Genre": "I",
+                    "Openings.Country": "I",
+                    "Openings.Date": "I",
+                    "Score": "R",
+                }
+            ),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(
+                avg_cardinality=150, chunk_size=20, latency=1.0, invocation_fee=1.0
+            ),
+            scoring=PowerLawScoring(exponent=0.35),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="Theatre1",
+            mart=theatre,
+            access_pattern=AccessPattern.from_spec(
+                {
+                    "UAddress": "I",
+                    "UCity": "I",
+                    "UCountry": "I",
+                    "Distance": "R",
+                }
+            ),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(
+                avg_cardinality=40, chunk_size=5, latency=0.8, invocation_fee=1.0
+            ),
+            scoring=LinearScoring(horizon=40),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="Restaurant1",
+            mart=restaurant,
+            access_pattern=AccessPattern.from_spec(
+                {
+                    "RAddress": "I",
+                    "RCity": "I",
+                    "RCountry": "I",
+                    "Category.Name": "I",
+                    "Distance": "R",
+                    "Rating": "R",
+                }
+            ),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(
+                avg_cardinality=2, chunk_size=1, latency=0.6, invocation_fee=1.0
+            ),
+            scoring=ExponentialScoring(rate=0.4),
+        )
+    )
+
+    if with_alternates:
+        registry.register_interface(
+            ServiceInterface(
+                name="Movie2",
+                mart=movie,
+                access_pattern=AccessPattern.from_spec(
+                    {"Genres.Genre": "I", "Score": "R"}
+                ),
+                kind=ServiceKind.SEARCH,
+                stats=ServiceStats(
+                    avg_cardinality=400, chunk_size=20, latency=2.5,
+                    invocation_fee=2.0,
+                ),
+                scoring=PowerLawScoring(exponent=0.25),
+            )
+        )
+        registry.register_interface(
+            ServiceInterface(
+                name="Theatre2",
+                mart=theatre,
+                access_pattern=AccessPattern.from_spec(
+                    {"UCity": "I", "UCountry": "I", "Distance": "R"}
+                ),
+                kind=ServiceKind.SEARCH,
+                stats=ServiceStats(
+                    avg_cardinality=120, chunk_size=10, latency=2.0,
+                    invocation_fee=3.0,
+                ),
+                scoring=LinearScoring(horizon=120),
+            )
+        )
+
+    registry.register_pattern(
+        ConnectionPattern(
+            name="Shows",
+            source=movie,
+            target=theatre,
+            pairs=(AttributePair.parse("Title", "Movie.Title"),),
+            selectivity=0.02,
+            description="The movie is programmed by the theatre",
+        )
+    )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="DinnerPlace",
+            source=theatre,
+            target=restaurant,
+            pairs=(
+                AttributePair.parse("TAddress", "RAddress"),
+                AttributePair.parse("TCity", "RCity"),
+                AttributePair.parse("TCountry", "RCountry"),
+            ),
+            selectivity=0.40,
+            description="A good restaurant close to the theatre",
+        )
+    )
+    return registry
+
+
+#: The running-example query of Section 3.1 (connection-pattern form).
+RUNNING_EXAMPLE_QUERY = (
+    "SELECT Movie1 AS M, Theatre1 AS T, Restaurant1 AS R "
+    "WHERE Shows(M, T) AND DinnerPlace(T, R) "
+    "AND M.Genres.Genre = INPUT1 AND M.Openings.Country = INPUT2 "
+    "AND M.Openings.Date > INPUT3 AND T.UAddress = INPUT4 "
+    "AND T.UCity = INPUT5 AND T.UCountry = INPUT2 "
+    "AND R.Category.Name = INPUT6 "
+    "RANK BY 0.3*M, 0.5*T, 0.2*R LIMIT 10"
+)
+
+#: Default bindings for the running example's INPUT variables.
+RUNNING_EXAMPLE_INPUTS = {
+    "INPUT1": "genre#3",
+    "INPUT2": "country#1",
+    "INPUT3": "2009-03-01",
+    "INPUT4": "address#17",
+    "INPUT5": "city#4",
+    "INPUT6": "category#2",
+}
+
+
+def conference_trip_registry() -> ServiceRegistry:
+    """Registry for the Conference/Weather/Flight/Hotel example (Fig. 2)."""
+    registry = ServiceRegistry()
+
+    conference = ServiceMart(
+        "Conference",
+        (
+            Attribute("Name", _NAME),
+            Attribute("City", _CITY),
+            Attribute("Country", _COUNTRY),
+            Attribute("Start", _DATE),
+            Attribute("End", _DATE),
+            Attribute("Topic", _TOPIC),
+        ),
+        description="Conferences matching a research topic",
+    )
+    weather = ServiceMart(
+        "Weather",
+        (
+            Attribute("WCity", _CITY),
+            Attribute("AvgTemp", _TEMP),
+        ),
+        description="Average temperature per city",
+    )
+    flight = ServiceMart(
+        "Flight",
+        (
+            Attribute("FromCity", _CITY),
+            Attribute("ToCity", _CITY),
+            Attribute("FDate", _DATE),
+            Attribute("Airline", Domain("airline", DataType.STRING, size=15)),
+            Attribute("FPrice", _MONEY),
+        ),
+        description="Flights ranked by price",
+    )
+    hotel = ServiceMart(
+        "Hotel",
+        (
+            Attribute("HName", _NAME),
+            Attribute("HCity", _CITY),
+            Attribute("Stars", Domain("stars", DataType.INTEGER, size=5)),
+            Attribute("HPrice", _MONEY),
+        ),
+        description="Hotels ranked by value for money",
+    )
+
+    registry.register_interface(
+        ServiceInterface(
+            name="Conference1",
+            mart=conference,
+            access_pattern=AccessPattern.from_spec({"Topic": "I"}),
+            kind=ServiceKind.EXACT,
+            stats=ServiceStats(avg_cardinality=20, chunk_size=None, latency=1.2),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="Weather1",
+            mart=weather,
+            access_pattern=AccessPattern.from_spec({"WCity": "I"}),
+            kind=ServiceKind.EXACT,
+            stats=ServiceStats(avg_cardinality=1, chunk_size=None, latency=0.3),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="Flight1",
+            mart=flight,
+            access_pattern=AccessPattern.from_spec(
+                {"FromCity": "I", "ToCity": "I", "FDate": "I", "FPrice": "R"}
+            ),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=60, chunk_size=10, latency=1.5),
+            scoring=LinearScoring(horizon=60),
+        )
+    )
+    registry.register_interface(
+        ServiceInterface(
+            name="Hotel1",
+            mart=hotel,
+            access_pattern=AccessPattern.from_spec({"HCity": "I", "Stars": "R"}),
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=80, chunk_size=10, latency=1.0),
+            scoring=ExponentialScoring(rate=0.02),
+        )
+    )
+
+    registry.register_pattern(
+        ConnectionPattern(
+            name="LocatedIn",
+            source=conference,
+            target=weather,
+            pairs=(AttributePair.parse("City", "WCity"),),
+            selectivity=1.0,
+            description="Weather at the conference city",
+        )
+    )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="FliesTo",
+            source=conference,
+            target=flight,
+            pairs=(AttributePair.parse("City", "ToCity"),),
+            selectivity=0.95,
+            description="Flights into the conference city",
+        )
+    )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="Venue",
+            source=conference,
+            target=hotel,
+            pairs=(AttributePair.parse("City", "HCity"),),
+            selectivity=0.95,
+            description="Hotels in the conference city",
+        )
+    )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="Stay",
+            source=flight,
+            target=hotel,
+            pairs=(AttributePair.parse("ToCity", "HCity"),),
+            selectivity=0.9,
+            description="Hotel in the flight's destination city",
+        )
+    )
+    return registry
+
+
+#: The Fig. 2 query: conferences on a topic, warm weather, flight + hotel.
+CONFERENCE_QUERY = (
+    "SELECT Conference1 AS C, Weather1 AS W, Flight1 AS F, Hotel1 AS H "
+    "WHERE LocatedIn(C, W) AND FliesTo(C, F) AND Venue(C, H) AND Stay(F, H) "
+    "AND C.Topic = INPUT1 AND W.AvgTemp > INPUT2 "
+    "AND F.FromCity = INPUT3 AND F.FDate = INPUT4 "
+    "RANK BY 0.5*F, 0.5*H LIMIT 10"
+)
+
+#: Default bindings for the conference example's INPUT variables.
+CONFERENCE_INPUTS = {
+    "INPUT1": "topic#5",
+    "INPUT2": 26.0,
+    "INPUT3": "city#0",
+    "INPUT4": "2009-06-15",
+}

@@ -1,0 +1,231 @@
+"""Simulated Web services: the invokable substrate behind every benchmark.
+
+A :class:`SimulatedService` wraps a service interface with a deterministic
+:class:`~repro.services.datagen.TupleGenerator` and a seeded latency model.
+Invoking it yields a :class:`SimulatedInvocation`, which is a
+:class:`~repro.joins.methods.ChunkSource`: each ``next_chunk()`` models one
+request-response round trip — it advances the virtual clock by a latency
+draw, appends a :class:`~repro.engine.events.CallRecord` to the call log,
+and returns the next chunk of the ranked result list.
+
+A :class:`ServicePool` manages one simulated service per registered
+interface, sharing a clock, log, and global seed — this is the "execution
+environment ... capable of executing query plans" of Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.ast import SelectionPredicate
+
+from repro.engine.events import CallLog, CallRecord, VirtualClock
+from repro.errors import ServiceInvocationError
+from repro.joins.methods import ChunkSource
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import ScoringFunction
+from repro.model.service import ServiceInterface
+from repro.model.tuples import ServiceTuple
+from repro.services.datagen import TupleGenerator, derive_seed
+
+__all__ = ["LatencyModel", "SimulatedInvocation", "SimulatedService", "ServicePool"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Seeded per-call latency: ``base + jitter`` plus per-tuple transfer.
+
+    Jitter is uniform in ``[-jitter_fraction, +jitter_fraction]`` of the
+    base, drawn from the invocation's own RNG, so latencies are
+    reproducible under the global seed.
+    """
+
+    jitter_fraction: float = 0.1
+
+    def draw(
+        self, interface: ServiceInterface, tuples: int, rng: random.Random
+    ) -> float:
+        base = interface.stats.latency
+        jitter = base * self.jitter_fraction
+        latency = base + rng.uniform(-jitter, jitter) if jitter else base
+        return max(0.0, latency) + tuples * interface.stats.per_tuple_latency
+
+
+@dataclass
+class SimulatedInvocation(ChunkSource):
+    """One in-flight invocation: a chunk source over generated results."""
+
+    interface: ServiceInterface
+    results: list[ServiceTuple]
+    alias: str
+    clock: VirtualClock
+    log: CallLog
+    latency_model: LatencyModel
+    rng: random.Random
+    chunk_size: int = field(init=False)
+    scoring: ScoringFunction = field(init=False)
+    _cursor: int = 0
+    _calls: int = 0
+
+    def __post_init__(self) -> None:
+        self.chunk_size = self.interface.chunk_size
+        self.scoring = self.interface.scoring
+
+    def next_chunk(self) -> list[ServiceTuple] | None:
+        """One request-response: advance time, log the call, return a chunk.
+
+        Unchunked services ship their whole result list in the single
+        first call and are exhausted afterwards.
+        """
+        if self._cursor >= len(self.results):
+            if self._calls == 0 and not self.results:
+                # An empty first response still costs one round trip.
+                self._record(0)
+            return None
+        if self.interface.is_chunked:
+            chunk = self.results[self._cursor : self._cursor + self.chunk_size]
+            self._cursor += self.chunk_size
+        else:
+            chunk = self.results[self._cursor :]
+            self._cursor = len(self.results)
+        self._record(len(chunk))
+        return list(chunk)
+
+    def _record(self, tuples: int) -> None:
+        latency = self.latency_model.draw(self.interface, tuples, self.rng)
+        self.log.record(
+            CallRecord(
+                service=self.interface.name,
+                alias=self.alias,
+                chunk_index=self._calls,
+                started_at=self.clock.now,
+                latency=latency,
+                tuples=tuples,
+            )
+        )
+        self.clock.advance(latency)
+        self._calls += 1
+
+    @property
+    def calls(self) -> int:
+        return self._calls
+
+    @property
+    def remaining(self) -> int:
+        return max(0, len(self.results) - self._cursor)
+
+
+@dataclass
+class SimulatedService:
+    """A deterministic stand-in for one Web service interface."""
+
+    interface: ServiceInterface
+    global_seed: int = 0
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    generator: TupleGenerator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.generator = TupleGenerator(
+            interface=self.interface, global_seed=self.global_seed
+        )
+
+    def invoke(
+        self,
+        inputs: Mapping[str, Any],
+        clock: VirtualClock,
+        log: CallLog,
+        alias: str | None = None,
+        constraints: Sequence["SelectionPredicate"] = (),
+        availability: float = 1.0,
+    ) -> SimulatedInvocation:
+        """Start one invocation with the given input bindings.
+
+        ``constraints`` are server-side input predicates (resolved to
+        constants) the simulated service filters by.  ``availability`` is
+        the probability that this invocation has any results at all — the
+        executor passes the pipe-join selectivity here, modelling e.g.
+        "only 40% of theatres have a good restaurant close by"
+        (Section 5.6's DinnerPlace estimate).  The draw is a deterministic
+        function of the bindings.  Raises
+        :class:`~repro.errors.ServiceInvocationError` when a declared input
+        path is missing from ``inputs``.
+        """
+        if availability < 1.0:
+            gate = random.Random(
+                derive_seed(self.global_seed ^ 0xA7A11, self.interface.name, inputs)
+            )
+            if gate.random() >= availability:
+                results: list[ServiceTuple] = []
+            else:
+                results = self.generator.generate(inputs, constraints=constraints)
+        else:
+            results = self.generator.generate(inputs, constraints=constraints)
+        rng = random.Random(
+            derive_seed(self.global_seed ^ 0x5EC0, self.interface.name, inputs)
+        )
+        return SimulatedInvocation(
+            interface=self.interface,
+            results=results,
+            alias=alias or self.interface.name,
+            clock=clock,
+            log=log,
+            latency_model=self.latency_model,
+            rng=rng,
+        )
+
+
+@dataclass
+class ServicePool:
+    """Shared execution context over a registry's interfaces."""
+
+    registry: ServiceRegistry
+    global_seed: int = 0
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    log: CallLog = field(default_factory=CallLog)
+    _services: dict[str, SimulatedService] = field(default_factory=dict)
+
+    def service(self, interface_name: str) -> SimulatedService:
+        if interface_name not in self._services:
+            interface = self.registry.interface(interface_name)
+            self._services[interface_name] = SimulatedService(
+                interface=interface,
+                global_seed=self.global_seed,
+                latency_model=self.latency_model,
+            )
+        return self._services[interface_name]
+
+    def invoke(
+        self,
+        interface_name: str,
+        inputs: Mapping[str, Any],
+        alias: str | None = None,
+        constraints: Sequence["SelectionPredicate"] = (),
+        availability: float = 1.0,
+    ) -> SimulatedInvocation:
+        return self.service(interface_name).invoke(
+            inputs,
+            clock=self.clock,
+            log=self.log,
+            alias=alias,
+            constraints=constraints,
+            availability=availability,
+        )
+
+    def reset(self) -> None:
+        """Fresh clock and log; generated data stays identical (same seed)."""
+        self.clock = VirtualClock()
+        self.log = CallLog()
+
+
+def ranked_order_ok(tuples: Iterable[ServiceTuple]) -> bool:
+    """Check that a tuple stream is in non-increasing score order."""
+    previous: float | None = None
+    for tup in tuples:
+        if previous is not None and tup.score > previous + 1e-9:
+            return False
+        previous = tup.score
+    return True

@@ -1,0 +1,222 @@
+"""Synthetic workload generator for optimizer and join benchmarks.
+
+Builds parameterised schemas and queries of controlled shape and size:
+
+* :func:`chain_workload` — ``n`` services in a pipe chain
+  ``S0 -> S1 -> ... -> S(n-1)``: each service's input attribute is fed by
+  its predecessor's output (one binding choice, deep topologies).
+* :func:`star_workload` — one hub source and ``n - 1`` piped satellites,
+  every satellite joinable in parallel (wide topologies, many merges).
+* :func:`mixed_workload` — a chain whose middle node fans out into two
+  satellite branches (both deep and wide choices).
+
+Every generated service is a chunked search service with seeded, slightly
+varied statistics so that cost-based choices are non-trivial; the returned
+:class:`Workload` bundles the registry, query text, and INPUT bindings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.model.connections import AttributePair, ConnectionPattern
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import ExponentialScoring, LinearScoring
+from repro.model.service import (
+    AccessPattern,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+
+__all__ = ["Workload", "chain_workload", "star_workload", "mixed_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated benchmark scenario."""
+
+    registry: ServiceRegistry
+    query_text: str
+    inputs: dict[str, Any]
+    shape: str
+    size: int
+
+
+def _make_mart(index: int, key_domain: Domain) -> ServiceMart:
+    return ServiceMart(
+        f"Mart{index}",
+        (
+            Attribute("InKey", key_domain),
+            Attribute("OutKey", key_domain),
+            Attribute("Payload", Domain("payload", DataType.STRING)),
+            Attribute("Rank", Domain("rank", DataType.FLOAT, size=10)),
+        ),
+        description=f"Synthetic service mart #{index}",
+    )
+
+
+def _make_interface(
+    index: int, mart: ServiceMart, rng: random.Random, needs_input: bool
+) -> ServiceInterface:
+    adornments = {"Rank": "R"}
+    if needs_input:
+        adornments["InKey"] = "I"
+    scoring = (
+        LinearScoring(horizon=rng.randint(30, 80))
+        if rng.random() < 0.5
+        else ExponentialScoring(rate=rng.uniform(0.02, 0.1))
+    )
+    return ServiceInterface(
+        name=f"Svc{index}",
+        mart=mart,
+        access_pattern=AccessPattern.from_spec(adornments),
+        kind=ServiceKind.SEARCH,
+        stats=ServiceStats(
+            avg_cardinality=rng.randint(20, 60),
+            chunk_size=rng.choice([5, 10, 20]),
+            latency=rng.uniform(0.4, 2.0),
+            invocation_fee=1.0,
+        ),
+        scoring=scoring,
+    )
+
+
+def chain_workload(size: int, seed: int = 0, k: int = 10) -> Workload:
+    """A pipe chain of ``size`` services."""
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    rng = random.Random(seed)
+    registry = ServiceRegistry()
+    key_domain = Domain("synthkey", DataType.INTEGER, size=12)
+    marts = [_make_mart(i, key_domain) for i in range(size)]
+    for index, mart in enumerate(marts):
+        registry.register_interface(
+            _make_interface(index, mart, rng, needs_input=True)
+        )
+    for index in range(size - 1):
+        registry.register_pattern(
+            ConnectionPattern(
+                name=f"Link{index}",
+                source=marts[index],
+                target=marts[index + 1],
+                pairs=(AttributePair.parse("OutKey", "InKey"),),
+                selectivity=rng.uniform(0.3, 0.9),
+            )
+        )
+    atoms = ", ".join(f"Svc{i} AS A{i}" for i in range(size))
+    conditions = ["A0.InKey = INPUT1"]
+    conditions += [f"Link{i}(A{i}, A{i + 1})" for i in range(size - 1)]
+    weights = ", ".join(f"{1.0 / size:.4f}*A{i}" for i in range(size))
+    text = (
+        f"SELECT {atoms} WHERE {' AND '.join(conditions)} "
+        f"RANK BY {weights} LIMIT {k}"
+    )
+    return Workload(
+        registry=registry,
+        query_text=text,
+        inputs={"INPUT1": 3},
+        shape="chain",
+        size=size,
+    )
+
+
+def star_workload(size: int, seed: int = 0, k: int = 10) -> Workload:
+    """A hub source feeding ``size - 1`` parallel satellites."""
+    if size < 2:
+        raise ValueError("star needs at least 2 services")
+    rng = random.Random(seed)
+    registry = ServiceRegistry()
+    key_domain = Domain("synthkey", DataType.INTEGER, size=12)
+    marts = [_make_mart(i, key_domain) for i in range(size)]
+    registry.register_interface(
+        _make_interface(0, marts[0], rng, needs_input=True)
+    )
+    for index in range(1, size):
+        registry.register_interface(
+            _make_interface(index, marts[index], rng, needs_input=True)
+        )
+        registry.register_pattern(
+            ConnectionPattern(
+                name=f"Spoke{index}",
+                source=marts[0],
+                target=marts[index],
+                pairs=(AttributePair.parse("OutKey", "InKey"),),
+                selectivity=rng.uniform(0.3, 0.9),
+            )
+        )
+    atoms = ", ".join(f"Svc{i} AS A{i}" for i in range(size))
+    conditions = ["A0.InKey = INPUT1"]
+    conditions += [f"Spoke{i}(A0, A{i})" for i in range(1, size)]
+    weights = ", ".join(f"{1.0 / size:.4f}*A{i}" for i in range(size))
+    text = (
+        f"SELECT {atoms} WHERE {' AND '.join(conditions)} "
+        f"RANK BY {weights} LIMIT {k}"
+    )
+    return Workload(
+        registry=registry,
+        query_text=text,
+        inputs={"INPUT1": 3},
+        shape="star",
+        size=size,
+    )
+
+
+def mixed_workload(size: int, seed: int = 0, k: int = 10) -> Workload:
+    """A chain with a two-satellite fan-out at its midpoint.
+
+    Needs ``size >= 4`` (two chain nodes plus two satellites); larger
+    sizes extend the chain prefix.
+    """
+    if size < 4:
+        raise ValueError("mixed workload needs at least 4 services")
+    rng = random.Random(seed)
+    registry = ServiceRegistry()
+    key_domain = Domain("synthkey", DataType.INTEGER, size=12)
+    marts = [_make_mart(i, key_domain) for i in range(size)]
+    for index, mart in enumerate(marts):
+        registry.register_interface(
+            _make_interface(index, mart, rng, needs_input=True)
+        )
+    chain_len = size - 2
+    conditions = ["A0.InKey = INPUT1"]
+    for index in range(chain_len - 1):
+        registry.register_pattern(
+            ConnectionPattern(
+                name=f"Link{index}",
+                source=marts[index],
+                target=marts[index + 1],
+                pairs=(AttributePair.parse("OutKey", "InKey"),),
+                selectivity=rng.uniform(0.3, 0.9),
+            )
+        )
+        conditions.append(f"Link{index}(A{index}, A{index + 1})")
+    hub = chain_len - 1
+    for offset, index in enumerate((size - 2, size - 1)):
+        registry.register_pattern(
+            ConnectionPattern(
+                name=f"Fan{offset}",
+                source=marts[hub],
+                target=marts[index],
+                pairs=(AttributePair.parse("OutKey", "InKey"),),
+                selectivity=rng.uniform(0.3, 0.9),
+            )
+        )
+        conditions.append(f"Fan{offset}(A{hub}, A{index})")
+    atoms = ", ".join(f"Svc{i} AS A{i}" for i in range(size))
+    weights = ", ".join(f"{1.0 / size:.4f}*A{i}" for i in range(size))
+    text = (
+        f"SELECT {atoms} WHERE {' AND '.join(conditions)} "
+        f"RANK BY {weights} LIMIT {k}"
+    )
+    return Workload(
+        registry=registry,
+        query_text=text,
+        inputs={"INPUT1": 3},
+        shape="mixed",
+        size=size,
+    )

@@ -1,0 +1,21 @@
+"""Selectivity and result-size estimation (Section 3.2 assumptions)."""
+
+from repro.stats.estimate import (
+    DEFAULT_EQ,
+    LIKE_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    Estimator,
+    combined_selection_selectivity,
+    join_group_selectivity,
+    selection_selectivity,
+)
+
+__all__ = [
+    "DEFAULT_EQ",
+    "LIKE_SELECTIVITY",
+    "RANGE_SELECTIVITY",
+    "Estimator",
+    "combined_selection_selectivity",
+    "join_group_selectivity",
+    "selection_selectivity",
+]

@@ -1,0 +1,147 @@
+"""Unit tests for plan annotation — including the Fig. 10 numbers (E09)."""
+
+import pytest
+
+from repro.core.annotate import TRIANGULAR_CANDIDATE_FACTOR, annotate
+from repro.core.topology import enumerate_topologies
+from repro.plans.nodes import ParallelJoinNode, ServiceNode
+from repro.query.feasibility import enumerate_binding_choices
+
+FIG10_FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+@pytest.fixture(scope="module")
+def four_plans(movie_query):
+    choice = next(enumerate_binding_choices(movie_query))
+    return list(enumerate_topologies(movie_query, {}, choice))
+
+
+def plan_with_join_then_restaurant(plans):
+    """The Fig. 10 topology: (Movie || Theatre) -> MS join -> Restaurant."""
+    for plan in plans:
+        join_nodes = plan.join_nodes()
+        if not join_nodes:
+            continue
+        join_id = join_nodes[0].node_id
+        children = plan.children(join_id)
+        child = plan.node(children[0])
+        if isinstance(child, ServiceNode) and child.alias == "R":
+            return plan
+    raise AssertionError("Fig. 10 topology not found")
+
+
+class TestFig10Numbers:
+    """Section 5.6: K=10 back-propagates to the annotated plan of Fig. 10."""
+
+    def test_exactly_four_topologies(self, four_plans):
+        assert len(four_plans) == 4  # Fig. 9
+
+    def test_fig10_annotations(self, movie_query, four_plans):
+        plan = plan_with_join_then_restaurant(four_plans)
+        ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+        movie = plan.service_node_for("M")
+        theatre = plan.service_node_for("T")
+        restaurant = plan.service_node_for("R")
+        join = plan.join_nodes()[0]
+
+        # "restrict to the first 100 movies, corresponding to 5 fetches of
+        # chunks of 20 movies"
+        assert ann.tout(movie.node_id) == pytest.approx(100)
+        # "the first 25 theatres ... 5 chunks of size 5"
+        assert ann.tout(theatre.node_id) == pytest.approx(25)
+        # "multiplying 100 by 25 we obtain 2500, but ... triangular
+        # completion ... only the half ... thus obtaining tMSout = 1250"
+        # candidates; times the 2% Shows selectivity -> 25 combinations.
+        assert ann.tin(join.node_id) == pytest.approx(1250)
+        assert ann.tout(join.node_id) == pytest.approx(25)
+        # "tRestaurantin = 25 ... K = 10 implies tRestaurantout = 10"
+        assert ann.tin(restaurant.node_id) == pytest.approx(25)
+        assert ann.tout(restaurant.node_id) == pytest.approx(10)
+        # Output delivers exactly K.
+        assert ann.estimated_results(plan) == pytest.approx(10)
+
+    def test_fig10_call_counts(self, movie_query, four_plans):
+        plan = plan_with_join_then_restaurant(four_plans)
+        ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+        assert ann.calls(plan.service_node_for("M").node_id) == pytest.approx(5)
+        assert ann.calls(plan.service_node_for("T").node_id) == pytest.approx(5)
+        assert ann.calls(plan.service_node_for("R").node_id) == pytest.approx(25)
+        assert ann.total_calls() == pytest.approx(35)
+
+
+class TestAnnotationRules:
+    def test_input_node_emits_one_tuple(self, movie_query, four_plans):
+        plan = four_plans[0]
+        ann = annotate(plan, movie_query)
+        assert ann.tout(plan.input_node.node_id) == 1.0
+
+    def test_triangular_halves_candidates(self, movie_query, four_plans):
+        assert TRIANGULAR_CANDIDATE_FACTOR == 0.5
+        plan = plan_with_join_then_restaurant(four_plans)
+        join = plan.join_nodes()[0]
+        ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+        left, right = plan.parents(join.node_id)
+        assert ann.tin(join.node_id) == pytest.approx(
+            ann.tout(left) * ann.tout(right) * 0.5
+        )
+
+    def test_fetch_factor_respects_cardinality_cap(self, movie_query, four_plans):
+        plan = four_plans[0]
+        # Theatre averages 40 tuples: fetching 20 chunks of 5 caps at 40.
+        ann = annotate(plan, movie_query, fetches={"T": 20, "M": 1, "R": 1})
+        assert ann.tout(plan.service_node_for("T").node_id) == pytest.approx(40)
+
+    def test_default_fetch_factor_is_one(self, movie_query, four_plans):
+        plan = four_plans[0]
+        ann = annotate(plan, movie_query)
+        node = plan.service_node_for("M")
+        assert ann.by_node[node.node_id].fetches == 1
+        assert ann.tout(node.node_id) == pytest.approx(20)  # one chunk
+
+    def test_invalid_fetch_factor_rejected(self, movie_query, four_plans):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            annotate(movie_query and four_plans[0], movie_query, fetches={"M": 0})
+
+    def test_exact_services_unchunked(self, conference_query):
+        from repro.core.topology import enumerate_topologies as enum
+        from repro.query.feasibility import enumerate_binding_choices as choices
+
+        choice = next(choices(conference_query))
+        plan = next(enum(conference_query, {}, choice))
+        ann = annotate(plan, conference_query)
+        conf = plan.service_node_for("C")
+        assert ann.by_node[conf.node_id].fetches is None
+        assert ann.tout(conf.node_id) == pytest.approx(20)  # Fig. 3
+
+    def test_weather_selective_in_context(self, conference_query):
+        """Fig. 2: Weather's temperature predicate makes it selective in
+        the context of the query (tout < tin)."""
+        from repro.core.topology import enumerate_topologies as enum
+        from repro.query.feasibility import enumerate_binding_choices as choices
+
+        choice = next(choices(conference_query))
+        plan = next(enum(conference_query, {}, choice))
+        ann = annotate(plan, conference_query)
+        weather = plan.service_node_for("W")
+        assert ann.tout(weather.node_id) < ann.tin(weather.node_id)
+        # 20 conferences, range selectivity 1/3 -> ~6.7 warm ones.
+        assert ann.tout(weather.node_id) == pytest.approx(20 / 3)
+
+    def test_piped_service_invoked_per_input_tuple(self, movie_query, four_plans):
+        plan = plan_with_join_then_restaurant(four_plans)
+        ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+        restaurant = plan.service_node_for("R")
+        assert ann.calls(restaurant.node_id) == pytest.approx(
+            ann.tin(restaurant.node_id)
+        )
+
+    def test_unpiped_service_invoked_once(self, movie_query, four_plans):
+        # In serial chains, a service bound only by INPUT variables is
+        # invoked once regardless of its tin.
+        for plan in four_plans:
+            ann = annotate(plan, movie_query, fetches=FIG10_FETCHES)
+            movie = plan.service_node_for("M")
+            if not movie.pipe_sources:
+                assert ann.calls(movie.node_id) == pytest.approx(5)  # 1 x F

@@ -1,0 +1,159 @@
+"""Tests for query augmentation with off-query services (Section 2.3)."""
+
+import pytest
+
+from repro.errors import UnfeasibleQueryError
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.model.registry import ServiceRegistry
+from repro.model.service import AccessPattern, ServiceInterface, ServiceMart
+from repro.query.augment import augment_query
+from repro.query.compile import compile_query
+from repro.query.feasibility import check_feasibility
+from repro.query.parser import parse_query
+
+
+@pytest.fixture()
+def registry_with_helper():
+    """Target's input is uncoverable in-query, but a helper service
+    outputs the same abstract domain."""
+    key = Domain("isbn", DataType.STRING, size=30)
+    target = ServiceMart(
+        "Review", (Attribute("Isbn", key), Attribute("Stars"))
+    )
+    helper = ServiceMart(
+        "Catalog", (Attribute("Topic"), Attribute("BookIsbn", key))
+    )
+    registry = ServiceRegistry()
+    registry.register_interface(
+        ServiceInterface(
+            name="Review1",
+            mart=target,
+            access_pattern=AccessPattern.from_spec({"Isbn": "I"}),
+        )
+    )
+    # The helper is input-free (a crawlable catalogue): single-step
+    # augmentation requires helpers reachable from existing bindings.
+    registry.register_interface(
+        ServiceInterface(name="Catalog1", mart=helper)
+    )
+    return registry
+
+
+class TestAugmentation:
+    def test_feasible_query_returned_unchanged(self, movie_query):
+        result = augment_query(movie_query)
+        assert not result.augmented
+        assert result.query is movie_query.source
+
+    def test_unfeasible_query_gets_helper(self, registry_with_helper):
+        compiled = compile_query(parse_query("SELECT Review1 AS R"), registry_with_helper)
+        assert not check_feasibility(compiled).feasible
+
+        result = augment_query(compiled)
+        assert result.augmented
+        assert len(result.steps) == 1
+        step = result.steps[0]
+        assert step.helper_interface == "Catalog1"
+        assert step.covers_alias == "R"
+        assert step.covers_path == "Isbn"
+        assert step.domain == "isbn"
+
+        augmented = compile_query(result.query, registry_with_helper)
+        assert check_feasibility(augmented).feasible
+
+    def test_helper_join_predicate_added(self, registry_with_helper):
+        compiled = compile_query(
+            parse_query("SELECT Review1 AS R"), registry_with_helper
+        )
+        result = augment_query(compiled)
+        augmented = compile_query(result.query, registry_with_helper)
+        # The helper atom and the domain join are present.
+        aliases = [atom.alias for atom in result.query.atoms]
+        assert "AUX0" in aliases
+        joins = [str(j) for j in result.query.joins]
+        assert any("AUX0.BookIsbn" in j and "R.Isbn" in j for j in joins)
+
+    def test_hopeless_query_raises(self):
+        registry = ServiceRegistry()
+        lonely = ServiceMart(
+            "Lonely",
+            (Attribute("In", Domain("nowhere", DataType.STRING, size=5)),
+             Attribute("Out")),
+        )
+        registry.register_interface(
+            ServiceInterface(
+                name="Lonely1",
+                mart=lonely,
+                access_pattern=AccessPattern.from_spec({"In": "I"}),
+            )
+        )
+        compiled = compile_query(parse_query("SELECT Lonely1 AS L"), registry)
+        with pytest.raises(UnfeasibleQueryError):
+            augment_query(compiled)
+
+    def test_augmented_query_is_executable(self, registry_with_helper):
+        """End to end: augment, optimize, execute the approximation."""
+        from repro.core.optimizer import optimize_query
+        from repro.engine.executor import execute_plan
+        from repro.services.simulated import ServicePool
+
+        compiled = compile_query(
+            parse_query("SELECT Review1 AS R"), registry_with_helper
+        )
+        result = augment_query(compiled)
+        augmented = compile_query(result.query, registry_with_helper)
+        assert check_feasibility(augmented).feasible
+        best = optimize_query(augmented)
+        pool = ServicePool(registry_with_helper, global_seed=4)
+        execution = execute_plan(
+            best.plan, augmented, pool, {}, best.fetch_vector()
+        )
+        # Every combination binds Review's Isbn from the helper's output.
+        for combo in execution.tuples:
+            assert combo.component("R").values["Isbn"] == combo.component(
+                "AUX0"
+            ).values["BookIsbn"]
+
+
+class TestMultiHopAugmentation:
+    def test_two_hop_helper_chain(self):
+        """A helper that itself needs a helper: the augmentation loop
+        iterates until the query closes (the chapter's remark that
+        augmentation generally needs recursive evaluation)."""
+        from repro.query.augment import augment_query
+
+        isbn = Domain("isbn2", DataType.STRING, size=20)
+        topic = Domain("topic2", DataType.STRING, size=8)
+        review = ServiceMart("Rev", (Attribute("RIsbn", isbn), Attribute("Stars")))
+        catalog = ServiceMart(
+            "Cat", (Attribute("CTopic", topic), Attribute("CIsbn", isbn))
+        )
+        trending = ServiceMart("Trend", (Attribute("TTopic", topic),))
+
+        registry = ServiceRegistry()
+        registry.register_interface(
+            ServiceInterface(
+                name="Rev1",
+                mart=review,
+                access_pattern=AccessPattern.from_spec({"RIsbn": "I"}),
+            )
+        )
+        # Catalog itself needs a topic...
+        registry.register_interface(
+            ServiceInterface(
+                name="Cat1",
+                mart=catalog,
+                access_pattern=AccessPattern.from_spec({"CTopic": "I"}),
+            )
+        )
+        # ...which the input-free Trending service can provide.
+        registry.register_interface(ServiceInterface(name="Trend1", mart=trending))
+
+        compiled = compile_query(parse_query("SELECT Rev1 AS R"), registry)
+        assert not check_feasibility(compiled).feasible
+        result = augment_query(compiled)
+        assert len(result.steps) == 2
+        helpers = [step.helper_interface for step in result.steps]
+        assert helpers == ["Cat1", "Trend1"]
+        augmented = compile_query(result.query, registry)
+        assert check_feasibility(augmented).feasible

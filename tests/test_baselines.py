@@ -1,0 +1,123 @@
+"""Unit tests for the baseline planners (exhaustive, WSMS, naive)."""
+
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.baselines.naive import first_feasible_candidate, random_candidate
+from repro.baselines.wsms import (
+    WsmsService,
+    chain_bottleneck,
+    exchange_sorted_chain,
+    optimal_chain,
+    wsms_service_from_interface,
+)
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.errors import OptimizationError
+
+
+class TestExhaustive:
+    def test_finds_satisfying_optimum(self, movie_query):
+        result = exhaustive_optimum(movie_query, metric=CallCountMetric())
+        assert result.found
+        assert result.best.satisfies_k
+        assert result.candidates_priced > 0
+        assert result.topologies == 4
+
+    def test_reports_enumeration_counts(self, conference_query):
+        result = exhaustive_optimum(conference_query, metric=CallCountMetric())
+        assert result.assignments == 1  # interfaces fixed by the query
+        assert result.topologies == 31
+
+    def test_max_fetch_bounds_grid(self, movie_query):
+        small = exhaustive_optimum(movie_query, max_fetch=2)
+        large = exhaustive_optimum(movie_query, max_fetch=6)
+        assert small.candidates_priced < large.candidates_priced
+
+
+class TestWsmsModel:
+    def test_chain_bottleneck_formula(self):
+        a = WsmsService("a", cost=2.0, selectivity=0.5)
+        b = WsmsService("b", cost=3.0, selectivity=0.2)
+        # Order (a, b): max(2, 3 * 0.5) = 2; order (b, a): max(3, 2*0.2) = 3.
+        assert chain_bottleneck([a, b]) == pytest.approx(2.0)
+        assert chain_bottleneck([b, a]) == pytest.approx(3.0)
+
+    def test_optimal_chain_matches_enumeration(self):
+        services = [
+            WsmsService("a", 2.0, 0.5),
+            WsmsService("b", 3.0, 0.2),
+            WsmsService("c", 1.0, 0.8),
+            WsmsService("d", 5.0, 0.1),
+        ]
+        order, cost = optimal_chain(services)
+        assert chain_bottleneck(order) == pytest.approx(cost)
+        greedy = exchange_sorted_chain(services)
+        assert chain_bottleneck(greedy) == pytest.approx(cost)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exchange_sort_optimal_on_selective_services(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        services = [
+            WsmsService(f"s{i}", rng.uniform(0.5, 5.0), rng.uniform(0.05, 0.95))
+            for i in range(5)
+        ]
+        _, best = optimal_chain(services)
+        greedy = exchange_sorted_chain(services)
+        assert chain_bottleneck(greedy) == pytest.approx(best)
+
+    def test_enumeration_size_guard(self):
+        services = [WsmsService(f"s{i}", 1.0, 0.5) for i in range(10)]
+        with pytest.raises(OptimizationError):
+            optimal_chain(services)
+
+    def test_adapter_accepts_exact_rejects_search(self, conference_registry):
+        weather = conference_registry.interface("Weather1")
+        adapted = wsms_service_from_interface(weather)
+        assert adapted.selectivity == pytest.approx(1.0)
+        assert adapted.cost == pytest.approx(0.3)
+        flight = conference_registry.interface("Flight1")
+        with pytest.raises(OptimizationError):
+            wsms_service_from_interface(flight)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            WsmsService("x", cost=-1.0, selectivity=0.5)
+        with pytest.raises(OptimizationError):
+            WsmsService("x", cost=1.0, selectivity=-0.5)
+
+
+class TestNaivePlanners:
+    def test_first_feasible_satisfies_k(self, movie_query):
+        candidate = first_feasible_candidate(movie_query)
+        assert candidate.satisfies_k
+
+    def test_first_feasible_never_beats_optimizer(self, movie_query):
+        from repro.core.optimizer import optimize_query
+
+        metric = ExecutionTimeMetric()
+        naive = first_feasible_candidate(movie_query, metric=metric)
+        best = optimize_query(movie_query)
+        assert naive.cost >= best.cost - 1e-9
+
+    def test_random_candidate_deterministic_per_seed(self, movie_query):
+        a = random_candidate(movie_query, seed=3)
+        b = random_candidate(movie_query, seed=3)
+        assert a.cost == pytest.approx(b.cost)
+        assert a.fetch_vector() == b.fetch_vector()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_candidates_are_valid(self, movie_query, seed):
+        candidate = random_candidate(movie_query, seed=seed)
+        assert candidate.satisfies_k
+        candidate.plan.validate()
+
+    def test_random_beats_nothing_but_is_bounded_below_by_optimum(
+        self, conference_query, seed=1
+    ):
+        from repro.core.optimizer import optimize_query
+
+        best = optimize_query(conference_query)
+        sample = random_candidate(conference_query, seed=seed)
+        assert sample.cost >= best.cost - 1e-9

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestRegistry:
+    def test_movie_catalogue(self, capsys):
+        code, out = run_cli(capsys, "registry", "--schema", "movie")
+        assert code == 0
+        assert "Movie1" in out and "pattern Shows" in out
+
+    def test_conference_catalogue(self, capsys):
+        code, out = run_cli(capsys, "registry", "--schema", "conference")
+        assert code == 0
+        assert "Flight1" in out and "pattern Stay" in out
+
+
+class TestPlan:
+    def test_default_plan(self, capsys):
+        code, out = run_cli(capsys, "plan")
+        assert code == 0
+        assert "OUTPUT" in out
+        assert "fetches:" in out
+        assert "expanded" in out
+
+    def test_metric_selection(self, capsys):
+        code, out = run_cli(capsys, "plan", "--metric", "call-count")
+        assert code == 0
+        assert "call-count" in out
+
+    def test_budget(self, capsys):
+        code, out = run_cli(capsys, "plan", "--budget", "3")
+        assert code == 0
+        assert "cost" in out
+
+    def test_custom_query(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "plan",
+            "--schema",
+            "movie",
+            "--query",
+            "SELECT Theatre1 AS T WHERE T.UAddress = INPUT4 "
+            "AND T.UCity = INPUT5 AND T.UCountry = INPUT2 LIMIT 5",
+        )
+        assert code == 0
+        assert "T:Theatre1" in out
+
+
+class TestRun:
+    def test_run_prints_combinations(self, capsys):
+        code, out = run_cli(capsys, "run", "--seed", "3", "--fetch-boost", "2")
+        assert code == 0
+        assert "service calls" in out
+        assert "score=" in out
+
+    def test_input_override(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--seed", "3", "--input", "INPUT1=genre#5"
+        )
+        assert code == 0
+
+    def test_bad_input_binding(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--input", "MALFORMED"])
+
+
+class TestTopologies:
+    def test_running_example_lists_four(self, capsys):
+        code, out = run_cli(capsys, "topologies")
+        assert code == 0
+        assert "4 distinct topologies" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--metric", "nope"])

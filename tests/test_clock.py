@@ -1,0 +1,66 @@
+"""Unit tests for join clocks (inter-service ratio controllers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.clock import JoinClock
+from repro.errors import ExecutionError
+from repro.joins.strategies import Axis
+
+
+class TestJoinClock:
+    def test_even_ratio_alternates(self):
+        clock = JoinClock()
+        history = [clock.tick() for _ in range(6)]
+        assert history == [Axis.X, Axis.Y, Axis.X, Axis.Y, Axis.X, Axis.Y]
+
+    def test_ratio_three_to_one(self):
+        clock = JoinClock(ratio=Fraction(3, 1))
+        for _ in range(12):
+            clock.tick()
+        assert clock.calls_x == 9
+        assert clock.calls_y == 3
+        assert clock.realised_ratio == Fraction(3, 1)
+
+    def test_realised_ratio_before_y_calls(self):
+        clock = JoinClock(ratio=Fraction(5, 1))
+        clock.tick()
+        assert clock.realised_ratio is None
+
+    def test_manual_tick_overrides_schedule(self):
+        clock = JoinClock()
+        clock.tick(Axis.Y)
+        clock.tick(Axis.Y)
+        assert clock.calls_y == 2
+        assert clock.next_axis() is Axis.X  # X is badly behind
+
+    def test_retune_changes_future_behaviour(self):
+        clock = JoinClock(ratio=Fraction(1, 1))
+        for _ in range(10):
+            clock.tick()
+        assert clock.calls_x == 5
+        clock.retune(Fraction(4, 1))
+        for _ in range(20):
+            clock.tick()
+        # After retuning, X is strongly favoured.
+        assert clock.calls_x > clock.calls_y * 2
+
+    def test_retune_validation(self):
+        with pytest.raises(ExecutionError):
+            JoinClock().retune(Fraction(0, 1))
+        with pytest.raises(ExecutionError):
+            JoinClock(ratio=Fraction(-1, 2))
+
+    def test_history_recorded(self):
+        clock = JoinClock()
+        clock.tick()
+        clock.tick()
+        assert clock.history == (Axis.X, Axis.Y)
+
+    def test_as_schedule_drives_executor_calls(self):
+        clock = JoinClock(ratio=Fraction(2, 1))
+        schedule = clock.as_schedule()
+        prefix = schedule.prefix(9)
+        x_calls = sum(1 for a in prefix if a is Axis.X)
+        assert x_calls == 6  # 2:1 ratio over 9 calls, X-led

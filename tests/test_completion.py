@@ -1,0 +1,123 @@
+"""Unit tests for completion policies and the tile scheduler (Figs. 6, 7)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.joins.completion import (
+    RectangularCompletion,
+    TileScheduler,
+    TriangularCompletion,
+)
+from repro.joins.searchspace import Tile
+from repro.joins.strategies import Axis, MergeScanSchedule, NestedLoopSchedule
+
+
+def drive(scheduler, axes):
+    order = []
+    for axis in axes:
+        order.extend(scheduler.on_fetch(axis))
+    return order
+
+
+class TestRectangular:
+    def test_processes_every_loaded_tile_immediately(self):
+        scheduler = TileScheduler(policy=RectangularCompletion())
+        order = drive(scheduler, MergeScanSchedule().prefix(6))
+        # After 3 x-fetches and 3 y-fetches all 9 tiles are processed.
+        assert len(order) == 9
+        assert scheduler.pending_count == 0
+
+    def test_new_column_processed_on_fetch(self):
+        scheduler = TileScheduler(policy=RectangularCompletion())
+        scheduler.on_fetch(Axis.X)
+        scheduler.on_fetch(Axis.Y)
+        batch = scheduler.on_fetch(Axis.X)  # loads column x=1
+        assert batch == [Tile(1, 0)]
+
+    def test_degenerate_long_thin_rectangle(self):
+        # Section 4.4.1: all calls to one service only -> one tile per I/O.
+        scheduler = TileScheduler(policy=RectangularCompletion())
+        scheduler.on_fetch(Axis.X)
+        scheduler.on_fetch(Axis.Y)
+        for _ in range(5):
+            batch = scheduler.on_fetch(Axis.Y)
+            assert len(batch) == 1  # each I/O adds exactly one tile
+
+    def test_batch_order_diagonal_first_without_space(self):
+        scheduler = TileScheduler(policy=RectangularCompletion())
+        scheduler.on_fetch(Axis.X)
+        scheduler.on_fetch(Axis.X)
+        scheduler.on_fetch(Axis.X)
+        batch = scheduler.on_fetch(Axis.Y)
+        assert batch == [Tile(0, 0), Tile(1, 0), Tile(2, 0)]
+
+
+class TestTriangular:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(PlanError):
+            TriangularCompletion(r1=0)
+
+    def test_diagonal_sweep_at_ratio_one(self):
+        scheduler = TileScheduler(policy=TriangularCompletion())
+        order = drive(scheduler, MergeScanSchedule().prefix(10))
+        # The first tiles follow increasing index sums (diagonal sweep).
+        sums = [t.index_sum for t in order]
+        assert sums == sorted(sums)
+        assert order[0] == Tile(0, 0)
+
+    def test_adjacent_rule_index_sums_never_jump(self):
+        # "the sum of indexes of two consecutive tiles extracted by the
+        # strategy cannot increase by more than one"
+        scheduler = TileScheduler(policy=TriangularCompletion())
+        order = drive(scheduler, MergeScanSchedule().prefix(14))
+        sums = [t.index_sum for t in order]
+        assert all(b - a <= 1 for a, b in zip(sums, sums[1:]))
+
+    def test_defers_corner_tiles(self):
+        # After n balanced rounds only ~half the square is processed.
+        scheduler = TileScheduler(policy=TriangularCompletion())
+        order = drive(scheduler, MergeScanSchedule().prefix(10))  # 5x5 loaded
+        assert len(order) == 15  # x + y < 5: the most-promising half
+        assert scheduler.pending_count == 10
+        assert Tile(4, 4) not in order
+
+    def test_flush_drains_deferred_tiles(self):
+        scheduler = TileScheduler(policy=TriangularCompletion())
+        drive(scheduler, MergeScanSchedule().prefix(10))
+        rest = scheduler.flush()
+        assert len(rest) == 10
+        assert scheduler.pending_count == 0
+        assert len(set(scheduler.processed)) == 25
+
+    def test_no_tile_processed_twice(self):
+        scheduler = TileScheduler(policy=TriangularCompletion())
+        drive(scheduler, MergeScanSchedule().prefix(12))
+        scheduler.flush()
+        assert len(scheduler.processed) == len(set(scheduler.processed))
+
+    def test_asymmetric_ratio_weights(self):
+        policy = TriangularCompletion(r1=2, r2=1)
+        assert policy.weight(Tile(3, 1)) == 3 * 1 + 1 * 2
+        scheduler = TileScheduler(policy=policy)
+        # Feed x twice as often as y; the triangle leans along x.
+        drive(
+            scheduler,
+            [Axis.X, Axis.Y, Axis.X, Axis.X, Axis.Y, Axis.X, Axis.X, Axis.Y],
+        )
+        processed = set(scheduler.processed)
+        # x-heavy tiles admitted deeper than y-heavy ones: the weight-4
+        # tile t(4,0) is in, the weight-5 tile t(1,2) stays deferred.
+        assert Tile(4, 0) in processed
+        assert Tile(1, 2) not in processed
+
+
+class TestNestedLoopWithRectangular:
+    def test_columns_completed_per_y_fetch(self):
+        # NL(h=3) + rectangular: after the step phase each y fetch
+        # completes a full column of h tiles (Fig. 5a).
+        scheduler = TileScheduler(policy=RectangularCompletion())
+        order = drive(scheduler, NestedLoopSchedule(3).prefix(6))
+        # Fetches: x y x x y y -> 3x3 loaded, 9 tiles, all processed.
+        assert len(order) == 9
+        column_batch = scheduler.on_fetch(Axis.Y)
+        assert len(column_batch) == 3  # one new column of h tiles

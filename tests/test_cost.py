@@ -1,0 +1,191 @@
+"""Unit tests for cost metrics: values, monotonicity, partial costs."""
+
+import pytest
+
+from repro.core.annotate import annotate
+from repro.core.cost import (
+    DEFAULT_METRICS,
+    BottleneckMetric,
+    CallCountMetric,
+    ExecutionTimeMetric,
+    RequestResponseMetric,
+    SumCostMetric,
+    TimeToScreenMetric,
+    service_node_time,
+)
+from repro.core.topology import enumerate_topologies
+from repro.query.feasibility import enumerate_binding_choices
+
+FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+@pytest.fixture(scope="module")
+def plans_with_annotations(movie_query):
+    choice = next(enumerate_binding_choices(movie_query))
+    plans = list(enumerate_topologies(movie_query, {}, choice))
+    return [(p, annotate(p, movie_query, fetches=FETCHES)) for p in plans]
+
+
+def fig10_plan(plans_with_annotations):
+    for plan, ann in plans_with_annotations:
+        if plan.join_nodes():
+            join = plan.join_nodes()[0]
+            child = plan.node(plan.children(join.node_id)[0])
+            if getattr(child, "alias", None) == "R":
+                return plan, ann
+    raise AssertionError
+
+
+class TestCallCount:
+    def test_counts_every_invocation(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        # Fig. 10: 5 movie + 5 theatre + 25 restaurant calls.
+        assert CallCountMetric().cost(plan, ann) == pytest.approx(35)
+
+    def test_matches_request_response_with_unit_fees(
+        self, plans_with_annotations
+    ):
+        # All example interfaces charge fee 1, so the metrics coincide.
+        for plan, ann in plans_with_annotations:
+            assert CallCountMetric().cost(plan, ann) == pytest.approx(
+                RequestResponseMetric().cost(plan, ann)
+            )
+
+
+class TestExecutionTime:
+    def test_path_maximum_not_sum(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        movie_time = service_node_time(plan.service_node_for("M"), ann)
+        theatre_time = service_node_time(plan.service_node_for("T"), ann)
+        restaurant_time = service_node_time(plan.service_node_for("R"), ann)
+        expected = max(movie_time, theatre_time) + restaurant_time
+        assert ExecutionTimeMetric().cost(plan, ann) == pytest.approx(expected)
+
+    def test_parallelism_beats_serial_on_time(self, plans_with_annotations):
+        costs = {
+            len(plan.join_nodes()): ExecutionTimeMetric().cost(plan, ann)
+            for plan, ann in plans_with_annotations
+        }
+        # The best parallel plan is cheaper than the best serial plan.
+        assert costs[1] < costs[0]
+
+    def test_join_cpu_charge_optional(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        free = ExecutionTimeMetric().cost(plan, ann)
+        charged = ExecutionTimeMetric(join_cpu_per_candidate=0.001).cost(plan, ann)
+        assert charged == pytest.approx(free + 1250 * 0.001)
+
+
+class TestBottleneck:
+    def test_is_slowest_service(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        times = [
+            service_node_time(node, ann) for node in plan.service_nodes()
+        ]
+        assert BottleneckMetric().cost(plan, ann) == pytest.approx(max(times))
+
+
+class TestTimeToScreen:
+    def test_single_call_per_service_on_path(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        # Path: max(Movie, Theatre) first call, then Restaurant first call.
+        expected = max(1.0, 0.8) + 0.6
+        assert TimeToScreenMetric().cost(plan, ann) == pytest.approx(expected)
+
+    def test_cheaper_than_execution_time(self, plans_with_annotations):
+        for plan, ann in plans_with_annotations:
+            assert TimeToScreenMetric().cost(plan, ann) <= ExecutionTimeMetric().cost(
+                plan, ann
+            ) + 1e-9
+
+
+class TestSumMetric:
+    def test_equals_request_response_without_cpu_charges(
+        self, plans_with_annotations
+    ):
+        plan, ann = fig10_plan(plans_with_annotations)
+        assert SumCostMetric().cost(plan, ann) == pytest.approx(
+            RequestResponseMetric().cost(plan, ann)
+        )
+
+    def test_cpu_charges_add_up(self, plans_with_annotations):
+        plan, ann = fig10_plan(plans_with_annotations)
+        metric = SumCostMetric(join_cpu_per_candidate=0.01)
+        assert metric.cost(plan, ann) == pytest.approx(
+            RequestResponseMetric().cost(plan, ann) + 1250 * 0.01
+        )
+
+
+class TestMonotonicity:
+    """Monotonicity is the keystone of the branch-and-bound pruning."""
+
+    @pytest.mark.parametrize("name", sorted(DEFAULT_METRICS))
+    def test_cost_non_decreasing_in_fetch_factors(
+        self, name, movie_query, plans_with_annotations
+    ):
+        metric = DEFAULT_METRICS[name]
+        plan, _ = fig10_plan(plans_with_annotations)
+        previous = None
+        for factor in (1, 2, 4, 8):
+            fetches = {"M": factor, "T": factor, "R": factor}
+            ann = annotate(plan, movie_query, fetches=fetches)
+            cost = metric.cost(plan, ann)
+            if previous is not None:
+                assert cost >= previous - 1e-9
+            previous = cost
+
+    @pytest.mark.parametrize("name", sorted(DEFAULT_METRICS))
+    def test_all_metrics_declare_monotonic(self, name):
+        assert DEFAULT_METRICS[name].monotonic
+
+    @pytest.mark.parametrize("name", sorted(DEFAULT_METRICS))
+    def test_partial_cost_bounds_full_cost(
+        self, name, movie_query, plans_with_annotations
+    ):
+        metric = DEFAULT_METRICS[name]
+        for plan, ann in plans_with_annotations:
+            assert metric.partial_cost(plan, ann) <= metric.cost(plan, ann) + 1e-9
+
+    @pytest.mark.parametrize("name", sorted(DEFAULT_METRICS))
+    def test_interfaces_lower_bound_is_optimistic(
+        self, name, movie_query, plans_with_annotations
+    ):
+        metric = DEFAULT_METRICS[name]
+        interfaces = [
+            atom.interface for atom in movie_query.atoms if atom.interface
+        ]
+        bound = metric.interfaces_lower_bound(interfaces)
+        for plan, ann in plans_with_annotations:
+            assert bound <= metric.cost(plan, ann) + 1e-9
+
+
+class TestHeterogeneousFees:
+    def test_request_response_weighs_fees(self, movie_query):
+        """With non-unit invocation fees, request-response diverges from
+        plain call counting (the 'cost charged by the service')."""
+        from repro.core.optimizer import optimize_query
+        from repro.model.service import ServiceInterface, ServiceStats
+        from repro.services.marts import movie_night_registry
+
+        registry = movie_night_registry(with_alternates=True)
+        movie2 = registry.interface("Movie2")
+        assert movie2.stats.invocation_fee == 2.0
+        # Build annotations over a simple single-service plan via the
+        # public pipeline to check the metric arithmetic.
+        from repro.core.annotate import annotate
+        from repro.core.topology import enumerate_topologies
+        from repro.query.compile import compile_query
+        from repro.query.feasibility import enumerate_binding_choices
+        from repro.query.parser import parse_query
+
+        query = compile_query(
+            parse_query("SELECT Movie2 AS M WHERE M.Genres.Genre = INPUT1 LIMIT 5"),
+            registry,
+        )
+        choice = next(enumerate_binding_choices(query))
+        plan = next(enumerate_topologies(query, {}, choice))
+        ann = annotate(plan, query, fetches={"M": 3})
+        calls = CallCountMetric().cost(plan, ann)
+        charged = RequestResponseMetric().cost(plan, ann)
+        assert calls == pytest.approx(3)
+        assert charged == pytest.approx(6)  # 3 calls x fee 2.0

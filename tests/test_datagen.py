@@ -1,0 +1,130 @@
+"""Unit tests for deterministic synthetic data generation."""
+
+import pytest
+
+from repro.errors import ServiceInvocationError
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.query.ast import AttrRef, Comparator, SelectionPredicate
+from repro.services.datagen import TupleGenerator, derive_seed, domain_value
+from repro.services.simulated import ranked_order_ok
+import random
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        a = derive_seed(1, "S", {"x": 1, "y": "a"})
+        b = derive_seed(1, "S", {"y": "a", "x": 1})  # order-insensitive
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(1, "S", {"x": 1})
+        assert derive_seed(2, "S", {"x": 1}) != base
+        assert derive_seed(1, "T", {"x": 1}) != base
+        assert derive_seed(1, "S", {"x": 2}) != base
+
+
+class TestDomainValue:
+    def test_typed_values(self):
+        rng = random.Random(0)
+        assert isinstance(
+            domain_value(Attribute("A", Domain("d", DataType.INTEGER, 10)), rng), int
+        )
+        assert isinstance(
+            domain_value(Attribute("A", Domain("d", DataType.FLOAT, 10)), rng), float
+        )
+        assert isinstance(
+            domain_value(Attribute("A", Domain("d", DataType.BOOLEAN, 10)), rng), bool
+        )
+        date = domain_value(Attribute("A", Domain("d", DataType.DATE, 365)), rng)
+        assert date.startswith("2009-")
+        text = domain_value(Attribute("A", Domain("town", DataType.STRING, 5)), rng)
+        assert text.startswith("town#")
+
+    def test_sized_domain_bounds(self):
+        rng = random.Random(1)
+        attr = Attribute("A", Domain("d", DataType.INTEGER, size=4))
+        values = {domain_value(attr, rng) for _ in range(200)}
+        assert values <= {0, 1, 2, 3}
+        assert len(values) == 4  # all values hit
+
+
+class TestTupleGenerator:
+    def test_same_inputs_same_results(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        first = gen.generate({"Key": 3})
+        second = gen.generate({"Key": 3})
+        assert first == second
+
+    def test_different_inputs_different_results(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        assert gen.generate({"Key": 3}) != gen.generate({"Key": 4})
+
+    def test_missing_input_rejected(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface)
+        with pytest.raises(ServiceInvocationError):
+            gen.generate({})
+
+    def test_inputs_echoed(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        for tup in gen.generate({"Key": 7}):
+            assert tup.values["Key"] == 7
+
+    def test_none_binding_means_no_echo(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        values = {t.values["Key"] for t in gen.generate({"Key": None})}
+        assert len(values) > 1  # random draws, not echoed None
+
+    def test_results_in_ranking_order(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        assert ranked_order_ok(gen.generate({"Key": 1}))
+
+    def test_cardinality_near_average(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        sizes = [len(gen.generate({"Key": k})) for k in range(30)]
+        mean = sum(sizes) / len(sizes)
+        assert 22 <= mean <= 38  # avg_cardinality is 30, +/- 25% spread
+
+    def test_selective_average_below_one(self, tiny_mart):
+        from repro.model.service import ServiceInterface, ServiceStats
+
+        iface = ServiceInterface(
+            name="Sel", mart=tiny_mart, stats=ServiceStats(avg_cardinality=0.4)
+        )
+        # Generation is a pure function of (seed, interface, inputs), so
+        # the Bernoulli behaviour shows up across seeds, not repetitions.
+        sizes = [
+            len(TupleGenerator(iface, global_seed=seed).generate({}))
+            for seed in range(300)
+        ]
+        assert set(sizes) <= {0, 1}
+        assert 0.25 <= sum(sizes) / len(sizes) <= 0.55
+
+    def test_repeating_group_members_generated(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        tup = gen.generate({"Key": 1})[0]
+        members = tup.group_members("R")
+        assert 1 <= len(members) <= 3
+        assert set(members[0]) == {"A", "B"}
+
+    def test_constraints_shape_data_not_page_size(self, tiny_search_interface):
+        # A real service asked for "A >= 2" returns its usual page size,
+        # every entry satisfying the constraint (rejection sampling).
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        constraint = SelectionPredicate(
+            AttrRef.parse("S.R.A"), Comparator.GE, 2
+        )
+        unfiltered = gen.generate({"Key": 1})
+        filtered = gen.generate({"Key": 1}, constraints=(constraint,))
+        assert len(filtered) == len(unfiltered)
+        for tup in filtered:
+            assert any(m["A"] >= 2 for m in tup.group_members("R"))
+
+    def test_unsatisfiable_constraint_returns_empty(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        impossible = SelectionPredicate(AttrRef.parse("S.R.A"), Comparator.GE, 999)
+        assert gen.generate({"Key": 1}, constraints=(impossible,)) == []
+
+    def test_filtered_results_keep_ranking_order(self, tiny_search_interface):
+        gen = TupleGenerator(tiny_search_interface, global_seed=5)
+        constraint = SelectionPredicate(AttrRef.parse("S.R.A"), Comparator.GE, 2)
+        assert ranked_order_ok(gen.generate({"Key": 1}, constraints=(constraint,)))

@@ -1,0 +1,227 @@
+"""Integration tests for the plan execution engine."""
+
+import pytest
+
+from repro.core.annotate import annotate
+from repro.core.optimizer import OptimizerConfig, Optimizer, optimize_query
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import PlanExecutor, execute_plan
+from repro.query.feasibility import enumerate_binding_choices
+from repro.query.predicates import satisfies
+from repro.services.marts import CONFERENCE_INPUTS, RUNNING_EXAMPLE_INPUTS
+from repro.services.simulated import ServicePool
+
+FETCHES = {"M": 5, "T": 5, "R": 1}
+
+
+@pytest.fixture(scope="module")
+def movie_plans(movie_query):
+    choice = next(enumerate_binding_choices(movie_query))
+    return list(enumerate_topologies(movie_query, {}, choice))
+
+
+def run(plan, query, registry, inputs, fetches=None, seed=42, **kwargs):
+    pool = ServicePool(registry, global_seed=seed)
+    return execute_plan(plan, query, pool, inputs, fetches=fetches, **kwargs)
+
+
+class TestMovieExecution:
+    def test_all_four_topologies_produce_k_results(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        for plan in movie_plans:
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            assert len(result.tuples) == movie_query.k
+
+    def test_results_satisfy_full_semantics(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        for plan in movie_plans:
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            for composite in result.tuples:
+                assert satisfies(
+                    composite,
+                    selections=movie_query.selections,
+                    joins=movie_query.joins,
+                    inputs=RUNNING_EXAMPLE_INPUTS,
+                )
+
+    def test_results_sorted_by_global_ranking(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        result = run(
+            movie_plans[0], movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+        )
+        scores = [t.score for t in result.tuples]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topologies_agree_modulo_fetch_truncation(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        """Different plans explore different portions of the services, but
+        every returned combination is semantically valid under the same
+        seed; plan choice affects cost, not correctness."""
+        for plan in movie_plans:
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            aliases = {tuple(sorted(t.aliases)) for t in result.tuples}
+            assert aliases == {("M", "R", "T")}
+
+    def test_execution_is_deterministic(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        a = run(movie_plans[0], movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES)
+        b = run(movie_plans[0], movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES)
+        assert [t.score for t in a.tuples] == [t.score for t in b.tuples]
+        assert a.total_calls == b.total_calls
+        assert a.execution_time == pytest.approx(b.execution_time)
+
+    def test_call_accounting_matches_annotation_shape(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        """Actual call counts track the annotation estimates in shape:
+        search services issue fetch-factor many calls per invocation."""
+        for plan in movie_plans:
+            if not plan.join_nodes():
+                continue
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            calls = result.calls_by_alias()
+            assert calls["M"] == 5
+            assert calls["T"] == 5
+
+    def test_node_stats_populated(self, movie_query, movie_registry, movie_plans):
+        result = run(
+            movie_plans[0], movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+        )
+        output_id = movie_plans[0].output_node.node_id
+        assert result.node_stats[output_id].tout == len(result.tuples)
+        assert result.execution_time > 0
+
+    def test_serial_unpiped_service_invoked_once(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        """Invocation memoisation: in serial chains Movie is bound only by
+        INPUT variables, so its invocation is shared across upstream
+        tuples (fetch-factor calls in total)."""
+        for plan in movie_plans:
+            if plan.join_nodes():
+                continue
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            assert result.calls_by_alias()["M"] == 5
+
+
+class TestConferenceExecution:
+    def test_optimized_plan_executes(
+        self, conference_query, conference_registry
+    ):
+        best = optimize_query(conference_query)
+        result = run(
+            best.plan,
+            conference_query,
+            conference_registry,
+            CONFERENCE_INPUTS,
+            best.fetch_vector(),
+        )
+        assert result.tuples
+        for composite in result.tuples:
+            assert set(composite.aliases) == {"C", "W", "F", "H"}
+
+    def test_weather_filter_applied(self, conference_query, conference_registry):
+        best = optimize_query(conference_query)
+        result = run(
+            best.plan,
+            conference_query,
+            conference_registry,
+            CONFERENCE_INPUTS,
+            best.fetch_vector(),
+        )
+        for composite in result.tuples:
+            assert composite.component("W").values["AvgTemp"] > 26.0
+
+    def test_shared_branch_components_consistent(
+        self, conference_query, conference_registry
+    ):
+        """Parallel branches both contain C and W; the join must only pair
+        composites stemming from the same conference row."""
+        best = optimize_query(conference_query)
+        result = run(
+            best.plan,
+            conference_query,
+            conference_registry,
+            CONFERENCE_INPUTS,
+            best.fetch_vector(),
+        )
+        for composite in result.tuples:
+            conf_city = composite.component("C").values["City"]
+            assert composite.component("F").values["ToCity"] == conf_city
+            assert composite.component("H").values["HCity"] == conf_city
+
+
+class TestKnobs:
+    def test_k_override(self, movie_query, movie_registry, movie_plans):
+        result = run(
+            movie_plans[0],
+            movie_query,
+            movie_registry,
+            RUNNING_EXAMPLE_INPUTS,
+            FETCHES,
+            k=3,
+        )
+        assert len(result.tuples) == 3
+
+    def test_final_semantic_check_toggle(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        pool = ServicePool(movie_registry, global_seed=42)
+        executor = PlanExecutor(
+            movie_plans[0],
+            movie_query,
+            pool,
+            RUNNING_EXAMPLE_INPUTS,
+            fetches=FETCHES,
+            final_semantic_check=False,
+        )
+        unchecked = executor.run()
+        checked = run(
+            movie_plans[0], movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+        )
+        # The guard can only remove (never add) combinations.
+        assert len(checked.tuples) <= len(unchecked.tuples) or len(
+            checked.tuples
+        ) == movie_query.k
+
+
+class TestMeasuredTimeToScreen:
+    def test_time_to_screen_below_execution_time(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        for plan in movie_plans:
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            assert 0 < result.time_to_screen <= result.execution_time + 1e-9
+
+    def test_time_to_screen_tracks_metric_estimate(
+        self, movie_query, movie_registry, movie_plans
+    ):
+        """The measured first-tuple path sits within jitter (+/-10% per
+        call) of the TimeToScreenMetric estimate for the same plan."""
+        from repro.core.annotate import annotate
+        from repro.core.cost import TimeToScreenMetric
+
+        for plan in movie_plans:
+            result = run(
+                plan, movie_query, movie_registry, RUNNING_EXAMPLE_INPUTS, FETCHES
+            )
+            annotations = annotate(plan, movie_query, fetches=FETCHES)
+            estimate = TimeToScreenMetric().cost(plan, annotations)
+            assert result.time_to_screen == pytest.approx(estimate, rel=0.25)

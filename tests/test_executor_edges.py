@@ -1,0 +1,187 @@
+"""Edge cases and error paths of the execution engine."""
+
+import pytest
+
+from repro.core.annotate import annotate
+from repro.core.optimizer import optimize_query
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import execute_plan
+from repro.errors import PlanError
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import LinearScoring, OpaqueScoring
+from repro.model.service import (
+    AccessPattern,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+from repro.query.compile import compile_query
+from repro.query.feasibility import enumerate_binding_choices
+from repro.query.parser import parse_query
+from repro.services.simulated import ServicePool
+
+
+def single_service_registry(**interface_kwargs):
+    mart = ServiceMart(
+        "Item",
+        (
+            Attribute("Topic"),
+            Attribute("K", Domain("kd", DataType.INTEGER, size=6)),
+        ),
+    )
+    registry = ServiceRegistry()
+    defaults = dict(
+        name="Item1",
+        mart=mart,
+        access_pattern=AccessPattern.from_spec({"Topic": "I"}),
+    )
+    defaults.update(interface_kwargs)
+    registry.register_interface(ServiceInterface(**defaults))
+    return registry
+
+
+def run_single(registry, fetches=None, seed=0):
+    query = compile_query(
+        parse_query("SELECT Item1 AS I WHERE I.Topic = INPUT1 LIMIT 50"), registry
+    )
+    choice = next(enumerate_binding_choices(query))
+    plan = next(enumerate_topologies(query, {}, choice))
+    pool = ServicePool(registry, global_seed=seed)
+    return execute_plan(plan, query, pool, {"INPUT1": "x"}, fetches)
+
+
+class TestExactChunkedService:
+    def test_exact_chunked_service_pages_results(self):
+        registry = single_service_registry(
+            kind=ServiceKind.EXACT,
+            stats=ServiceStats(avg_cardinality=20, chunk_size=4, latency=0.5),
+        )
+        result = run_single(registry, fetches={"I": 3})
+        # 3 fetches x chunk 4 = at most 12 tuples despite ~20 available.
+        assert 0 < len(result.tuples) <= 12
+        assert result.calls_by_alias()["I"] == 3
+
+    def test_exact_unchunked_single_call(self):
+        registry = single_service_registry(
+            kind=ServiceKind.EXACT,
+            stats=ServiceStats(avg_cardinality=15, chunk_size=None, latency=0.5),
+        )
+        result = run_single(registry)
+        assert result.calls_by_alias()["I"] == 1
+        assert len(result.tuples) >= 10
+
+
+class TestOpaqueScoredService:
+    def test_opaque_search_service_executes(self):
+        registry = single_service_registry(
+            kind=ServiceKind.SEARCH,
+            stats=ServiceStats(avg_cardinality=25, chunk_size=5, latency=0.5),
+            scoring=OpaqueScoring(LinearScoring(horizon=25)),
+        )
+        result = run_single(registry, fetches={"I": 2})
+        assert len(result.tuples) == 10
+        scores = [t.score for t in result.tuples]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestErrorPaths:
+    def test_invalid_fetch_factor_in_annotation(self, movie_query):
+        choice = next(enumerate_binding_choices(movie_query))
+        plan = next(enumerate_topologies(movie_query, {}, choice))
+        with pytest.raises(PlanError):
+            annotate(plan, movie_query, fetches={"M": -1})
+
+    def test_executor_clamps_fetch_factor_to_one(
+        self, movie_query, movie_registry
+    ):
+        # The engine is forgiving at run time: factors below 1 are clamped.
+        best = optimize_query(movie_query)
+        pool = ServicePool(movie_registry, global_seed=1)
+        from repro.services.marts import RUNNING_EXAMPLE_INPUTS
+
+        result = execute_plan(
+            best.plan,
+            movie_query,
+            pool,
+            RUNNING_EXAMPLE_INPUTS,
+            {alias: 0 for alias in best.fetch_vector()},
+        )
+        assert result.calls_by_alias()["M"] == 1
+
+    def test_unvalidated_plan_with_cycle_fails(self, movie_query, movie_registry):
+        best = optimize_query(movie_query)
+        broken = best.plan.copy()
+        first_arc = broken.arcs[0]
+        broken.arcs.append((first_arc[1], first_arc[0]))  # introduce a cycle
+        pool = ServicePool(movie_registry, global_seed=1)
+        with pytest.raises(PlanError):
+            execute_plan(broken, movie_query, pool, {}, {})
+
+
+class TestManualSelectionNode:
+    def test_selection_node_with_pure_selections(self, movie_registry):
+        """Selection nodes carrying plain (non-join) predicates filter
+        intermediate composites — footnote 4's `Si.att op const` case."""
+        from repro.plans.nodes import (
+            InputNode,
+            OutputNode,
+            SelectionNode,
+            ServiceNode,
+        )
+        from repro.plans.plan import QueryPlan
+        from repro.query.ast import AttrRef, Comparator, SelectionPredicate
+        from repro.query.compile import compile_query
+        from repro.query.feasibility import input_providers
+        from repro.query.parser import parse_query
+
+        query = compile_query(
+            parse_query(
+                "SELECT Theatre1 AS T WHERE T.UAddress = INPUT4 "
+                "AND T.UCity = INPUT5 AND T.UCountry = INPUT2 LIMIT 50"
+            ),
+            movie_registry,
+        )
+        providers = tuple(
+            option
+            for options in input_providers(query).values()
+            for option in options[:1]
+        )
+        residual = SelectionPredicate(
+            AttrRef.parse("T.Distance"), Comparator.LT, 15.0
+        )
+        plan = QueryPlan()
+        plan.add(InputNode())
+        plan.add(
+            ServiceNode(
+                node_id="svc:T",
+                alias="T",
+                interface=movie_registry.interface("Theatre1"),
+                providers=providers,
+            )
+        )
+        plan.add(SelectionNode(node_id="sel:d", selections=(residual,)))
+        plan.add(OutputNode())
+        plan.connect("input", "svc:T")
+        plan.connect("svc:T", "sel:d")
+        plan.connect("sel:d", "output")
+        plan.validate()
+
+        # Annotation applies the range selectivity (1/3) at the node.
+        from repro.core.annotate import annotate
+
+        ann = annotate(plan, query, fetches={"T": 4})
+        assert ann.tout("sel:d") == pytest.approx(ann.tin("sel:d") / 3)
+
+        # Execution filters the composites accordingly.
+        pool = ServicePool(movie_registry, global_seed=6)
+        result = execute_plan(
+            plan,
+            query,
+            pool,
+            {"INPUT2": "country#1", "INPUT4": "address#2", "INPUT5": "city#3"},
+            {"T": 4},
+        )
+        for combo in result.tuples:
+            assert combo.component("T").values["Distance"] < 15.0

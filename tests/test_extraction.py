@@ -1,0 +1,133 @@
+"""Unit tests for extraction-optimality analysis (Section 4.1/4.4 claims)."""
+
+import random
+
+from repro.joins.completion import RectangularCompletion, TriangularCompletion
+from repro.joins.extraction import (
+    JoinEvent,
+    adjacency_rule_holds,
+    count_local_violations,
+    is_globally_extraction_optimal,
+)
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.searchspace import SearchSpace, Tile
+from repro.joins.strategies import Axis, MergeScanSchedule, NestedLoopSchedule
+from repro.model.scoring import ExponentialScoring, LinearScoring, StepScoring
+from repro.model.tuples import ServiceTuple
+
+
+def make_source(n, scoring, source, chunk=5, seed=0):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(6)},
+            score=scoring.score_at(i),
+            source=source,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def run_join(scoring_x, scoring_y, schedule, policy, k=12):
+    x = make_source(40, scoring_x, "X", seed=1)
+    y = make_source(40, scoring_y, "Y", seed=2)
+    executor = ParallelJoinExecutor(
+        x,
+        y,
+        lambda a, b: a.values["k"] == b.values["k"],
+        schedule=schedule,
+        policy=policy,
+        k=k,
+    )
+    return executor, executor.run()
+
+
+class TestGlobalOptimality:
+    def test_perfect_descending_trace(self):
+        space = SearchSpace(5, 5, LinearScoring(horizon=50), LinearScoring(horizon=50))
+        all_tiles = [Tile(x, y) for x in range(4) for y in range(4)]
+        trace = sorted(all_tiles, key=space.representative_score, reverse=True)
+        assert is_globally_extraction_optimal(trace, space, 4, 4)
+
+    def test_out_of_order_trace_detected(self):
+        space = SearchSpace(5, 5, LinearScoring(horizon=50), LinearScoring(horizon=50))
+        trace = [Tile(3, 3), Tile(0, 0)]
+        assert not is_globally_extraction_optimal(trace, space, 4, 4)
+
+    def test_prefix_of_descending_order_is_optimal(self):
+        space = SearchSpace(5, 5, LinearScoring(horizon=50), LinearScoring(horizon=50))
+        assert is_globally_extraction_optimal([Tile(0, 0)], space, 4, 4)
+
+    def test_nested_loop_with_sharp_step_is_globally_optimal(self):
+        # Section 4.4.1: "with the nested loop method, if the step scoring
+        # function ... drops from 1 to 0 exactly in correspondence to the
+        # h-th chunk, then the method is globally extraction-optimal."
+        scoring_x = StepScoring(step_position=10, high=1.0, low=0.0, slope=0.0)
+        scoring_y = LinearScoring(horizon=200, top=1.0, bottom=0.9)
+        executor, result = run_join(
+            scoring_x,
+            scoring_y,
+            NestedLoopSchedule(step_chunks=2),
+            RectangularCompletion(),
+            k=30,
+        )
+        assert is_globally_extraction_optimal(
+            result.stats.trace,
+            executor.space,
+            result.stats.calls_x,
+            result.stats.calls_y,
+        )
+
+
+class TestLocalOptimality:
+    def test_rectangular_is_locally_optimal(self):
+        executor, result = run_join(
+            LinearScoring(horizon=50),
+            LinearScoring(horizon=50),
+            MergeScanSchedule(),
+            RectangularCompletion(),
+        )
+        assert count_local_violations(result.stats.events, executor.space) == 0
+
+    def test_triangular_is_locally_optimal_for_progressive_scores(self):
+        executor, result = run_join(
+            ExponentialScoring(rate=0.05),
+            ExponentialScoring(rate=0.05),
+            MergeScanSchedule(),
+            TriangularCompletion(),
+        )
+        assert count_local_violations(result.stats.events, executor.space) == 0
+
+    def test_violations_counted_on_bad_order(self):
+        space = SearchSpace(5, 5, LinearScoring(horizon=50), LinearScoring(horizon=50))
+        events = [
+            JoinEvent.fetch(Axis.X),
+            JoinEvent.fetch(Axis.Y),
+            JoinEvent.fetch(Axis.X),
+            JoinEvent.fetch(Axis.Y),
+            # Process the worst loaded tile first: one violation.
+            JoinEvent.process(Tile(1, 1)),
+            JoinEvent.process(Tile(0, 0)),
+        ]
+        assert count_local_violations(events, space) == 1
+
+
+class TestAdjacencyRule:
+    def test_holds_for_diagonal_sweeps(self):
+        trace = [Tile(0, 0), Tile(0, 1), Tile(1, 0), Tile(1, 1)]
+        assert adjacency_rule_holds(trace)
+
+    def test_violated_when_larger_sum_first(self):
+        assert not adjacency_rule_holds([Tile(0, 1), Tile(0, 0)])
+
+    def test_executor_traces_respect_it(self):
+        for policy in (RectangularCompletion(), TriangularCompletion()):
+            executor, result = run_join(
+                LinearScoring(horizon=50),
+                LinearScoring(horizon=50),
+                MergeScanSchedule(),
+                policy,
+            )
+            assert adjacency_rule_holds(result.stats.trace)

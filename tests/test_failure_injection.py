@@ -1,0 +1,172 @@
+"""Failure-injection tests: how the stack behaves when services misbehave.
+
+The chapter assumes well-behaved services; a production engine must not.
+These tests wrap simulated services with faults — empty results, truncated
+result lists, broken ranking order, flaky invocations — and check that the
+join executors and the engine degrade gracefully (no crashes, no invalid
+results, accurate accounting).
+"""
+
+import random
+
+import pytest
+
+from repro.engine.events import CallLog, VirtualClock
+from repro.errors import ServiceInvocationError
+from repro.joins.methods import (
+    ChunkSource,
+    ListChunkSource,
+    ParallelJoinExecutor,
+)
+from repro.joins.topk import RankJoinExecutor
+from repro.model.scoring import LinearScoring
+from repro.model.tuples import ServiceTuple
+from repro.services.simulated import SimulatedService
+
+
+def ranked(n, scoring, source, seed=0):
+    rng = random.Random(seed)
+    return [
+        ServiceTuple(
+            {"k": rng.randrange(5)},
+            score=scoring.score_at(i),
+            source=source,
+            position=i,
+        )
+        for i in range(n)
+    ]
+
+
+class EmptySource(ChunkSource):
+    """A service that always answers with nothing."""
+
+    def __init__(self):
+        self.scoring = LinearScoring(horizon=10)
+        self.chunk_size = 5
+        self._calls = 0
+
+    def next_chunk(self):
+        return None
+
+    @property
+    def calls(self):
+        return self._calls
+
+
+class FlakySource(ChunkSource):
+    """Delivers a few chunks, then dies (returns None forever)."""
+
+    def __init__(self, tuples, chunk_size, scoring, dies_after):
+        self._inner = ListChunkSource(tuples, chunk_size, scoring)
+        self.scoring = scoring
+        self.chunk_size = chunk_size
+        self.dies_after = dies_after
+
+    def next_chunk(self):
+        if self._inner.calls >= self.dies_after:
+            return None
+        return self._inner.next_chunk()
+
+    @property
+    def calls(self):
+        return self._inner.calls
+
+
+class TestJoinExecutorResilience:
+    def test_empty_source_yields_empty_join(self):
+        scoring = LinearScoring(horizon=30)
+        x = EmptySource()
+        y = ListChunkSource(ranked(20, scoring, "Y"), 5, scoring)
+        result = ParallelJoinExecutor(x, y, lambda a, b: True, k=5).run()
+        assert len(result) == 0
+        # The other source was still probed, then exploration stopped.
+        assert result.stats.calls_x == 0
+
+    def test_both_sources_empty(self):
+        result = ParallelJoinExecutor(
+            EmptySource(), EmptySource(), lambda a, b: True, k=5
+        ).run()
+        assert len(result) == 0
+        assert result.stats.total_calls == 0
+
+    def test_source_dying_mid_join(self):
+        scoring = LinearScoring(horizon=40)
+        x = FlakySource(ranked(40, scoring, "X", 1), 5, scoring, dies_after=2)
+        y = ListChunkSource(ranked(40, scoring, "Y", 2), 5, scoring)
+        result = ParallelJoinExecutor(
+            x, y, lambda a, b: a.values["k"] == b.values["k"], k=50
+        ).run()
+        # Only x's two surviving chunks can contribute.
+        assert all(p.left.position < 10 for p in result.pairs)
+        assert result.stats.calls_x == 2
+
+    def test_rank_join_with_dead_source(self):
+        scoring = LinearScoring(horizon=40)
+        x = EmptySource()
+        y = ListChunkSource(ranked(20, scoring, "Y", 3), 5, scoring)
+        result = RankJoinExecutor(x, y, lambda a, b: True, k=5).run()
+        assert len(result.pairs) == 0
+
+    def test_rank_join_with_flaky_source_stays_correct(self):
+        scoring = LinearScoring(horizon=40)
+        predicate = lambda a, b: a.values["k"] == b.values["k"]
+        x_tuples = ranked(40, scoring, "X", 4)
+        x = FlakySource(x_tuples, 5, scoring, dies_after=3)
+        y_tuples = ranked(40, scoring, "Y", 5)
+        y = ListChunkSource(y_tuples, 5, scoring)
+        result = RankJoinExecutor(x, y, predicate, k=10).run()
+        # Results are the true top-k over the *visible* part of X.
+        visible = x_tuples[:15]
+        brute = sorted(
+            (
+                0.5 * a.score + 0.5 * b.score
+                for a in visible
+                for b in y_tuples
+                if predicate(a, b)
+            ),
+            reverse=True,
+        )[:10]
+        assert [p.score for p in result.pairs] == pytest.approx(brute)
+
+
+class TestSimulatedServiceFaults:
+    def test_missing_binding_raises(self, tiny_search_interface):
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        with pytest.raises(ServiceInvocationError):
+            service.invoke({}, VirtualClock(), CallLog())
+
+    def test_zero_availability_service_never_answers(
+        self, tiny_search_interface
+    ):
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke(
+            {"Key": 1}, VirtualClock(), CallLog(), availability=1e-12
+        )
+        assert invocation.next_chunk() is None
+
+    def test_unavailable_invocation_still_logged(self, tiny_search_interface):
+        log = CallLog()
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke(
+            {"Key": 1}, VirtualClock(), log, availability=1e-12
+        )
+        invocation.next_chunk()
+        assert log.total_calls() == 1  # the empty round trip costs a call
+
+    def test_availability_is_deterministic_per_binding(
+        self, tiny_search_interface
+    ):
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        a = service.invoke({"Key": 1}, VirtualClock(), CallLog(), availability=0.5)
+        b = service.invoke({"Key": 1}, VirtualClock(), CallLog(), availability=0.5)
+        assert (a.results == []) == (b.results == [])
+
+    def test_availability_rate_approximates_target(self, tiny_search_interface):
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        hits = 0
+        for key in range(200):
+            invocation = service.invoke(
+                {"Key": key}, VirtualClock(), CallLog(), availability=0.4
+            )
+            hits += bool(invocation.results)
+        assert 0.30 <= hits / 200 <= 0.50

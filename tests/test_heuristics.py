@@ -1,0 +1,214 @@
+"""Unit tests for the six optimizer heuristics (Sections 5.3-5.5)."""
+
+import pytest
+
+from repro.core.annotate import annotate
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.core.heuristics import (
+    BoundIsBetter,
+    GreedyFetch,
+    ParallelIsBetter,
+    SelectiveFirst,
+    SquareIsBetter,
+    UnboundIsEasier,
+    fetch_cap,
+)
+from repro.core.topology import TopologyBuilder, enumerate_topologies
+from repro.model.attributes import Attribute, Domain
+from repro.model.service import AccessPattern, ServiceInterface, ServiceMart
+from repro.query.feasibility import enumerate_binding_choices
+from repro.stats.estimate import Estimator
+
+
+@pytest.fixture()
+def interface_variants():
+    mart = ServiceMart("M", (Attribute("A"), Attribute("B"), Attribute("C")))
+    many_inputs = ServiceInterface(
+        name="ManyIn",
+        mart=mart,
+        access_pattern=AccessPattern.from_spec({"A": "I", "B": "I"}),
+    )
+    few_inputs = ServiceInterface(
+        name="FewIn",
+        mart=mart,
+        access_pattern=AccessPattern.from_spec({"A": "I"}),
+    )
+    no_inputs = ServiceInterface(name="NoIn", mart=mart)
+    return [few_inputs, no_inputs, many_inputs]
+
+
+class TestPhase1:
+    def test_bound_is_better_prefers_many_inputs(self, interface_variants):
+        ordered = BoundIsBetter().order_interfaces("X", interface_variants)
+        assert [i.name for i in ordered] == ["ManyIn", "FewIn", "NoIn"]
+
+    def test_unbound_is_easier_prefers_few_inputs(self, interface_variants):
+        ordered = UnboundIsEasier().order_interfaces("X", interface_variants)
+        assert [i.name for i in ordered] == ["NoIn", "FewIn", "ManyIn"]
+
+
+class TestPhase2:
+    def test_parallel_is_better_puts_starts_and_merges_first(
+        self, movie_query
+    ):
+        choice = next(enumerate_binding_choices(movie_query))
+        builder = TopologyBuilder.initial(movie_query, {}, choice)
+        builder = builder.apply(
+            [m for m in builder.available_moves() if m.alias == "T"][0]
+        )
+        builder = builder.apply(
+            [m for m in builder.available_moves() if m.kind == "start"][0]
+        )
+        moves = builder.available_moves()
+        ordered = ParallelIsBetter().order_moves(builder, moves)
+        # Parallelism-creating moves (start/fork/merge) outrank chaining.
+        assert ordered[0].kind in ("start", "merge", "fork")
+        kinds = [m.kind for m in ordered]
+        assert kinds.index("merge") < kinds.index("extend")
+
+    def test_selective_first_prefers_chaining_selective_services(
+        self, movie_query
+    ):
+        choice = next(enumerate_binding_choices(movie_query))
+        builder = TopologyBuilder.initial(movie_query, {}, choice)
+        builder = builder.apply(
+            [m for m in builder.available_moves() if m.alias == "T"][0]
+        )
+        moves = builder.available_moves()
+        ordered = SelectiveFirst().order_moves(builder, moves)
+        # Extending the chain with the most selective service (Restaurant,
+        # avg 2) beats starting a new stream with Movie (avg 150).
+        assert ordered[0].kind == "extend"
+        assert ordered[0].alias == "R"
+
+
+class TestPhase3:
+    @pytest.fixture()
+    def fig10_plan(self, movie_query):
+        choice = next(enumerate_binding_choices(movie_query))
+        for plan in enumerate_topologies(movie_query, {}, choice):
+            joins = plan.join_nodes()
+            if joins and getattr(
+                plan.node(plan.children(joins[0].node_id)[0]), "alias", None
+            ) == "R":
+                return plan
+        raise AssertionError
+
+    def test_fetch_cap(self, movie_query):
+        m = movie_query.registry.interface("Movie1")
+        assert fetch_cap(m) == 8  # ceil(150 / 20)
+        t = movie_query.registry.interface("Theatre1")
+        assert fetch_cap(t) == 8  # ceil(40 / 5)
+
+    def test_greedy_orders_by_sensitivity(self, movie_query, fig10_plan):
+        proposals = GreedyFetch().propose(
+            fig10_plan,
+            movie_query,
+            {"M": 1, "T": 1, "R": 1},
+            Estimator(movie_query),
+            CallCountMetric(),
+            10,
+        )
+        assert proposals  # one single-increment child per unsaturated alias
+        for child in proposals:
+            assert sum(child.values()) == 4  # exactly one +1
+        # The best proposal strictly improves the estimate.
+        base = annotate(fig10_plan, movie_query, fetches={"M": 1, "T": 1, "R": 1})
+        best = annotate(fig10_plan, movie_query, fetches=proposals[0])
+        assert best.estimated_results(fig10_plan) > base.estimated_results(
+            fig10_plan
+        )
+
+    def test_greedy_skips_saturated_services(self, movie_query, fig10_plan):
+        proposals = GreedyFetch().propose(
+            fig10_plan,
+            movie_query,
+            {"M": 8, "T": 8, "R": 2},
+            Estimator(movie_query),
+            CallCountMetric(),
+            10,
+        )
+        assert proposals == []  # every factor at its cap
+
+    def test_square_increments_proportionally_to_chunk(
+        self, movie_query, fig10_plan
+    ):
+        proposals = SquareIsBetter().propose(
+            fig10_plan,
+            movie_query,
+            {"M": 1, "T": 1, "R": 1},
+            Estimator(movie_query),
+            ExecutionTimeMetric(),
+            10,
+        )
+        assert len(proposals) == 1
+        child = proposals[0]
+        # Chunk sizes: M=20, T=5, R=1 -> steps 1, 4, 20 (capped at 2 for R).
+        assert child["M"] == 2
+        assert child["T"] == 5
+        assert child["R"] == 2  # capped by fetch_cap (avg 2 / chunk 1)
+
+    def test_square_explored_tuples_roughly_equal(self, movie_query, fig10_plan):
+        child = SquareIsBetter().propose(
+            fig10_plan,
+            movie_query,
+            {"M": 1, "T": 1, "R": 1},
+            Estimator(movie_query),
+            ExecutionTimeMetric(),
+            10,
+        )[0]
+        m_tuples = child["M"] * 20
+        t_tuples = child["T"] * 5
+        assert abs(m_tuples - t_tuples) <= 20  # within one M-chunk
+
+    def test_square_stops_when_saturated(self, movie_query, fig10_plan):
+        proposals = SquareIsBetter().propose(
+            fig10_plan,
+            movie_query,
+            {"M": 8, "T": 8, "R": 2},
+            Estimator(movie_query),
+            ExecutionTimeMetric(),
+            10,
+        )
+        assert proposals == []
+
+
+class TestJoinMethodSuggestion:
+    def test_step_service_suggests_nested_loop(self):
+        from repro.core.heuristics import suggest_join_methods
+        from repro.joins.spec import InvocationStrategy
+        from repro.model.scoring import LinearScoring, StepScoring
+
+        suggestions = suggest_join_methods(
+            StepScoring(step_position=20), LinearScoring(), chunk_size_x=5
+        )
+        assert suggestions[0].invocation is InvocationStrategy.NESTED_LOOP
+        assert suggestions[0].step_chunks == 4  # ceil(20 / 5)
+        # The merge-scan default remains available.
+        assert any(
+            s.invocation is InvocationStrategy.MERGE_SCAN for s in suggestions
+        )
+
+    def test_progressive_scores_suggest_merge_scan_only(self):
+        from repro.core.heuristics import suggest_join_methods
+        from repro.joins.spec import InvocationStrategy
+        from repro.model.scoring import ExponentialScoring, LinearScoring
+
+        suggestions = suggest_join_methods(
+            LinearScoring(), ExponentialScoring(rate=0.1)
+        )
+        assert len(suggestions) == 1
+        assert suggestions[0].invocation is InvocationStrategy.MERGE_SCAN
+
+    def test_opaque_ranking_falls_back_to_merge_scan(self):
+        # "if the function is opaque, then classifying services and
+        # determining h ... is more difficult" — we cannot see the step.
+        from repro.core.heuristics import suggest_join_methods
+        from repro.joins.spec import InvocationStrategy
+        from repro.model.scoring import LinearScoring, OpaqueScoring, StepScoring
+
+        suggestions = suggest_join_methods(
+            OpaqueScoring(StepScoring(step_position=10)), LinearScoring()
+        )
+        assert len(suggestions) == 1
+        assert suggestions[0].invocation is InvocationStrategy.MERGE_SCAN

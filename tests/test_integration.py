@@ -1,0 +1,174 @@
+"""End-to-end integration: text query -> compile -> optimize -> execute.
+
+These tests drive the whole pipeline on both example scenarios and check
+the cross-layer contracts: estimates vs. actuals, optimizer vs. measured
+cost ordering, determinism under seeds.
+"""
+
+import pytest
+
+from repro import (
+    DEFAULT_METRICS,
+    Optimizer,
+    OptimizerConfig,
+    ServicePool,
+    compile_query,
+    execute_plan,
+    optimize_query,
+    parse_query,
+)
+from repro.baselines.naive import first_feasible_candidate, random_candidate
+from repro.core.cost import ExecutionTimeMetric
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+
+
+class TestFullPipeline:
+    def test_movie_night_end_to_end(self):
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        best = optimize_query(query)
+        pool = ServicePool(registry, global_seed=7)
+        result = execute_plan(
+            best.plan, query, pool, RUNNING_EXAMPLE_INPUTS, best.fetch_vector()
+        )
+        # The fetch vector is sized so the *estimate* reaches k; the
+        # simulated actuals land near it (sampling variance can undershoot,
+        # exactly the situation where the chapter's user asks for more).
+        assert 1 <= len(result.tuples) <= query.k
+        for composite in result.tuples:
+            assert set(composite.aliases) == {"M", "T", "R"}
+
+    def test_movie_night_reaches_k_with_generous_fetches(self):
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        best = optimize_query(query)
+        generous = {alias: f * 3 for alias, f in best.fetch_vector().items()}
+        pool = ServicePool(registry, global_seed=7)
+        result = execute_plan(
+            best.plan, query, pool, RUNNING_EXAMPLE_INPUTS, generous
+        )
+        assert len(result.tuples) == query.k
+
+    def test_conference_trip_end_to_end(self):
+        registry = conference_trip_registry()
+        query = compile_query(parse_query(CONFERENCE_QUERY), registry)
+        best = optimize_query(query)
+        pool = ServicePool(registry, global_seed=7)
+        result = execute_plan(
+            best.plan, query, pool, CONFERENCE_INPUTS, best.fetch_vector()
+        )
+        assert result.tuples
+
+    def test_estimates_track_actuals_in_shape(self):
+        """The annotation model is statistical; the actual output count
+        under the simulator lands within a factor ~3 of the estimate."""
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        best = optimize_query(query)
+        totals = []
+        for seed in range(5):
+            pool = ServicePool(registry, global_seed=seed)
+            result = execute_plan(
+                best.plan,
+                query,
+                pool,
+                RUNNING_EXAMPLE_INPUTS,
+                best.fetch_vector(),
+                k=10_000,  # do not truncate: measure the raw yield
+            )
+            totals.append(len(result.tuples))
+        mean = sum(totals) / len(totals)
+        assert best.estimated_results / 3 <= mean + 1 <= best.estimated_results * 3 + 1
+
+    def test_optimizer_choice_is_cheapest_measured_too(self):
+        """Cost-model ordering predicts measured ordering: the optimizer's
+        plan is measurably no slower than naive baselines (virtual time)."""
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        metric = ExecutionTimeMetric()
+        best = Optimizer(query, OptimizerConfig(metric=metric)).optimize().best
+
+        def measure(candidate):
+            pool = ServicePool(registry, global_seed=3)
+            result = execute_plan(
+                candidate.plan,
+                query,
+                pool,
+                RUNNING_EXAMPLE_INPUTS,
+                candidate.fetch_vector(),
+            )
+            return result.execution_time
+
+        naive = first_feasible_candidate(query, metric=metric)
+        assert measure(best) <= measure(naive) * 1.25
+
+    def test_measured_cost_ordering_matches_estimates_across_seeds(self):
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        metric = ExecutionTimeMetric()
+        best = Optimizer(query, OptimizerConfig(metric=metric)).optimize().best
+        rand = random_candidate(query, seed=2, metric=metric)
+        if rand.cost > best.cost * 1.5:  # only meaningful with a clear gap
+            measured_best = []
+            measured_rand = []
+            for seed in range(3):
+                pool = ServicePool(registry, global_seed=seed)
+                measured_best.append(
+                    execute_plan(
+                        best.plan, query, pool, RUNNING_EXAMPLE_INPUTS,
+                        best.fetch_vector(),
+                    ).execution_time
+                )
+                pool = ServicePool(registry, global_seed=seed)
+                measured_rand.append(
+                    execute_plan(
+                        rand.plan, query, pool, RUNNING_EXAMPLE_INPUTS,
+                        rand.fetch_vector(),
+                    ).execution_time
+                )
+            assert sum(measured_best) < sum(measured_rand)
+
+    @pytest.mark.parametrize("metric_name", sorted(DEFAULT_METRICS))
+    def test_every_metric_produces_executable_plan(self, metric_name):
+        registry = movie_night_registry()
+        query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+        config = OptimizerConfig(metric=DEFAULT_METRICS[metric_name])
+        best = Optimizer(query, config).optimize().best
+        pool = ServicePool(registry, global_seed=1)
+        result = execute_plan(
+            best.plan, query, pool, RUNNING_EXAMPLE_INPUTS, best.fetch_vector()
+        )
+        assert result.tuples
+
+    def test_mart_level_query_roundtrip(self):
+        """Queries over marts (not interfaces) go through phase-1 interface
+        selection and still execute."""
+        registry = movie_night_registry()
+        query = compile_query(
+            parse_query(
+                "SELECT Movie AS M, Theatre AS T WHERE Shows(M, T) "
+                "AND M.Genres.Genre = INPUT1 AND M.Openings.Country = INPUT2 "
+                "AND M.Openings.Date > INPUT3 AND T.UAddress = INPUT4 "
+                "AND T.UCity = INPUT5 AND T.UCountry = INPUT2 "
+                "RANK BY 0.4*M, 0.6*T LIMIT 5"
+            ),
+            registry,
+        )
+        best = optimize_query(query)
+        pool = ServicePool(registry, global_seed=11)
+        generous = {alias: f * 3 for alias, f in best.fetch_vector().items()}
+        result = execute_plan(
+            best.plan,
+            query,
+            pool,
+            {k: v for k, v in RUNNING_EXAMPLE_INPUTS.items()},
+            generous,
+        )
+        assert len(result.tuples) == 5

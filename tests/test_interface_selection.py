@@ -1,0 +1,64 @@
+"""Phase-1 interface selection with genuinely competing interfaces."""
+
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.core.heuristics import BoundIsBetter, UnboundIsEasier
+from repro.core.optimizer import Optimizer, OptimizerConfig, optimize_query
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.marts import movie_night_registry
+
+MART_QUERY = (
+    "SELECT Movie AS M, Theatre AS T WHERE Shows(M, T) "
+    "AND M.Genres.Genre = INPUT1 AND M.Openings.Country = INPUT2 "
+    "AND M.Openings.Date > INPUT3 AND T.UAddress = INPUT4 "
+    "AND T.UCity = INPUT5 AND T.UCountry = INPUT2 "
+    "RANK BY 0.5*M, 0.5*T LIMIT 10"
+)
+
+
+@pytest.fixture(scope="module")
+def extended_registry():
+    return movie_night_registry(with_alternates=True)
+
+
+@pytest.fixture(scope="module")
+def mart_query(extended_registry):
+    return compile_query(parse_query(MART_QUERY), extended_registry)
+
+
+class TestInterfaceAlternatives:
+    def test_registry_offers_choices(self, extended_registry):
+        assert len(extended_registry.interfaces_of("Movie")) == 2
+        assert len(extended_registry.interfaces_of("Theatre")) == 2
+
+    def test_heuristics_order_candidates_differently(self, extended_registry):
+        candidates = list(extended_registry.interfaces_of("Movie"))
+        bound = BoundIsBetter().order_interfaces("M", candidates)
+        unbound = UnboundIsEasier().order_interfaces("M", candidates)
+        assert bound[0].name == "Movie1"  # 3 inputs beat 1
+        assert unbound[0].name == "Movie2"
+
+    def test_optimizer_picks_cheapest_interfaces(self, mart_query):
+        best = optimize_query(mart_query)
+        # Movie1/Theatre1 are strictly faster and cheaper per call here.
+        assert best.assignment["M"].name == "Movie1"
+        assert best.assignment["T"].name == "Theatre1"
+
+    @pytest.mark.parametrize(
+        "metric", [ExecutionTimeMetric(), CallCountMetric()], ids=lambda m: m.name
+    )
+    def test_bnb_matches_exhaustive_across_interfaces(self, mart_query, metric):
+        outcome = Optimizer(mart_query, OptimizerConfig(metric=metric)).optimize()
+        truth = exhaustive_optimum(mart_query, metric=metric, max_fetch=6)
+        assert outcome.best.cost == pytest.approx(truth.best.cost)
+
+    def test_exhaustive_counts_assignment_combinations(self, mart_query):
+        result = exhaustive_optimum(mart_query, metric=CallCountMetric(), max_fetch=2)
+        assert result.assignments == 4  # 2 Movie x 2 Theatre interfaces
+
+    def test_base_registry_unchanged(self):
+        registry = movie_night_registry()
+        assert len(registry.interfaces_of("Movie")) == 1

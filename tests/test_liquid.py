@@ -1,0 +1,120 @@
+"""Tests for liquid-query sessions (Section 3.2 user interactions)."""
+
+import pytest
+
+from repro.core.optimizer import optimize_query
+from repro.engine.liquid import LiquidQuerySession
+from repro.errors import ExecutionError
+from repro.services.marts import RUNNING_EXAMPLE_INPUTS
+from repro.services.simulated import ServicePool
+
+
+@pytest.fixture()
+def session(movie_query, movie_registry):
+    candidate = optimize_query(movie_query)
+    pool = ServicePool(movie_registry, global_seed=21)
+    return LiquidQuerySession(
+        candidate=candidate,
+        query=movie_query,
+        pool=pool,
+        inputs=dict(RUNNING_EXAMPLE_INPUTS),
+    )
+
+
+class TestRun:
+    def test_run_returns_at_most_k(self, session, movie_query):
+        results = session.run()
+        assert 0 < len(results) <= movie_query.k
+        scores = [c.score for c in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_run_is_idempotent_on_calls(self, session):
+        session.run()
+        calls = session.total_calls
+        session.run()
+        assert session.total_calls == calls  # re-presentation only
+
+
+class TestMore:
+    def test_more_grows_fetch_factors(self, session):
+        session.run()
+        before = session.fetch_factors
+        session.more()
+        after = session.fetch_factors
+        assert all(after[a] == before[a] * 2 for a in before)
+
+    def test_more_never_loses_results(self, session):
+        session.run()
+        first_count = session.result_count
+        session.more()
+        assert session.result_count >= first_count
+
+    def test_more_issues_new_calls(self, session):
+        session.run()
+        calls = session.total_calls
+        session.more()
+        assert session.total_calls > calls
+
+    def test_earlier_results_remain_stable(self, session):
+        """Deterministic regeneration: the top of the list does not churn
+        when more chunks are fetched (scores of the initial results are
+        still present)."""
+        first = session.run()
+        more = session.more(k=1000)
+        more_scores = [round(c.score, 9) for c in more]
+        for combo in first:
+            assert round(combo.score, 9) in more_scores
+
+
+class TestRerank:
+    def test_rerank_changes_order_without_calls(self, session):
+        session.run(k=1000)
+        calls = session.total_calls
+        reranked = session.rerank({"M": 1.0, "T": 0.0, "R": 0.0}, k=1000)
+        assert session.total_calls == calls
+        # Under the movie-only ranking, order follows the movie score.
+        movie_scores = [c.component("M").score for c in reranked]
+        assert movie_scores == sorted(movie_scores, reverse=True)
+
+    def test_rerank_validates_aliases(self, session):
+        with pytest.raises(ExecutionError):
+            session.rerank({"NOPE": 1.0})
+
+    def test_rerank_before_run_executes_once(self, session):
+        results = session.rerank({"M": 0.5, "T": 0.5, "R": 0.0})
+        assert results
+        assert session.total_calls > 0
+
+
+class TestResubmit:
+    def test_resubmit_with_new_inputs(self, session):
+        first = session.run()
+        changed = dict(RUNNING_EXAMPLE_INPUTS)
+        changed["INPUT1"] = "genre#5"
+        second = session.resubmit(changed)
+        # Different genre: different movie results (near-certain under
+        # the seeded generator).
+        first_titles = {c.component("M").values["Title"] for c in first}
+        second_titles = {c.component("M").values["Title"] for c in second}
+        assert first_titles != second_titles or not first
+
+    def test_resubmit_resets_fetch_factors(self, session):
+        session.run()
+        session.more()
+        grown = session.fetch_factors
+        session.resubmit(dict(RUNNING_EXAMPLE_INPUTS))
+        assert session.fetch_factors != grown
+
+
+class TestValidation:
+    def test_growth_must_be_at_least_two(self, movie_query, movie_registry):
+        candidate = optimize_query(movie_query)
+        pool = ServicePool(movie_registry, global_seed=1)
+        with pytest.raises(ExecutionError):
+            LiquidQuerySession(
+                candidate=candidate,
+                query=movie_query,
+                pool=pool,
+                inputs={},
+                growth=1,
+            )

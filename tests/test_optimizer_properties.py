@@ -1,0 +1,80 @@
+"""Cross-cutting optimizer properties over randomized synthetic workloads."""
+
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.baselines.naive import first_feasible_candidate, random_candidate
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.synth import chain_workload, star_workload
+
+
+def compiled(workload):
+    return compile_query(parse_query(workload.query_text), workload.registry)
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("maker,size", [(chain_workload, 4), (star_workload, 3)])
+def test_bnb_equals_exhaustive_on_random_workloads(maker, size, seed):
+    query = compiled(maker(size, seed=seed))
+    metric = CallCountMetric()
+    outcome = Optimizer(query, OptimizerConfig(metric=metric)).optimize()
+    truth = exhaustive_optimum(query, metric=metric, max_fetch=3)
+    assert outcome.best is not None and truth.best is not None
+    if truth.best.satisfies_k:
+        assert outcome.best.satisfies_k
+        assert outcome.best.cost == pytest.approx(truth.best.cost)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_optimizer_never_worse_than_naive(seed):
+    query = compiled(chain_workload(4, seed=seed))
+    metric = ExecutionTimeMetric()
+    best = Optimizer(query, OptimizerConfig(metric=metric)).optimize().best
+    naive = first_feasible_candidate(query, metric=metric)
+    assert best.cost <= naive.cost + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_optimizer_never_worse_than_random(seed):
+    query = compiled(star_workload(3, seed=seed))
+    metric = ExecutionTimeMetric()
+    best = Optimizer(query, OptimizerConfig(metric=metric)).optimize().best
+    sample = random_candidate(query, seed=seed, metric=metric)
+    assert best.cost <= sample.cost + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_budget_monotonicity_on_random_workloads(seed):
+    query = compiled(star_workload(4, seed=seed))
+    metric = ExecutionTimeMetric()
+    costs = []
+    for budget in (2, 10, 50, None):
+        outcome = Optimizer(
+            query, OptimizerConfig(metric=metric, budget=budget)
+        ).optimize()
+        assert outcome.best is not None
+        costs.append(outcome.best.cost)
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_optimized_plans_execute_on_simulator(seed):
+    from repro.engine.executor import execute_plan
+    from repro.services.simulated import ServicePool
+
+    workload = chain_workload(3, seed=seed)
+    query = compiled(workload)
+    best = Optimizer(
+        query, OptimizerConfig(metric=ExecutionTimeMetric())
+    ).optimize().best
+    pool = ServicePool(workload.registry, global_seed=seed)
+    result = execute_plan(
+        best.plan, query, pool, workload.inputs, best.fetch_vector()
+    )
+    # Execution succeeds and respects the semantics (possibly 0 results
+    # for unlucky key draws, but never malformed combinations).
+    for combo in result.tuples:
+        assert set(combo.aliases) == set(query.aliases)

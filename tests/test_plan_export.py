@@ -1,0 +1,90 @@
+"""Tests for the JSON plan export."""
+
+import json
+
+import pytest
+
+from repro.core.annotate import annotate
+from repro.core.optimizer import optimize_query
+from repro.plans.export import plan_to_dict, plan_to_json
+
+
+@pytest.fixture(scope="module")
+def instantiated(movie_query):
+    best = optimize_query(movie_query)
+    annotations = annotate(best.plan, movie_query, fetches=best.fetch_vector())
+    return best, annotations
+
+
+class TestPlanExport:
+    def test_round_trips_through_json(self, instantiated):
+        best, annotations = instantiated
+        text = plan_to_json(best.plan, annotations, best.fetch_vector())
+        parsed = json.loads(text)
+        assert parsed["format"] == "repro-plan/1"
+
+    def test_nodes_in_topological_order(self, instantiated):
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        ids = [node["id"] for node in exported["nodes"]]
+        assert ids == list(best.plan.topological_order())
+
+    def test_arcs_complete(self, instantiated):
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        assert len(exported["arcs"]) == len(best.plan.arcs)
+        node_ids = {node["id"] for node in exported["nodes"]}
+        for arc in exported["arcs"]:
+            assert arc["from"] in node_ids and arc["to"] in node_ids
+
+    def test_service_nodes_export_interface_by_name(self, instantiated):
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        services = [n for n in exported["nodes"] if n["kind"] == "ServiceNode"]
+        assert {s["interface"] for s in services} == {
+            "Movie1",
+            "Theatre1",
+            "Restaurant1",
+        }
+        for service in services:
+            assert "alias" in service
+            assert isinstance(service["piped_from"], list)
+
+    def test_join_method_exported(self, instantiated):
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        joins = [n for n in exported["nodes"] if n["kind"] == "ParallelJoinNode"]
+        for join in joins:
+            method = join["method"]
+            assert method["invocation"] in ("merge-scan", "nested-loop")
+            assert method["completion"] in ("rectangular", "triangular")
+
+    def test_predicates_reparse(self, instantiated, movie_query):
+        """Exported predicate strings are valid query-language fragments."""
+        from repro.query.parser import parse_query
+
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        fragments = []
+        for node in exported["nodes"]:
+            fragments.extend(node.get("predicates", ()))
+            fragments.extend(node.get("pushed_selections", ()))
+        assert fragments
+        aliases = ", ".join(f"S{i} AS {a}" for i, a in enumerate(movie_query.aliases))
+        for fragment in fragments:
+            parse_query(f"SELECT {aliases} WHERE {fragment}")
+
+    def test_annotations_and_fetches_included(self, instantiated):
+        best, annotations = instantiated
+        exported = plan_to_dict(best.plan, annotations, best.fetch_vector())
+        assert exported["fetches"] == best.fetch_vector()
+        output_id = best.plan.output_node.node_id
+        assert exported["annotations"][output_id]["tout"] == pytest.approx(
+            best.estimated_results
+        )
+
+    def test_export_without_instantiation(self, instantiated):
+        best, _ = instantiated
+        exported = plan_to_dict(best.plan)
+        assert "annotations" not in exported
+        assert "fetches" not in exported

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.completion import (
+    RectangularCompletion,
+    TileScheduler,
+    TriangularCompletion,
+)
+from repro.joins.extraction import count_local_violations
+from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+from repro.joins.searchspace import SearchSpace, Tile
+from repro.joins.strategies import Axis, MergeScanSchedule, NestedLoopSchedule
+from repro.joins.topk import RankJoinExecutor
+from repro.model.scoring import (
+    ExponentialScoring,
+    LinearScoring,
+    PowerLawScoring,
+    StepScoring,
+)
+from repro.model.tuples import RankingFunction, ServiceTuple
+from repro.query.ast import Comparator
+
+scorings = st.one_of(
+    st.builds(LinearScoring, horizon=st.integers(1, 500)),
+    st.builds(PowerLawScoring, exponent=st.floats(0.1, 3.0)),
+    st.builds(ExponentialScoring, rate=st.floats(0.001, 1.0)),
+    st.builds(
+        StepScoring,
+        step_position=st.integers(1, 100),
+        high=st.floats(0.6, 1.0),
+        low=st.floats(0.0, 0.3),
+    ),
+)
+
+
+@given(scorings)
+def test_scoring_functions_are_monotone_and_bounded(scoring):
+    previous = None
+    for position in range(0, 200, 7):
+        score = scoring.score_at(position)
+        assert 0.0 <= score <= 1.0
+        if previous is not None:
+            assert score <= previous + 1e-9
+        previous = score
+
+
+@given(
+    st.lists(st.sampled_from([Axis.X, Axis.Y]), min_size=2, max_size=40),
+    st.integers(1, 4),
+    st.integers(1, 4),
+)
+def test_scheduler_never_processes_tile_twice_and_flush_completes(axes, r1, r2):
+    scheduler = TileScheduler(policy=TriangularCompletion(r1=r1, r2=r2))
+    for axis in axes:
+        scheduler.on_fetch(axis)
+    scheduler.flush()
+    processed = scheduler.processed
+    assert len(processed) == len(set(processed))
+    assert len(processed) == scheduler.loaded_x * scheduler.loaded_y
+
+
+@given(st.lists(st.sampled_from([Axis.X, Axis.Y]), min_size=2, max_size=40))
+def test_rectangular_processes_everything_immediately(axes):
+    scheduler = TileScheduler(policy=RectangularCompletion())
+    for axis in axes:
+        scheduler.on_fetch(axis)
+    assert scheduler.pending_count == 0
+
+
+@given(st.integers(1, 9), st.integers(1, 9), st.integers(4, 60))
+def test_merge_scan_ratio_is_respected(r1, r2, length):
+    schedule = MergeScanSchedule(Fraction(r1, r2))
+    prefix = schedule.prefix(length)
+    x = sum(1 for a in prefix if a is Axis.X)
+    y = length - x
+    # Counts never drift more than one scheduling quantum from the target.
+    assert abs(x * r2 - y * r1) <= max(r1, r2) * 2
+
+
+@given(st.integers(1, 20), st.integers(2, 50))
+def test_nested_loop_prefix_shape(h, length):
+    prefix = NestedLoopSchedule(h).prefix(length)
+    x_calls = [i for i, a in enumerate(prefix) if a is Axis.X]
+    assert len(x_calls) <= h
+    # All X calls happen within the first h+1 scheduled calls.
+    assert all(i <= h for i in x_calls)
+
+
+@st.composite
+def ranked_source(draw, source_name):
+    n = draw(st.integers(5, 40))
+    chunk = draw(st.integers(1, 8))
+    key_space = draw(st.integers(1, 6))
+    scoring = draw(scorings)
+    keys = draw(
+        st.lists(
+            st.integers(0, key_space), min_size=n, max_size=n
+        )
+    )
+    tuples = [
+        ServiceTuple(
+            {"k": keys[i]},
+            score=min(1.0, max(0.0, scoring.score_at(i))),
+            source=source_name,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+@given(ranked_source("X"), ranked_source("Y"), st.integers(1, 15))
+@settings(max_examples=40, deadline=None)
+def test_parallel_join_is_complete_and_sound(x, y, k):
+    """Run to exhaustion: the join finds exactly the predicate-satisfying
+    pairs of the Cartesian product (soundness + completeness)."""
+    expected = sum(
+        1 for a in x.tuples for b in y.tuples if a.values["k"] == b.values["k"]
+    )
+    result = ParallelJoinExecutor(
+        x, y, lambda a, b: a.values["k"] == b.values["k"], k=None
+    ).run()
+    assert len(result) == expected
+    assert all(p.left.values["k"] == p.right.values["k"] for p in result)
+
+
+@given(ranked_source("X"), ranked_source("Y"), st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_rank_join_always_returns_true_topk(x, y, k):
+    predicate = lambda a, b: a.values["k"] == b.values["k"]
+    result = RankJoinExecutor(x, y, predicate, 0.5, 0.5, k=k).run()
+    brute = sorted(
+        (
+            0.5 * a.score + 0.5 * b.score
+            for a in x.tuples
+            for b in y.tuples
+            if predicate(a, b)
+        ),
+        reverse=True,
+    )[:k]
+    got = [p.score for p in result.pairs]
+    assert len(got) == len(brute)
+    for a, b in zip(got, brute):
+        assert abs(a - b) < 1e-9
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["A", "B", "C", "D"]),
+        st.floats(0.0, 10.0),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_ranking_function_normalisation(weights):
+    rf = RankingFunction(weights)
+    total = sum(rf.weights.values())
+    if sum(weights.values()) > 0:
+        assert abs(total - 1.0) < 1e-9
+    scores = {alias: 1.0 for alias in weights}
+    assert rf.score(scores) <= 1.0 + 1e-9
+
+
+@given(
+    st.one_of(st.integers(-100, 100), st.floats(-100, 100), st.text(max_size=5)),
+    st.one_of(st.integers(-100, 100), st.floats(-100, 100), st.text(max_size=5)),
+)
+def test_comparator_flip_symmetry(a, b):
+    """a op b  iff  b flip(op) a — for every ordered comparator."""
+    for comp in (Comparator.LT, Comparator.LE, Comparator.GT, Comparator.GE):
+        if type(a) is not type(b) and not (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))
+        ):
+            continue
+        assert comp.apply(a, b) == comp.flipped.apply(b, a)
+
+
+@given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8), st.integers(0, 8))
+def test_tile_adjacency_is_symmetric(x1, y1, x2, y2):
+    a, b = Tile(x1, y1), Tile(x2, y2)
+    assert a.is_adjacent(b) == b.is_adjacent(a)
+
+
+@given(scorings, scorings, st.integers(1, 6), st.integers(1, 6))
+def test_representative_scores_decrease_away_from_origin(sx, sy, cx, cy):
+    space = SearchSpace(cx, cy, sx, sy)
+    origin = space.representative_score(Tile(0, 0))
+    for tile in (Tile(1, 0), Tile(0, 1), Tile(2, 2)):
+        assert space.representative_score(tile) <= origin + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Parser round trip
+# --------------------------------------------------------------------------- #
+
+_ident = st.from_regex(r"[A-Z][a-z]{1,6}", fullmatch=True).filter(
+    lambda s: s.lower()
+    not in {"select", "where", "and", "as", "rank", "by", "limit", "like", "true", "false"}
+)
+
+
+@st.composite
+def query_asts(draw):
+    from repro.query.ast import (
+        AttrRef,
+        Comparator,
+        Query,
+        SelectionPredicate,
+        ServiceAtom,
+    )
+
+    n_atoms = draw(st.integers(1, 3))
+    names = draw(
+        st.lists(_ident, min_size=n_atoms, max_size=n_atoms, unique=True)
+    )
+    atoms = tuple(ServiceAtom(f"A{i}", name) for i, name in enumerate(names))
+    selections = []
+    for _ in range(draw(st.integers(0, 3))):
+        alias = draw(st.sampled_from([a.alias for a in atoms]))
+        attr = AttrRef.parse(f"{alias}.{draw(_ident)}")
+        comparator = draw(
+            st.sampled_from(
+                [Comparator.EQ, Comparator.LT, Comparator.GE, Comparator.LIKE]
+            )
+        )
+        operand = draw(
+            st.one_of(
+                st.integers(-50, 50),
+                st.floats(0.5, 9.5).map(lambda f: round(f, 2)),
+                _ident,
+            )
+        )
+        selections.append(SelectionPredicate(attr, comparator, operand))
+    k = draw(st.integers(1, 50))
+    return Query(atoms=atoms, selections=tuple(selections), k=k)
+
+
+@given(query_asts())
+@settings(max_examples=60, deadline=None)
+def test_query_str_round_trips_through_parser(query):
+    from repro.query.parser import parse_query
+
+    again = parse_query(str(query))
+    assert again.aliases == query.aliases
+    assert again.k == query.k
+    assert len(again.selections) == len(query.selections)
+    for original, parsed in zip(query.selections, again.selections):
+        assert str(original.attr) == str(parsed.attr)
+        assert original.comparator is parsed.comparator
+        assert parsed.operand == original.operand

@@ -1,0 +1,82 @@
+"""Unit tests for the tile model of the join search space (Fig. 4)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.joins.searchspace import SearchSpace, Tile
+from repro.model.scoring import LinearScoring, StepScoring
+
+
+@pytest.fixture()
+def space():
+    return SearchSpace(
+        chunk_size_x=5,
+        chunk_size_y=10,
+        scoring_x=LinearScoring(horizon=100),
+        scoring_y=LinearScoring(horizon=100),
+    )
+
+
+class TestTile:
+    def test_rejects_negative_indexes(self):
+        with pytest.raises(PlanError):
+            Tile(-1, 0)
+
+    def test_index_sum(self):
+        assert Tile(2, 3).index_sum == 5
+
+    def test_adjacency(self):
+        assert Tile(1, 1).is_adjacent(Tile(1, 2))
+        assert Tile(1, 1).is_adjacent(Tile(0, 1))
+        assert not Tile(1, 1).is_adjacent(Tile(2, 2))  # diagonal
+        assert not Tile(1, 1).is_adjacent(Tile(1, 1))  # itself
+
+    def test_ordering_and_str(self):
+        assert sorted([Tile(1, 0), Tile(0, 1)]) == [Tile(0, 1), Tile(1, 0)]
+        assert str(Tile(2, 3)) == "t(2,3)"
+
+
+class TestSearchSpace:
+    def test_points_per_tile(self, space):
+        assert space.points_per_tile == 50
+
+    def test_rejects_bad_chunk_sizes(self):
+        with pytest.raises(PlanError):
+            SearchSpace(0, 5, LinearScoring(), LinearScoring())
+
+    def test_representative_score_is_first_point(self, space):
+        score = space.representative_score(Tile(1, 2))
+        expected = LinearScoring(horizon=100).score_at(5) * LinearScoring(
+            horizon=100
+        ).score_at(20)
+        assert score == pytest.approx(expected)
+
+    def test_representative_decreases_along_axes(self, space):
+        assert space.representative_score(Tile(0, 0)) > space.representative_score(
+            Tile(1, 0)
+        )
+        assert space.representative_score(Tile(0, 0)) > space.representative_score(
+            Tile(0, 1)
+        )
+
+    def test_rectangle(self, space):
+        tiles = space.rectangle(2, 3)
+        assert len(tiles) == 6
+        assert Tile(1, 2) in tiles
+
+    def test_best_unexplored(self, space):
+        best = space.best_unexplored(2, 2, frozenset({Tile(0, 0)}))
+        # With symmetric linear decay and chunk 5 vs 10, (1,0) beats (0,1).
+        assert best == Tile(1, 0)
+        assert space.best_unexplored(1, 1, frozenset({Tile(0, 0)})) is None
+
+    def test_step_service_tile_scores(self):
+        space = SearchSpace(
+            chunk_size_x=5,
+            chunk_size_y=5,
+            scoring_x=StepScoring(step_position=10),
+            scoring_y=LinearScoring(horizon=100),
+        )
+        # Tiles past the step (x >= 2) drop sharply.
+        assert space.representative_score(Tile(1, 0)) > 0.5
+        assert space.representative_score(Tile(2, 0)) < 0.1

@@ -1,0 +1,125 @@
+"""Unit tests for the simulated-service substrate."""
+
+import pytest
+
+from repro.engine.events import CallLog, VirtualClock
+from repro.services.simulated import (
+    LatencyModel,
+    ServicePool,
+    SimulatedService,
+    ranked_order_ok,
+)
+import random
+
+
+@pytest.fixture()
+def context():
+    return VirtualClock(), CallLog()
+
+
+class TestSimulatedInvocation:
+    def test_chunked_fetching(self, tiny_search_interface, context):
+        clock, log = context
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke({"Key": 2}, clock, log)
+        chunk = invocation.next_chunk()
+        assert chunk is not None and len(chunk) == 5
+        assert invocation.calls == 1
+        assert log.total_calls() == 1
+        assert clock.now > 0
+
+    def test_exhaustion_returns_none(self, tiny_search_interface, context):
+        clock, log = context
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke({"Key": 2}, clock, log)
+        chunks = 0
+        while invocation.next_chunk() is not None:
+            chunks += 1
+        assert chunks >= 4
+        assert invocation.next_chunk() is None
+        assert invocation.remaining == 0
+
+    def test_results_ranked(self, tiny_search_interface, context):
+        clock, log = context
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke({"Key": 2}, clock, log)
+        assert ranked_order_ok(invocation.results)
+
+    def test_latency_advances_clock_per_call(self, tiny_search_interface, context):
+        clock, log = context
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke({"Key": 2}, clock, log)
+        invocation.next_chunk()
+        after_one = clock.now
+        invocation.next_chunk()
+        assert clock.now > after_one
+        # Jitter keeps latency within +/-10% of the base (1.0).
+        for record in log.records:
+            assert 0.9 <= record.latency <= 1.1
+
+    def test_deterministic_latency_under_seed(self, tiny_search_interface):
+        def run():
+            clock, log = VirtualClock(), CallLog()
+            service = SimulatedService(tiny_search_interface, global_seed=3)
+            invocation = service.invoke({"Key": 2}, clock, log)
+            invocation.next_chunk()
+            invocation.next_chunk()
+            return clock.now
+
+        assert run() == run()
+
+    def test_zero_jitter(self, tiny_search_interface, context):
+        clock, log = context
+        service = SimulatedService(
+            tiny_search_interface,
+            global_seed=1,
+            latency_model=LatencyModel(jitter_fraction=0.0),
+        )
+        invocation = service.invoke({"Key": 2}, clock, log)
+        invocation.next_chunk()
+        assert log.records[0].latency == pytest.approx(1.0)
+
+    def test_empty_result_still_costs_one_call(self, tiny_mart, context):
+        from repro.model.service import ServiceInterface, ServiceStats
+
+        clock, log = context
+        iface = ServiceInterface(
+            name="Empty", mart=tiny_mart, stats=ServiceStats(avg_cardinality=0.0)
+        )
+        service = SimulatedService(iface, global_seed=1)
+        invocation = service.invoke({}, clock, log)
+        assert invocation.next_chunk() is None
+        assert log.total_calls() == 1  # the empty round trip is logged
+
+
+class TestServicePool:
+    def test_shared_clock_and_log(self, movie_registry):
+        pool = ServicePool(movie_registry, global_seed=11)
+        inv1 = pool.invoke(
+            "Theatre1",
+            {"UAddress": "a", "UCity": "c", "UCountry": "k"},
+            alias="T",
+        )
+        inv1.next_chunk()
+        inv2 = pool.invoke(
+            "Movie1",
+            {"Genres.Genre": "g", "Openings.Country": "k", "Openings.Date": None},
+            alias="M",
+        )
+        inv2.next_chunk()
+        assert pool.log.total_calls() == 2
+        assert pool.log.calls_by_alias() == {"T": 1, "M": 1}
+
+    def test_service_cached_per_interface(self, movie_registry):
+        pool = ServicePool(movie_registry, global_seed=11)
+        assert pool.service("Movie1") is pool.service("Movie1")
+
+    def test_reset_clears_accounting_keeps_data(self, movie_registry):
+        pool = ServicePool(movie_registry, global_seed=11)
+        inputs = {"UAddress": "a", "UCity": "c", "UCountry": "k"}
+        first = pool.invoke("Theatre1", inputs).results
+        pool.invoke("Theatre1", inputs).next_chunk()
+        pool.reset()
+        assert pool.log.total_calls() == 0
+        assert pool.clock.now == 0.0
+        assert pool.invoke("Theatre1", inputs).results == first

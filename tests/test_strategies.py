@@ -1,0 +1,162 @@
+"""Unit tests for invocation schedules (nested-loop, merge-scan)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PlanError
+from repro.joins.strategies import (
+    Axis,
+    MergeScanSchedule,
+    NestedLoopSchedule,
+    VariableRatioSchedule,
+)
+
+
+def as_string(schedule, length):
+    return "".join(a.value for a in schedule.prefix(length))
+
+
+class TestAxis:
+    def test_other(self):
+        assert Axis.X.other is Axis.Y
+        assert Axis.Y.other is Axis.X
+
+
+class TestNestedLoop:
+    def test_first_two_calls_alternate(self):
+        # Section 4.4.1: "the first two calls ... are always alternated so
+        # as to have at least one tile for starting the exploration".
+        assert as_string(NestedLoopSchedule(3), 2) == "xy"
+
+    def test_exhausts_step_chunks_then_scans_other(self):
+        assert as_string(NestedLoopSchedule(3), 8) == "xyxxyyyy"
+
+    def test_h_equals_one(self):
+        assert as_string(NestedLoopSchedule(1), 5) == "xyyyy"
+
+    def test_rejects_non_positive_h(self):
+        with pytest.raises(PlanError):
+            NestedLoopSchedule(0)
+
+
+class TestMergeScan:
+    def test_even_alternation_by_default(self):
+        assert as_string(MergeScanSchedule(), 8) == "xyxyxyxy"
+
+    def test_ratio_three_fifths(self):
+        # r = 3/5: three X calls per five Y calls, interleaved evenly.
+        prefix = as_string(MergeScanSchedule(Fraction(3, 5)), 16)
+        assert prefix.count("x") == 6
+        assert prefix.count("y") == 10
+
+    def test_ratio_two(self):
+        prefix = as_string(MergeScanSchedule(Fraction(2, 1)), 9)
+        assert prefix.count("x") == 6
+        assert prefix.count("y") == 3
+
+    def test_cumulative_ratio_converges(self):
+        ratio = Fraction(3, 7)
+        calls = MergeScanSchedule(ratio).prefix(1000)
+        x = sum(1 for a in calls if a is Axis.X)
+        y = len(calls) - x
+        assert abs(x / y - 3 / 7) < 0.05
+
+    def test_interleaving_is_even(self):
+        # No long runs of the same axis at ratio 1/1.
+        prefix = as_string(MergeScanSchedule(), 100)
+        assert "xxx" not in prefix and "yyy" not in prefix
+
+    def test_rejects_non_positive_ratio(self):
+        with pytest.raises(PlanError):
+            MergeScanSchedule(Fraction(0, 1))
+
+
+class TestVariableRatio:
+    def test_chooser_drives_schedule(self):
+        # Always feed the axis with fewer calls: even alternation.
+        schedule = VariableRatioSchedule(
+            chooser=lambda x, y: Axis.X if x <= y else Axis.Y
+        )
+        assert as_string(schedule, 6) == "xyxyxy"
+
+    def test_chooser_receives_counts(self):
+        seen = []
+
+        def chooser(x, y):
+            seen.append((x, y))
+            return Axis.Y
+
+        VariableRatioSchedule(chooser=chooser).prefix(4)
+        assert seen == [(1, 1), (1, 2)]
+
+
+class TestCostAwareSchedule:
+    def test_equal_latencies_alternate_evenly(self):
+        from repro.joins.strategies import cost_aware_schedule
+
+        prefix = as_string(cost_aware_schedule(1.0, 1.0), 10)
+        assert prefix.count("x") == 5 and prefix.count("y") == 5
+
+    def test_cheap_service_called_more(self):
+        from repro.joins.strategies import cost_aware_schedule
+
+        prefix = cost_aware_schedule(1.0, 3.0).prefix(40)
+        x = sum(1 for a in prefix if a is Axis.X)
+        y = len(prefix) - x
+        # X is 3x cheaper: it receives roughly 3x the calls.
+        assert 2.0 <= x / y <= 4.0
+
+    def test_symmetry(self):
+        from repro.joins.strategies import cost_aware_schedule
+
+        fast_x = cost_aware_schedule(1.0, 4.0).prefix(30)
+        fast_y = cost_aware_schedule(4.0, 1.0).prefix(30)
+        x_heavy = sum(1 for a in fast_x if a is Axis.X)
+        y_heavy = sum(1 for a in fast_y if a is Axis.Y)
+        assert abs(x_heavy - y_heavy) <= 2
+
+    def test_rejects_non_positive_latency(self):
+        from repro.joins.strategies import cost_aware_schedule
+
+        with pytest.raises(PlanError):
+            cost_aware_schedule(0.0, 1.0)
+
+    def test_drives_a_join_executor(self):
+        import random
+
+        from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
+        from repro.joins.strategies import cost_aware_schedule
+        from repro.model.scoring import LinearScoring
+        from repro.model.tuples import ServiceTuple
+
+        rng = random.Random(3)
+        scoring = LinearScoring(horizon=40)
+
+        def source(name, seed):
+            local = random.Random(seed)
+            return ListChunkSource(
+                [
+                    ServiceTuple(
+                        {"k": local.randrange(5)},
+                        score=scoring.score_at(i),
+                        source=name,
+                        position=i,
+                    )
+                    for i in range(40)
+                ],
+                5,
+                scoring,
+            )
+
+        executor = ParallelJoinExecutor(
+            source("X", 1),
+            source("Y", 2),
+            lambda a, b: a.values["k"] == b.values["k"],
+            schedule=cost_aware_schedule(0.5, 2.0),
+            k=8,
+        )
+        result = executor.run()
+        assert len(result) == 8
+        # The cheaper X side absorbed at least as many calls as Y.
+        assert result.stats.calls_x >= result.stats.calls_y

@@ -1,0 +1,156 @@
+"""Tests for streamed binary joins over live simulated services."""
+
+import pytest
+
+from repro.engine.streaming import stream_binary_join
+from repro.errors import ExecutionError
+from repro.joins.spec import (
+    CompletionStrategy,
+    InvocationStrategy,
+    JoinMethodSpec,
+)
+from repro.model.attributes import Attribute, DataType, Domain
+from repro.model.connections import AttributePair, ConnectionPattern
+from repro.model.registry import ServiceRegistry
+from repro.model.scoring import LinearScoring
+from repro.model.service import (
+    AccessPattern,
+    ServiceInterface,
+    ServiceKind,
+    ServiceMart,
+    ServiceStats,
+)
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.simulated import ServicePool
+
+
+@pytest.fixture()
+def registry():
+    registry = ServiceRegistry()
+    key = Domain("pairkey", DataType.INTEGER, size=5)
+    marts = {}
+    for side in ("A", "B"):
+        mart = ServiceMart(
+            side, (Attribute("Topic"), Attribute("K", key), Attribute("Val"))
+        )
+        marts[side] = mart
+        registry.register_interface(
+            ServiceInterface(
+                name=f"{side}1",
+                mart=mart,
+                access_pattern=AccessPattern.from_spec({"Topic": "I"}),
+                kind=ServiceKind.SEARCH,
+                stats=ServiceStats(avg_cardinality=30, chunk_size=5, latency=1.0),
+                scoring=LinearScoring(horizon=30),
+            )
+        )
+    registry.register_pattern(
+        ConnectionPattern(
+            name="Matches",
+            source=marts["A"],
+            target=marts["B"],
+            pairs=(AttributePair.parse("K", "K"),),
+            selectivity=0.2,
+        )
+    )
+    return registry
+
+
+@pytest.fixture()
+def query(registry):
+    return compile_query(
+        parse_query(
+            "SELECT A1 AS X, B1 AS Y WHERE Matches(X, Y) "
+            "AND X.Topic = INPUT1 AND Y.Topic = INPUT1 "
+            "RANK BY 0.5*X, 0.5*Y LIMIT 8"
+        ),
+        registry,
+    )
+
+
+INPUTS = {"INPUT1": "t"}
+
+
+class TestStreamedJoin:
+    def test_produces_valid_combinations(self, registry, query):
+        pool = ServicePool(registry, global_seed=5)
+        streamed = stream_binary_join(query, pool, INPUTS)
+        assert 0 < len(streamed.combinations) <= 8
+        for combo in streamed.combinations:
+            assert combo.component("X").values["K"] == combo.component(
+                "Y"
+            ).values["K"]
+
+    def test_calls_logged_in_pool(self, registry, query):
+        pool = ServicePool(registry, global_seed=5)
+        streamed = stream_binary_join(query, pool, INPUTS)
+        assert pool.log.total_calls() == streamed.total_calls
+        assert set(pool.log.calls_by_alias()) <= {"X", "Y"}
+
+    def test_does_not_exhaust_services(self, registry, query):
+        pool = ServicePool(registry, global_seed=5)
+        streamed = stream_binary_join(query, pool, INPUTS, k=3)
+        assert streamed.total_calls < 12  # 12 = both services exhausted
+
+    def test_method_spec_controls_strategy(self, registry, query):
+        pool = ServicePool(registry, global_seed=5)
+        spec = JoinMethodSpec(
+            invocation=InvocationStrategy.NESTED_LOOP,
+            completion=CompletionStrategy.RECTANGULAR,
+            step_chunks=2,
+        )
+        streamed = stream_binary_join(query, pool, INPUTS, spec=spec)
+        assert streamed.join.stats.calls_x <= 2  # the h=2 step bound
+
+    def test_guaranteed_topk_mode(self, registry, query):
+        pool = ServicePool(registry, global_seed=5)
+        streamed = stream_binary_join(query, pool, INPUTS, guarantee_topk=True)
+        # Compare against brute force over the full service data.
+        left = pool.invoke("A1", {"Topic": "t"}, alias="X")
+        right = pool.invoke("B1", {"Topic": "t"}, alias="Y")
+        brute = sorted(
+            (
+                0.5 * a.score + 0.5 * b.score
+                for a in left.results
+                for b in right.results
+                if a.values["K"] == b.values["K"]
+            ),
+            reverse=True,
+        )[: len(streamed.combinations)]
+        got = [c.score for c in streamed.combinations]
+        assert got == pytest.approx(brute)
+
+    def test_rejects_non_binary_queries(self, movie_query, movie_registry):
+        pool = ServicePool(movie_registry, global_seed=1)
+        with pytest.raises(ExecutionError):
+            stream_binary_join(movie_query, pool, {})
+
+    def test_rejects_unjoined_atoms(self, registry):
+        query = compile_query(
+            parse_query(
+                "SELECT A1 AS X, B1 AS Y "
+                "WHERE X.Topic = INPUT1 AND Y.Topic = INPUT1"
+            ),
+            registry,
+        )
+        pool = ServicePool(registry, global_seed=1)
+        with pytest.raises(ExecutionError):
+            stream_binary_join(query, pool, INPUTS)
+
+    def test_rejects_piped_inputs(self, movie_registry):
+        query = compile_query(
+            parse_query(
+                "SELECT Theatre1 AS T, Restaurant1 AS R WHERE DinnerPlace(T, R) "
+                "AND T.UAddress = INPUT4 AND T.UCity = INPUT5 "
+                "AND T.UCountry = INPUT2 AND R.Category.Name = INPUT6"
+            ),
+            movie_registry,
+        )
+        pool = ServicePool(movie_registry, global_seed=1)
+        with pytest.raises(ExecutionError):
+            stream_binary_join(
+                query,
+                pool,
+                {"INPUT2": "c", "INPUT4": "a", "INPUT5": "b", "INPUT6": "x"},
+            )

@@ -1,0 +1,98 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.optimizer import optimize_query
+from repro.query.compile import compile_query
+from repro.query.feasibility import check_feasibility, enumerate_binding_choices
+from repro.query.parser import parse_query
+from repro.services.synth import chain_workload, mixed_workload, star_workload
+
+
+def compiled(workload):
+    return compile_query(parse_query(workload.query_text), workload.registry)
+
+
+class TestChain:
+    @pytest.mark.parametrize("size", [1, 2, 4, 6])
+    def test_feasible_at_every_size(self, size):
+        query = compiled(chain_workload(size))
+        assert check_feasibility(query).feasible
+
+    def test_single_binding_choice_chain_dependencies(self):
+        query = compiled(chain_workload(4))
+        choices = list(enumerate_binding_choices(query))
+        assert len(choices) == 1
+        deps = choices[0].dependencies_over(query.aliases)
+        for index in range(1, 4):
+            assert deps[f"A{index}"] == frozenset({f"A{index - 1}"})
+
+    def test_deterministic_per_seed(self):
+        a = chain_workload(4, seed=9)
+        b = chain_workload(4, seed=9)
+        assert a.query_text == b.query_text
+        assert [i for i in a.registry.interface_names] == [
+            i for i in b.registry.interface_names
+        ]
+
+    def test_seed_varies_statistics(self):
+        a = chain_workload(4, seed=1)
+        b = chain_workload(4, seed=2)
+        stats_a = [
+            a.registry.interface(n).stats.latency for n in a.registry.interface_names
+        ]
+        stats_b = [
+            b.registry.interface(n).stats.latency for n in b.registry.interface_names
+        ]
+        assert stats_a != stats_b
+
+    def test_rejects_size_zero(self):
+        with pytest.raises(ValueError):
+            chain_workload(0)
+
+
+class TestStar:
+    def test_hub_feeds_every_satellite(self):
+        query = compiled(star_workload(4))
+        choices = list(enumerate_binding_choices(query))
+        assert len(choices) == 1
+        deps = choices[0].dependencies_over(query.aliases)
+        for index in range(1, 4):
+            assert deps[f"A{index}"] == frozenset({"A0"})
+
+    def test_optimizable(self):
+        query = compiled(star_workload(4))
+        best = optimize_query(query)
+        assert best.satisfies_k or best.estimated_results > 0
+
+    def test_rejects_tiny_star(self):
+        with pytest.raises(ValueError):
+            star_workload(1)
+
+
+class TestMixed:
+    def test_shape(self):
+        workload = mixed_workload(6)
+        query = compiled(workload)
+        assert check_feasibility(query).feasible
+        choices = list(enumerate_binding_choices(query))
+        deps = choices[0].dependencies_over(query.aliases)
+        # The two fan-out satellites hang off the chain's last node.
+        hub = f"A{6 - 3}"
+        assert deps["A4"] == frozenset({hub})
+        assert deps["A5"] == frozenset({hub})
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            mixed_workload(3)
+
+
+class TestWorkloadMetadata:
+    def test_shape_and_size_recorded(self):
+        assert chain_workload(3).shape == "chain"
+        assert star_workload(3).shape == "star"
+        assert mixed_workload(5).size == 5
+
+    def test_inputs_bound(self):
+        workload = chain_workload(3)
+        assert "INPUT1" in workload.inputs

@@ -1,0 +1,114 @@
+"""Unit tests for the guaranteed top-k rank join (extension feature)."""
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.joins.methods import ListChunkSource
+from repro.joins.topk import RankJoinExecutor
+from repro.model.scoring import ExponentialScoring, LinearScoring, PowerLawScoring
+from repro.model.tuples import ServiceTuple
+
+
+def make_source(n, key_space, scoring, source, chunk=5, seed=0):
+    rng = random.Random(seed)
+    tuples = [
+        ServiceTuple(
+            {"k": rng.randrange(key_space)},
+            score=scoring.score_at(i),
+            source=source,
+            position=i,
+        )
+        for i in range(n)
+    ]
+    return ListChunkSource(tuples, chunk, scoring)
+
+
+def brute_force_topk(x_tuples, y_tuples, wx, wy, k):
+    scores = [
+        wx * a.score + wy * b.score
+        for a in x_tuples
+        for b in y_tuples
+        if a.values["k"] == b.values["k"]
+    ]
+    return sorted(scores, reverse=True)[:k]
+
+
+KEY_EQ = staticmethod(lambda a, b: a.values["k"] == b.values["k"])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize(
+    "scoring",
+    [LinearScoring(horizon=60), ExponentialScoring(rate=0.04), PowerLawScoring()],
+    ids=lambda s: type(s).__name__,
+)
+def test_topk_matches_brute_force(seed, scoring):
+    x = make_source(40, 8, scoring, "X", seed=seed)
+    y = make_source(40, 8, scoring, "Y", seed=seed + 100)
+    predicate = lambda a, b: a.values["k"] == b.values["k"]
+    result = RankJoinExecutor(x, y, predicate, 0.5, 0.5, k=10).run()
+    expected = brute_force_topk(x.tuples, y.tuples, 0.5, 0.5, 10)
+    got = [p.score for p in result.pairs]
+    assert got == pytest.approx(expected)
+
+
+def test_emission_order_is_non_increasing():
+    scoring = LinearScoring(horizon=60)
+    x = make_source(40, 6, scoring, "X", seed=9)
+    y = make_source(40, 6, scoring, "Y", seed=10)
+    result = RankJoinExecutor(
+        x, y, lambda a, b: a.values["k"] == b.values["k"], k=15
+    ).run()
+    scores = [p.score for p in result.pairs]
+    assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+
+def test_asymmetric_weights():
+    scoring = LinearScoring(horizon=60)
+    x = make_source(40, 6, scoring, "X", seed=11)
+    y = make_source(40, 6, scoring, "Y", seed=12)
+    result = RankJoinExecutor(
+        x, y, lambda a, b: a.values["k"] == b.values["k"], 0.9, 0.1, k=8
+    ).run()
+    expected = brute_force_topk(x.tuples, y.tuples, 0.9, 0.1, 8)
+    assert [p.score for p in result.pairs] == pytest.approx(expected)
+
+
+def test_does_not_exhaust_sources_unnecessarily():
+    scoring = LinearScoring(horizon=200)
+    x = make_source(200, 3, scoring, "X", chunk=10, seed=13)
+    y = make_source(200, 3, scoring, "Y", chunk=10, seed=14)
+    result = RankJoinExecutor(
+        x, y, lambda a, b: a.values["k"] == b.values["k"], k=5
+    ).run()
+    assert len(result.pairs) == 5
+    assert result.stats.total_calls < 40  # 40 = full exhaustion
+
+def test_handles_empty_join_gracefully():
+    scoring = LinearScoring(horizon=20)
+    x = make_source(10, 3, scoring, "X", seed=15)
+    y = make_source(10, 3, scoring, "Y", seed=16)
+    result = RankJoinExecutor(x, y, lambda a, b: False, k=5).run()
+    assert len(result.pairs) == 0
+
+
+def test_k_larger_than_result_set():
+    scoring = LinearScoring(horizon=20)
+    x = make_source(6, 2, scoring, "X", seed=17)
+    y = make_source(6, 2, scoring, "Y", seed=18)
+    predicate = lambda a, b: a.values["k"] == b.values["k"]
+    result = RankJoinExecutor(x, y, predicate, k=1000).run()
+    expected = brute_force_topk(x.tuples, y.tuples, 0.5, 0.5, 1000)
+    assert [p.score for p in result.pairs] == pytest.approx(expected)
+
+
+def test_rejects_bad_parameters():
+    scoring = LinearScoring(horizon=20)
+    x = make_source(5, 2, scoring, "X")
+    y = make_source(5, 2, scoring, "Y")
+    with pytest.raises(ExecutionError):
+        RankJoinExecutor(x, y, lambda a, b: True, weight_x=-1.0)
+    with pytest.raises(ExecutionError):
+        RankJoinExecutor(x, y, lambda a, b: True, k=0)

@@ -1,0 +1,172 @@
+"""Unit tests for topology enumeration (phase 2) — including Fig. 9."""
+
+import pytest
+
+from repro.core.topology import (
+    TopologyBuilder,
+    enumerate_topologies,
+    topology_signature,
+)
+from repro.errors import PlanError
+from repro.plans.nodes import ParallelJoinNode, SelectionNode, ServiceNode
+from repro.query.feasibility import enumerate_binding_choices
+
+
+@pytest.fixture(scope="module")
+def movie_choice(movie_query):
+    return next(enumerate_binding_choices(movie_query))
+
+
+@pytest.fixture(scope="module")
+def movie_plans(movie_query, movie_choice):
+    return list(enumerate_topologies(movie_query, {}, movie_choice))
+
+
+class TestFig9:
+    def test_exactly_four_topologies(self, movie_plans):
+        """Fig. 9: 'four topologies are to be considered'."""
+        assert len(movie_plans) == 4
+
+    def test_theatre_always_precedes_restaurant(self, movie_plans):
+        """'In all configurations Theatre precedes Restaurant, so as to
+        implement with a pipe join the corresponding I/O dependency.'"""
+        for plan in movie_plans:
+            theatre = plan.service_node_for("T").node_id
+            restaurant = plan.service_node_for("R").node_id
+            order = plan.topological_order()
+            assert order.index(theatre) < order.index(restaurant)
+
+    def test_split_between_serial_and_parallel(self, movie_plans):
+        with_join = [p for p in movie_plans if p.join_nodes()]
+        without_join = [p for p in movie_plans if not p.join_nodes()]
+        assert len(with_join) == 2
+        assert len(without_join) == 2
+
+    def test_parallel_variants_place_restaurant_before_and_after_join(
+        self, movie_plans
+    ):
+        placements = set()
+        for plan in movie_plans:
+            if not plan.join_nodes():
+                continue
+            join_id = plan.join_nodes()[0].node_id
+            restaurant = plan.service_node_for("R").node_id
+            order = plan.topological_order()
+            placements.add(order.index(restaurant) > order.index(join_id))
+        assert placements == {True, False}
+
+    def test_serial_variants_use_selection_for_shows(self, movie_plans):
+        for plan in movie_plans:
+            if plan.join_nodes():
+                continue
+            selections = plan.selection_nodes()
+            assert selections, "serial plan needs a join-filter selection"
+            filters = [str(p) for node in selections for p in node.join_filters]
+            assert any("Title" in f for f in filters)
+
+    def test_all_plans_validate(self, movie_plans):
+        for plan in movie_plans:
+            plan.validate()
+
+    def test_signatures_are_distinct(self, movie_plans):
+        signatures = {topology_signature(p) for p in movie_plans}
+        assert len(signatures) == 4
+
+
+class TestBuilderMechanics:
+    def test_initial_state(self, movie_query, movie_choice):
+        builder = TopologyBuilder.initial(movie_query, {}, movie_choice)
+        assert not builder.is_complete
+        kinds = {m.kind for m in builder.available_moves()}
+        assert kinds == {"start"}  # only sources can open streams
+
+    def test_fork_requires_pipe_dependency(self, movie_query, movie_choice):
+        builder = TopologyBuilder.initial(movie_query, {}, movie_choice)
+        start_t = [m for m in builder.available_moves() if m.alias == "T"][0]
+        builder = builder.apply(start_t)
+        extend_r = [
+            m
+            for m in builder.available_moves()
+            if m.kind == "extend" and m.alias == "R"
+        ][0]
+        builder = builder.apply(extend_r)
+        # T's node is now interior; only piped services may fork off
+        # interior nodes, and R is already placed -- M (unpiped) may not.
+        fork_aliases = {
+            m.alias for m in builder.available_moves() if m.kind == "fork"
+        }
+        assert fork_aliases == set()
+
+    def test_apply_does_not_mutate_parent(self, movie_query, movie_choice):
+        builder = TopologyBuilder.initial(movie_query, {}, movie_choice)
+        move = builder.available_moves()[0]
+        child = builder.apply(move)
+        assert builder.placed == frozenset()
+        assert child.placed != frozenset()
+
+    def test_finish_requires_completion(self, movie_query, movie_choice):
+        builder = TopologyBuilder.initial(movie_query, {}, movie_choice)
+        with pytest.raises(PlanError):
+            builder.finish()
+
+    def test_pipe_realises_pattern_joins(self, movie_query, movie_plans):
+        # DinnerPlace is realised by the T->R pipe in every topology: no
+        # selection node ever re-checks its three predicates.
+        for plan in movie_plans:
+            for node in plan.selection_nodes():
+                for predicate in node.join_filters:
+                    assert predicate.pattern != "DinnerPlace"
+
+    def test_merge_carries_crossing_predicates(self, movie_plans):
+        for plan in movie_plans:
+            for join in plan.join_nodes():
+                assert all(p.pattern == "Shows" for p in join.predicates)
+                assert join.predicates
+
+
+class TestConferenceTopologies:
+    def test_fig2_topology_reachable(self, conference_query):
+        """The Fig. 2 shape — C -> W -> (F || H) -> MS join — must be
+        among the enumerated topologies."""
+        found = False
+        for choice in enumerate_binding_choices(conference_query):
+            for plan in enumerate_topologies(conference_query, {}, choice):
+                joins = plan.join_nodes()
+                if not joins:
+                    continue
+                join_id = joins[0].node_id
+                left, right = plan.parents(join_id)
+                branch_aliases = set()
+                for parent in (left, right):
+                    node = plan.node(parent)
+                    if isinstance(node, (ServiceNode, SelectionNode)):
+                        upstream = {parent}
+                        stack = [parent]
+                        while stack:
+                            for p in plan.parents(stack.pop()):
+                                upstream.add(p)
+                                stack.append(p)
+                        aliases = {
+                            plan.node(n).alias
+                            for n in upstream
+                            if isinstance(plan.node(n), ServiceNode)
+                        }
+                        branch_aliases.add(frozenset(aliases))
+                if (
+                    frozenset({"C", "W", "F"}) in branch_aliases
+                    and frozenset({"C", "W", "H"}) in branch_aliases
+                ):
+                    found = True
+        assert found
+
+    def test_topology_count_stable(self, conference_query):
+        total = sum(
+            len(list(enumerate_topologies(conference_query, {}, choice)))
+            for choice in enumerate_binding_choices(conference_query)
+        )
+        assert total == 31
+
+    def test_limit_parameter(self, conference_query):
+        choice = next(enumerate_binding_choices(conference_query))
+        plans = list(enumerate_topologies(conference_query, {}, choice, limit=3))
+        assert len(plans) == 3

@@ -1,0 +1,115 @@
+"""Unit tests for tuples, composites, and the global ranking function."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.model.attributes import AttributePath
+from repro.model.tuples import CompositeTuple, RankingFunction, ServiceTuple
+
+
+def make_tuple(**values):
+    return ServiceTuple(values=values, score=0.8, source="S", position=0)
+
+
+class TestServiceTuple:
+    def test_rejects_out_of_range_score(self):
+        with pytest.raises(SchemaError):
+            ServiceTuple(values={}, score=1.5)
+        with pytest.raises(SchemaError):
+            ServiceTuple(values={}, score=-0.1)
+
+    def test_flat_value_access(self):
+        tup = make_tuple(Title="Up")
+        assert tup.value_at(AttributePath("Title")) == "Up"
+
+    def test_missing_attribute_raises(self):
+        tup = make_tuple(Title="Up")
+        with pytest.raises(QueryError):
+            tup.value_at(AttributePath("Nope"))
+
+    def test_nested_value_access_returns_all_witnesses(self):
+        tup = make_tuple(R=({"A": 1, "B": "x"}, {"A": 2, "B": "y"}))
+        assert tup.value_at(AttributePath("R", "A")) == (1, 2)
+
+    def test_group_members(self):
+        tup = make_tuple(R=({"A": 1}, {"A": 2}))
+        members = tup.group_members("R")
+        assert members == ({"A": 1}, {"A": 2})
+
+    def test_group_members_missing_group_raises(self):
+        with pytest.raises(QueryError):
+            make_tuple(X=1).group_members("R")
+
+    def test_values_are_frozen_and_hashable(self):
+        tup = make_tuple(R=[{"A": 1}, {"A": 2}], X=[1, 2, 3])
+        assert hash(tup) == hash(tup)
+        assert isinstance(tup.values["X"], tuple)
+
+    def test_equal_tuples_hash_equal(self):
+        a = make_tuple(X=1)
+        b = make_tuple(X=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCompositeTuple:
+    def test_component_access(self):
+        t = make_tuple(X=1)
+        comp = CompositeTuple({"M": t}, 0.5)
+        assert comp.component("M") is not None
+        assert comp.aliases == ("M",)
+        with pytest.raises(QueryError):
+            comp.component("T")
+
+    def test_merged_with_rejects_duplicate_alias(self):
+        comp = CompositeTuple({"M": make_tuple(X=1)}, 0.5)
+        with pytest.raises(QueryError):
+            comp.merged_with("M", make_tuple(X=2), 0.6)
+
+    def test_merged_with_extends(self):
+        comp = CompositeTuple({"M": make_tuple(X=1)}, 0.5)
+        bigger = comp.merged_with("T", make_tuple(Y=2), 0.7)
+        assert set(bigger.aliases) == {"M", "T"}
+        assert bigger.score == 0.7
+        assert comp.aliases == ("M",)  # original untouched
+
+
+class TestRankingFunction:
+    def test_weights_are_normalised(self):
+        rf = RankingFunction({"M": 3.0, "T": 1.0})
+        assert rf.weight("M") == pytest.approx(0.75)
+        assert rf.weight("T") == pytest.approx(0.25)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(QueryError):
+            RankingFunction({"M": -1.0})
+
+    def test_unknown_alias_weighs_zero(self):
+        rf = RankingFunction({"M": 1.0})
+        assert rf.weight("ZZZ") == 0.0
+
+    def test_score_is_weighted_sum(self):
+        rf = RankingFunction({"M": 0.3, "T": 0.5, "R": 0.2}, normalise=False)
+        score = rf.score({"M": 1.0, "T": 0.5, "R": 0.0})
+        assert score == pytest.approx(0.3 * 1.0 + 0.5 * 0.5)
+
+    def test_unranked_service_contributes_nothing(self):
+        # Section 3.1: "the weight of unranked services is set equal to 0".
+        rf = RankingFunction({"M": 1.0, "W": 0.0})
+        score = rf.score({"M": 0.8, "W": 1.0})
+        assert score == pytest.approx(0.8)
+
+    def test_combine_builds_scored_composite(self):
+        rf = RankingFunction({"M": 1.0})
+        composite = rf.combine({"M": ServiceTuple({}, score=0.6)})
+        assert composite.score == pytest.approx(0.6)
+
+    def test_uniform(self):
+        rf = RankingFunction.uniform(["A", "B"])
+        assert rf.weight("A") == pytest.approx(0.5)
+        assert RankingFunction.uniform([]).weights == {}
+
+    def test_composite_score_stays_in_unit_interval(self):
+        rf = RankingFunction({"A": 5.0, "B": 7.0})
+        score = rf.score({"A": 1.0, "B": 1.0})
+        assert score <= 1.0 + 1e-9
