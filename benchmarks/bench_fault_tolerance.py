@@ -1,0 +1,177 @@
+"""E-FT — Fault tolerance: failure rates x retry policies on Fig. 10.
+
+The chapter's execution environment assumes every service call succeeds
+instantly; a production engine pays for retries, timeouts, and outages.
+This bench sweeps seeded transient-failure rates {0, 0.1, 0.3} and two
+retry policies over the fully instantiated running example and reports
+how retry overhead inflates measured execution time — the per-access
+costs that ranked-access cost models (Tziavelis et al.) charge, realised
+on the simulator.
+
+Guarantees exercised:
+
+* rate 0 is byte-identical to the fault-free seed run (same tuples, same
+  call log, same measured times);
+* rate 0.1 completes the plan through retries (no degradation needed);
+* rate 0.3 under ``partial`` degradation never escapes an exception —
+  worst case the output is flagged incomplete;
+* everything is deterministic under the global seed.
+"""
+
+import pytest
+
+from bench_fig10_running_example import FIG10_FETCHES, fig10_plan
+from conftest import report
+
+from repro.engine.executor import execute_plan
+from repro.engine.retry import Degradation, RetryPolicy
+from repro.services.simulated import FaultModel, ServicePool
+
+SEED = 8
+FAILURE_RATES = (0.0, 0.1, 0.3)
+POLICIES = {
+    "no-retry": RetryPolicy(max_attempts=1, base_backoff=0.0),
+    "3-attempts": RetryPolicy(max_attempts=3, base_backoff=0.5),
+}
+
+
+def run_fig10(plan, query, registry, inputs, rate, policy, seed=SEED):
+    pool = ServicePool(
+        registry,
+        global_seed=seed,
+        fault_model=FaultModel.uniform(failure_rate=rate),
+    )
+    result = execute_plan(
+        plan,
+        query,
+        pool,
+        inputs,
+        FIG10_FETCHES,
+        k=100000,
+        retry=policy,
+        degradation=Degradation.PARTIAL,
+    )
+    return result, pool
+
+
+def fingerprint(result, pool):
+    return (
+        tuple(round(t.score, 12) for t in result.tuples),
+        tuple(
+            (r.alias, r.outcome, r.attempt, round(r.latency, 12))
+            for r in pool.log.records
+        ),
+        result.failed_aliases,
+    )
+
+
+def test_eft_fault_tolerance_sweep(
+    benchmark, movie_query, movie_registry, movie_inputs
+):
+    plan = fig10_plan(movie_query)
+
+    def once():
+        return run_fig10(
+            plan,
+            movie_query,
+            movie_registry,
+            movie_inputs,
+            0.3,
+            POLICIES["3-attempts"],
+        )
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+    baseline, base_pool = run_fig10(
+        plan, movie_query, movie_registry, movie_inputs, 0.0, None
+    )
+
+    rows = []
+    for rate in FAILURE_RATES:
+        for name, policy in POLICIES.items():
+            result, pool = run_fig10(
+                plan, movie_query, movie_registry, movie_inputs, rate, policy
+            )
+
+            # Determinism: the same seed replays the same failures,
+            # retries, waits, and results.
+            replay, replay_pool = run_fig10(
+                plan, movie_query, movie_registry, movie_inputs, rate, policy
+            )
+            assert fingerprint(result, pool) == fingerprint(replay, replay_pool)
+
+            if rate == 0.0:
+                # A zero-rate fault model is byte-identical to the seed.
+                assert fingerprint(result, pool) == fingerprint(
+                    baseline, base_pool
+                )
+            if rate == 0.1 and name == "3-attempts":
+                # Moderate faults: retries carry the plan to completion.
+                assert not result.incomplete
+                assert pool.log.retries() > 0
+                assert [t.score for t in result.tuples] == pytest.approx(
+                    [t.score for t in baseline.tuples]
+                )
+            if rate == 0.3:
+                # Heavy faults: graceful degradation — reaching this line
+                # at all means no exception escaped; an incomplete outcome
+                # must name the abandoned branches.
+                assert not result.incomplete or result.failed_aliases
+
+            overhead = pool.log.retry_overhead()
+            rows.append(
+                f"rate={rate:<4}  {name:<10}  calls={pool.log.total_calls():3d}  "
+                f"failed={pool.log.failed_calls():3d}  "
+                f"retries={pool.log.retries():3d}  "
+                f"combos={len(result.tuples):3d}"
+                f"{' (incomplete)' if result.incomplete else '':13s}  "
+                f"exec={result.execution_time:7.2f}s  "
+                f"overhead={overhead:6.2f}s"
+            )
+            key = f"{rate}/{name}"
+            benchmark.extra_info[key] = {
+                "calls": pool.log.total_calls(),
+                "failed": pool.log.failed_calls(),
+                "retries": pool.log.retries(),
+                "overhead": round(overhead, 2),
+                "incomplete": result.incomplete,
+            }
+
+    report(
+        "E-FT fault-rate x retry-policy sweep on Fig. 10 "
+        f"(seed {SEED}, partial degradation)",
+        rows,
+    )
+
+
+def test_eft_outage_degrades_gracefully(
+    movie_query, movie_registry, movie_inputs
+):
+    plan = fig10_plan(movie_query)
+    pool = ServicePool(
+        movie_registry,
+        global_seed=SEED,
+        fault_model=FaultModel().with_outage("Restaurant1"),
+    )
+    result = execute_plan(
+        plan,
+        movie_query,
+        pool,
+        movie_inputs,
+        FIG10_FETCHES,
+        k=100000,
+        retry=POLICIES["3-attempts"],
+        degradation=Degradation.PARTIAL,
+    )
+    assert result.incomplete and result.failed_aliases == ("R",)
+    assert result.tuples and all(
+        "R" not in combo.components for combo in result.tuples
+    )
+    report(
+        "E-FT Restaurant outage (best-effort output)",
+        [
+            f"combinations: {len(result.tuples)} (movie+theatre only)",
+            f"failed aliases: {', '.join(result.failed_aliases)}",
+            f"failed calls: {pool.log.failed_calls()}",
+        ],
+    )

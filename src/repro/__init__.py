@@ -28,11 +28,12 @@ from repro.core.optimizer import (
     optimize_query,
 )
 from repro.engine.executor import ExecutionResult, execute_plan
+from repro.engine.retry import Degradation, RetryPolicy
 from repro.errors import SearchComputingError
 from repro.model.registry import ServiceRegistry
 from repro.query.compile import CompiledQuery, compile_query
 from repro.query.parser import parse_query
-from repro.services.simulated import ServicePool
+from repro.services.simulated import FaultModel, FaultProfile, ServicePool
 
 __version__ = "1.0.0"
 
@@ -44,8 +45,12 @@ __all__ = [
     "OptimizerConfig",
     "PlanCandidate",
     "optimize_query",
+    "Degradation",
     "ExecutionResult",
     "execute_plan",
+    "FaultModel",
+    "FaultProfile",
+    "RetryPolicy",
     "SearchComputingError",
     "ServiceRegistry",
     "CompiledQuery",

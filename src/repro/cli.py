@@ -27,6 +27,8 @@ from repro.core.cost import DEFAULT_METRICS
 from repro.core.optimizer import Optimizer, OptimizerConfig
 from repro.core.topology import enumerate_topologies
 from repro.engine.executor import execute_plan
+from repro.engine.retry import RetryPolicy
+from repro.errors import RetryExhaustedError, SearchComputingError
 from repro.query.compile import compile_query
 from repro.query.feasibility import enumerate_binding_choices
 from repro.query.parser import parse_query
@@ -38,7 +40,7 @@ from repro.services.marts import (
     conference_trip_registry,
     movie_night_registry,
 )
-from repro.services.simulated import ServicePool
+from repro.services.simulated import FaultModel, ServicePool
 
 __all__ = ["main", "build_parser"]
 
@@ -121,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="multiply every fetch factor (ask for more results)",
     )
+    faults = run_cmd.add_argument_group("fault injection & retries")
+    faults.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="per-call transient failure probability (default: 0)",
+    )
+    faults.add_argument(
+        "--timeout-rate",
+        type=float,
+        default=0.0,
+        help="per-call slow-response probability (default: 0)",
+    )
+    faults.add_argument(
+        "--slow-factor",
+        type=float,
+        default=10.0,
+        help="latency multiplier for slow calls (default: 10)",
+    )
+    faults.add_argument(
+        "--outage",
+        action="append",
+        metavar="INTERFACE",
+        help="mark an interface permanently down (repeatable)",
+    )
+    faults.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per service call before giving up (default: 3)",
+    )
+    faults.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base backoff before a retry, in virtual seconds (default: 0.5)",
+    )
+    faults.add_argument(
+        "--call-timeout",
+        type=float,
+        help="per-call timeout in virtual seconds (default: none)",
+    )
+    faults.add_argument(
+        "--degradation",
+        choices=("fail", "partial"),
+        default="fail",
+        help="on exhausted retries: abort (fail) or return best-effort "
+        "partial results (default: fail)",
+    )
 
     topo_cmd = commands.add_parser(
         "topologies", help="enumerate admissible plan topologies"
@@ -171,13 +222,65 @@ def _cmd_run(args) -> int:
         alias: factor * args.fetch_boost
         for alias, factor in best.fetch_vector().items()
     }
-    pool = ServicePool(registry, global_seed=args.seed)
-    result = execute_plan(best.plan, compiled, pool, inputs, fetches)
+    for name in args.outage or ():
+        if not registry.has_interface(name):
+            print(
+                f"error: --outage: unknown interface {name!r} "
+                f"(known: {', '.join(registry.interface_names)})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        fault_model = FaultModel.uniform(
+            failure_rate=args.failure_rate,
+            timeout_rate=args.timeout_rate,
+            slow_factor=args.slow_factor,
+        )
+        if args.outage:
+            fault_model = fault_model.with_outage(*args.outage)
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_backoff=args.backoff,
+            call_timeout=args.call_timeout,
+        )
+    except SearchComputingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pool = ServicePool(registry, global_seed=args.seed, fault_model=fault_model)
+    try:
+        result = execute_plan(
+            best.plan,
+            compiled,
+            pool,
+            inputs,
+            fetches,
+            retry=retry,
+            degradation=args.degradation,
+        )
+    except RetryExhaustedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: raise --max-attempts or use --degradation partial "
+            "for best-effort results",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"{result.total_calls} service calls, "
         f"{result.execution_time:.2f} virtual seconds, "
         f"{len(result.tuples)} combinations"
     )
+    failed = result.log.failed_calls()
+    if failed or result.incomplete:
+        print(
+            f"faults: {failed} failed calls, {result.log.retries()} retries, "
+            f"{result.log.retry_overhead():.2f}s retry overhead"
+        )
+    if result.incomplete:
+        print(
+            "WARNING: results are incomplete — services down for aliases "
+            + ", ".join(result.failed_aliases)
+        )
     for rank, combo in enumerate(result.tuples, start=1):
         parts = []
         for alias in sorted(combo.aliases):

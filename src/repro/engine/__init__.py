@@ -3,6 +3,7 @@
 from repro.engine.clock import JoinClock
 from repro.engine.events import CallLog, CallRecord, VirtualClock
 from repro.engine.liquid import LiquidQuerySession
+from repro.engine.retry import NO_RETRY, Degradation, Retrier, RetryPolicy
 from repro.engine.streaming import StreamedJoin, stream_binary_join
 from repro.engine.executor import (
     ExecutionResult,
@@ -19,6 +20,10 @@ __all__ = [
     "CallLog",
     "CallRecord",
     "VirtualClock",
+    "RetryPolicy",
+    "Retrier",
+    "Degradation",
+    "NO_RETRY",
     "ExecutionResult",
     "NodeRunStats",
     "PlanExecutor",

@@ -56,7 +56,7 @@ class JoinClock:
 
     def tick(self, axis: Axis | None = None) -> Axis:
         """Record one call (to ``axis``, or to the due side) and return it."""
-        chosen = axis or self.next_axis()
+        chosen = axis if axis is not None else self.next_axis()
         if chosen is Axis.X:
             self.calls_x += 1
         else:

@@ -7,15 +7,25 @@ request-response advances a :class:`VirtualClock` by a deterministic,
 seeded latency draw, and every call is appended to a :class:`CallLog`.
 Measured metrics (execution time, bottleneck, time-to-screen) are then
 exact functions of the log, reproducible under a seed.
+
+Failed round trips are logged too: a :class:`CallRecord` carries an
+``outcome`` (``ok``/``slow``/``error``/``timeout``/``unavailable``), the
+``attempt`` number within a retry sequence, and the ``backoff_wait`` the
+retry harness slept *after* the call — so retry overhead is an exact
+function of the log, just like the paper's cost metrics.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
 
-__all__ = ["VirtualClock", "CallRecord", "CallLog"]
+__all__ = ["VirtualClock", "CallRecord", "CallLog", "FAILURE_OUTCOMES"]
+
+#: Outcomes that did not deliver a usable response.
+FAILURE_OUTCOMES = frozenset({"error", "timeout", "unavailable"})
 
 
 @dataclass
@@ -37,6 +47,10 @@ class VirtualClock:
             self.now = timestamp
         return self.now
 
+    def reset(self) -> None:
+        """Rewind to time zero *in place*, keeping existing references live."""
+        self.now = 0.0
+
 
 @dataclass(frozen=True)
 class CallRecord:
@@ -48,10 +62,22 @@ class CallRecord:
     started_at: float
     latency: float
     tuples: int
+    #: ``ok`` | ``slow`` (served, above nominal latency) | ``error``
+    #: (transient fault) | ``timeout`` | ``unavailable`` (outage).
+    outcome: str = "ok"
+    #: 1-based attempt number for the chunk this call tried to fetch.
+    attempt: int = 1
+    #: Virtual seconds the retry harness waited *after* this call before
+    #: the next attempt (0.0 when no retry followed).
+    backoff_wait: float = 0.0
 
     @property
     def finished_at(self) -> float:
         return self.started_at + self.latency
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome in FAILURE_OUTCOMES
 
 
 @dataclass
@@ -62,6 +88,18 @@ class CallLog:
 
     def record(self, record: CallRecord) -> None:
         self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all records *in place*, keeping existing references live."""
+        self.records.clear()
+
+    def amend_last(self, **changes: object) -> CallRecord:
+        """Replace fields of the most recent record (e.g. its backoff wait)."""
+        if not self.records:
+            raise ExecutionError("cannot amend an empty call log")
+        amended = dataclasses.replace(self.records[-1], **changes)
+        self.records[-1] = amended
+        return amended
 
     def __len__(self) -> int:
         return len(self.records)
@@ -79,11 +117,16 @@ class CallLog:
         return len(self.records)
 
     def total_latency(self) -> float:
-        return sum(r.latency for r in self.records)
+        """Total virtual time attributable to calls: latencies plus the
+        backoff waits spent between retry attempts."""
+        return sum(r.latency + r.backoff_wait for r in self.records)
 
     def busy_time(self, alias: str) -> float:
-        """Total request-response time spent by one alias's service."""
-        return sum(r.latency for r in self.records if r.alias == alias)
+        """Total request-response time spent by one alias's service,
+        including retry backoff waits."""
+        return sum(
+            r.latency + r.backoff_wait for r in self.records if r.alias == alias
+        )
 
     def tuples_transferred(self, alias: str | None = None) -> int:
         return sum(
@@ -91,3 +134,33 @@ class CallLog:
             for r in self.records
             if alias is None or r.alias == alias
         )
+
+    # -- retry accounting -------------------------------------------------------
+
+    def failed_calls(self, alias: str | None = None) -> int:
+        """Round trips that did not deliver a usable response."""
+        return sum(
+            1
+            for r in self.records
+            if r.failed and (alias is None or r.alias == alias)
+        )
+
+    def retries(self, alias: str | None = None) -> int:
+        """Calls that were re-attempts (attempt number above 1)."""
+        return sum(
+            1
+            for r in self.records
+            if r.attempt > 1 and (alias is None or r.alias == alias)
+        )
+
+    def retry_overhead(self, alias: str | None = None) -> float:
+        """Virtual time spent on failed calls and backoff waits — the part
+        of measured execution time a fault-free run would not pay."""
+        total = 0.0
+        for r in self.records:
+            if alias is not None and r.alias != alias:
+                continue
+            total += r.backoff_wait
+            if r.failed:
+                total += r.latency
+        return total

@@ -31,12 +31,14 @@ optimizer's estimates.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.annotate import pipe_join_selectivity
 from repro.engine.events import CallLog
-from repro.errors import ExecutionError
+from repro.engine.retry import NO_RETRY, Degradation, Retrier, RetryPolicy
+from repro.errors import ExecutionError, RetryExhaustedError
 from repro.joins.spec import CompletionStrategy
 from repro.model.tuples import CompositeTuple, RankingFunction
 from repro.plans.nodes import (
@@ -47,7 +49,7 @@ from repro.plans.nodes import (
     ServiceNode,
 )
 from repro.plans.plan import QueryPlan
-from repro.query.ast import Comparator, SelectionPredicate
+from repro.query.ast import Comparator, JoinPredicate, SelectionPredicate
 from repro.query.compile import CompiledQuery
 from repro.query.feasibility import ProviderKind
 from repro.query.predicates import satisfies, tuple_satisfies_selections
@@ -56,7 +58,38 @@ from repro.stats.estimate import Estimator
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.services.simulated import ServicePool
 
-__all__ = ["NodeRunStats", "ExecutionResult", "PlanExecutor", "execute_plan"]
+__all__ = [
+    "NodeRunStats",
+    "ExecutionResult",
+    "PlanExecutor",
+    "execute_plan",
+    "invocation_cache_key",
+]
+
+
+def invocation_cache_key(
+    interface_name: str,
+    alias: str,
+    factor: int,
+    bindings: Mapping[str, Any],
+) -> tuple:
+    """Memo key for one service invocation.
+
+    Each binding value is keyed by ``(type qualname, repr)``: ``repr``
+    alone conflates values of different types whose reprs coincide, which
+    would silently reuse another binding's results.
+    """
+    return (
+        interface_name,
+        alias,
+        factor,
+        tuple(
+            sorted(
+                (key, type(value).__qualname__, repr(value))
+                for key, value in bindings.items()
+            )
+        ),
+    )
 
 
 @dataclass
@@ -84,6 +117,15 @@ class ExecutionResult:
     #: TimeToScreenMetric estimate).
     time_to_screen: float = 0.0
     total_candidates: int = 0
+    #: Aliases whose service was abandoned after exhausting retries
+    #: (non-empty only under ``partial`` degradation).
+    failed_aliases: tuple[str, ...] = ()
+
+    @property
+    def incomplete(self) -> bool:
+        """True when a branch was down and the results are best-effort:
+        combinations may be missing the failed aliases' components."""
+        return bool(self.failed_aliases)
 
     @property
     def total_calls(self) -> int:
@@ -113,6 +155,16 @@ class PlanExecutor:
     final_semantic_check:
         Re-evaluate the full predicate set on every output combination
         with joint-witness semantics (recommended; see module docstring).
+    retry:
+        Retry policy for failing service calls (default: no retries, no
+        per-call timeout).  Backoff waits advance the pool's virtual
+        clock, so retry cost shows up in measured execution time.
+    degradation:
+        What to do when a service's retries are exhausted:
+        ``Degradation.FAIL`` propagates the error; ``Degradation.PARTIAL``
+        keeps going — the dead branch contributes nothing, upstream
+        combinations flow through without its component, and the result is
+        flagged ``incomplete``.
     """
 
     def __init__(
@@ -124,6 +176,8 @@ class PlanExecutor:
         fetches: Mapping[str, int] | None = None,
         k: int | None = None,
         final_semantic_check: bool = True,
+        retry: RetryPolicy | None = None,
+        degradation: Degradation | str = Degradation.FAIL,
     ) -> None:
         self.plan = plan
         self.query = query
@@ -132,7 +186,16 @@ class PlanExecutor:
         self.fetches = dict(fetches or {})
         self.k = query.k if k is None else k
         self.final_semantic_check = final_semantic_check
-        self._invocation_cache: dict[tuple, list] = {}
+        self.retry = NO_RETRY if retry is None else retry
+        self.degradation = Degradation.coerce(degradation)
+        self.failed_aliases: set[str] = set()
+        self._retrier = Retrier(
+            policy=self.retry,
+            clock=pool.clock,
+            log=pool.log,
+            rng=random.Random(pool.global_seed ^ 0xB0FF),
+        )
+        self._invocation_cache: dict[tuple, tuple[list, bool]] = {}
         self._estimator = Estimator(query)
 
     # -- public entry point ------------------------------------------------------
@@ -161,11 +224,8 @@ class PlanExecutor:
                 result = [
                     comp
                     for comp in upstream
-                    if satisfies(
-                        comp,
-                        selections=node.selections,
-                        joins=node.join_filters,
-                        inputs=self.inputs,
+                    if self._satisfies_evaluable(
+                        comp, node.selections, node.join_filters
                     )
                 ]
             elif isinstance(node, ParallelJoinNode):
@@ -203,6 +263,7 @@ class PlanExecutor:
             execution_time=execution_time,
             time_to_screen=time_to_screen,
             total_candidates=candidates,
+            failed_aliases=tuple(sorted(self.failed_aliases)),
         )
 
     # -- node runners ---------------------------------------------------------------
@@ -233,6 +294,16 @@ class PlanExecutor:
         for composite in upstream:
             bindings: dict[str, Any] = {}
             constraints: list[SelectionPredicate] = []
+            # A pipe source that never materialised (its service was
+            # abandoned under partial degradation) leaves this call with
+            # nothing to bind: keep the upstream combination as-is.
+            if any(
+                provider.kind is not ProviderKind.CONSTANT
+                and provider.source_alias not in composite.components
+                for provider in node.providers
+            ):
+                out.append(composite)
+                continue
             for provider in node.providers:
                 path_key = str(provider.path)
                 if provider.kind is ProviderKind.CONSTANT:
@@ -265,7 +336,12 @@ class PlanExecutor:
             for path in node.interface.input_paths():
                 bindings.setdefault(path, None)
 
-            tuples = self._fetch(node, bindings, constraints, factor)
+            tuples, failed = self._fetch(node, bindings, constraints, factor)
+            if failed and not tuples:
+                # Best-effort degradation: the branch is down, so the
+                # upstream combination flows on without this component.
+                out.append(composite)
+                continue
             for tup in tuples:
                 if selections and not tuple_satisfies_selections(
                     tup, alias, selections, self.inputs
@@ -283,14 +359,16 @@ class PlanExecutor:
         bindings: Mapping[str, Any],
         constraints: list[SelectionPredicate],
         factor: int,
-    ) -> list:
-        """Invoke (memoised per distinct binding) and draw ``factor`` chunks."""
+    ) -> tuple[list, bool]:
+        """Invoke (memoised per distinct binding) and draw ``factor`` chunks.
+
+        Returns ``(tuples, failed)``: ``failed`` is True when the call was
+        abandoned after exhausting retries under ``partial`` degradation
+        (``fail`` mode propagates instead).
+        """
         assert node.interface is not None
-        key = (
-            node.interface.name,
-            node.alias,
-            factor,
-            tuple(sorted((k, repr(v)) for k, v in bindings.items())),
+        key = invocation_cache_key(
+            node.interface.name, node.alias, factor, bindings
         )
         if key in self._invocation_cache:
             return self._invocation_cache[key]
@@ -300,15 +378,23 @@ class PlanExecutor:
             alias=node.alias,
             constraints=constraints,
             availability=pipe_join_selectivity(node, self.query, self._estimator),
+            call_timeout=self.retry.call_timeout,
         )
         tuples: list = []
-        for _ in range(factor):
-            chunk = invocation.next_chunk()
-            if chunk is None:
-                break
-            tuples.extend(chunk)
-        self._invocation_cache[key] = tuples
-        return tuples
+        failed = False
+        try:
+            for _ in range(factor):
+                chunk = self._retrier.call(invocation.next_chunk)
+                if chunk is None:
+                    break
+                tuples.extend(chunk)
+        except RetryExhaustedError:
+            if self.degradation is Degradation.FAIL:
+                raise
+            failed = True
+            self.failed_aliases.add(node.alias)
+        self._invocation_cache[key] = (tuples, failed)
+        return tuples, failed
 
     def _run_parallel_join(
         self,
@@ -332,8 +418,8 @@ class PlanExecutor:
                     continue
                 components = dict(lc.components)
                 components.update(rc.components)
-                if node.predicates and not satisfies(
-                    components, joins=node.predicates, inputs=self.inputs
+                if node.predicates and not self._satisfies_evaluable(
+                    components, (), node.predicates
                 ):
                     continue
                 score = self.query.ranking.score_composite(components)
@@ -341,17 +427,45 @@ class PlanExecutor:
         out.sort(key=lambda c: -c.score)
         return out, pair_count
 
+    def _satisfies_evaluable(
+        self,
+        composite: CompositeTuple | Mapping[str, Any],
+        selections: Sequence[SelectionPredicate],
+        joins: Sequence[JoinPredicate],
+    ) -> bool:
+        """Joint-witness check restricted to evaluable predicates.
+
+        On a complete composite this is exactly :func:`satisfies`.  Under
+        partial degradation a composite may be missing failed aliases'
+        components; predicates over an absent alias are not evaluable and
+        are skipped — the surviving combination is best-effort by
+        construction and flagged via ``failed_aliases``.
+        """
+        components = (
+            composite.components
+            if isinstance(composite, CompositeTuple)
+            else composite
+        )
+        if self.failed_aliases:
+            present = set(components)
+            selections = [s for s in selections if s.attr.alias in present]
+            joins = [
+                j
+                for j in joins
+                if j.left.alias in present and j.right.alias in present
+            ]
+        return satisfies(
+            components, selections=selections, joins=joins, inputs=self.inputs
+        )
+
     def _finalise(self, upstream: list[CompositeTuple]) -> list[CompositeTuple]:
         result = upstream
         if self.final_semantic_check:
             result = [
                 comp
                 for comp in result
-                if satisfies(
-                    comp,
-                    selections=self.query.selections,
-                    joins=self.query.joins,
-                    inputs=self.inputs,
+                if self._satisfies_evaluable(
+                    comp, self.query.selections, self.query.joins
                 )
             ]
         result = sorted(result, key=lambda c: -c.score)
@@ -387,8 +501,17 @@ def execute_plan(
     inputs: Mapping[str, Any],
     fetches: Mapping[str, int] | None = None,
     k: int | None = None,
+    retry: RetryPolicy | None = None,
+    degradation: Degradation | str = Degradation.FAIL,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
-        plan=plan, query=query, pool=pool, inputs=inputs, fetches=fetches, k=k
+        plan=plan,
+        query=query,
+        pool=pool,
+        inputs=inputs,
+        fetches=fetches,
+        k=k,
+        retry=retry,
+        degradation=degradation,
     ).run()

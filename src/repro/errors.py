@@ -72,3 +72,79 @@ class ServiceInvocationError(ExecutionError):
     non-resumable invocation, or an injected fault from the failure-injection
     test harness.
     """
+
+
+class ServiceTimeoutError(ServiceInvocationError):
+    """A service call exceeded its per-call timeout.
+
+    The caller waited until the deadline, so the timed-out round trip still
+    costs ``timeout`` virtual seconds of execution time.
+
+    Attributes
+    ----------
+    service:
+        Interface name of the service that timed out (or ``None``).
+    timeout:
+        The per-call deadline that was exceeded, in virtual seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        service: str | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.service = service
+        self.timeout = timeout
+
+
+class ServiceUnavailableError(ServiceInvocationError):
+    """A service call failed outright (transient fault or permanent outage).
+
+    Attributes
+    ----------
+    service:
+        Interface name of the failing service (or ``None``).
+    permanent:
+        ``True`` for a permanent outage — retrying is pointless and retry
+        harnesses give up immediately; ``False`` for a transient fault
+        that a later attempt may survive.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        service: str | None = None,
+        permanent: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.service = service
+        self.permanent = permanent
+
+
+class RetryExhaustedError(ServiceInvocationError):
+    """A retried service call failed on every allowed attempt.
+
+    Raised by the retry harness after ``max_attempts`` failures (or
+    immediately on a permanent outage); chains from the last underlying
+    fault.  Under ``partial`` degradation the executors catch this and
+    degrade instead of propagating.
+
+    Attributes
+    ----------
+    service:
+        Interface name of the failing service (or ``None``).
+    attempts:
+        How many attempts were made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        service: str | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.service = service
+        self.attempts = attempts

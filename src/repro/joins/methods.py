@@ -21,9 +21,12 @@ binary joins:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RetryExhaustedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.engine.retry import Retrier
 from repro.joins.completion import (
     CompletionPolicy,
     RectangularCompletion,
@@ -151,6 +154,25 @@ def product_score(left: ServiceTuple, right: ServiceTuple) -> float:
     return left.score * right.score
 
 
+def _coerce_degradation(value: object) -> str:
+    """Normalise a degradation mode (enum member or string) to its name."""
+    mode = getattr(value, "value", value)
+    if mode not in ("fail", "partial"):
+        raise ExecutionError(
+            f"unknown degradation mode {value!r}; expected 'fail' or 'partial'"
+        )
+    return str(mode)
+
+
+def _fetch_chunk(
+    source: ChunkSource, retry: "Retrier | None"
+) -> list[ServiceTuple] | None:
+    """One (possibly retried) chunk fetch."""
+    if retry is None:
+        return source.next_chunk()
+    return retry.call(source.next_chunk)
+
+
 class ParallelJoinExecutor:
     """Parallel join of two chunked ranked sources.
 
@@ -171,6 +193,14 @@ class ParallelJoinExecutor:
         Combined score for emitted pairs (defaults to the ranking product).
     max_calls:
         Safety bound on total service calls.
+    retry:
+        Optional retry harness (:class:`~repro.engine.retry.Retrier`)
+        wrapping every chunk fetch; failing calls are re-issued per its
+        policy, with backoff on virtual time.
+    degradation:
+        Once a source's retries are exhausted: ``"partial"`` (default)
+        treats that axis as exhausted and joins what arrived; ``"fail"``
+        propagates :class:`~repro.errors.RetryExhaustedError`.
     """
 
     def __init__(
@@ -183,6 +213,8 @@ class ParallelJoinExecutor:
         k: int | None = None,
         scorer: Callable[[ServiceTuple, ServiceTuple], float] = product_score,
         max_calls: int = 10_000,
+        retry: "Retrier | None" = None,
+        degradation: str = "partial",
     ) -> None:
         self.source_x = source_x
         self.source_y = source_y
@@ -192,6 +224,8 @@ class ParallelJoinExecutor:
         self.k = k
         self.scorer = scorer
         self.max_calls = max_calls
+        self.retry = retry
+        self.degradation = _coerce_degradation(degradation)
         self.space = SearchSpace(
             chunk_size_x=source_x.chunk_size,
             chunk_size_y=source_y.chunk_size,
@@ -214,7 +248,14 @@ class ParallelJoinExecutor:
         def fetch(axis: Axis) -> bool:
             """Fetch one chunk on ``axis``; False when that axis is done."""
             source = self.source_x if axis is Axis.X else self.source_y
-            chunk = source.next_chunk()
+            try:
+                chunk = _fetch_chunk(source, self.retry)
+            except RetryExhaustedError:
+                if self.degradation == "fail":
+                    raise
+                # The service is down: join what already arrived.
+                exhausted[axis] = True
+                return False
             if chunk is None or not chunk:
                 exhausted[axis] = True
                 return False
@@ -301,6 +342,8 @@ class PipeJoinExecutor:
         fetches: int = 1,
         k: int | None = None,
         scorer: Callable[[ServiceTuple, ServiceTuple], float] = product_score,
+        retry: "Retrier | None" = None,
+        degradation: str = "partial",
     ) -> None:
         if fetches <= 0:
             raise ExecutionError("fetches must be positive")
@@ -309,6 +352,8 @@ class PipeJoinExecutor:
         self.fetches = fetches
         self.k = k
         self.scorer = scorer
+        self.retry = retry
+        self.degradation = _coerce_degradation(degradation)
 
     def run(self) -> JoinResult:
         stats = JoinStatistics()
@@ -318,7 +363,14 @@ class PipeJoinExecutor:
                 break
             source = self.invoke(left)
             for fetch_index in range(self.fetches):
-                chunk = source.next_chunk()
+                try:
+                    chunk = _fetch_chunk(source, self.retry)
+                except RetryExhaustedError:
+                    if self.degradation == "fail":
+                        raise
+                    # This invocation is down; move to the next upstream
+                    # tuple and join what already arrived.
+                    break
                 if chunk is None:
                     break
                 stats.calls_y += 1
@@ -345,6 +397,8 @@ def make_executor(
     k: int | None = None,
     scorer: Callable[[ServiceTuple, ServiceTuple], float] = product_score,
     max_calls: int = 10_000,
+    retry: "Retrier | None" = None,
+    degradation: str = "partial",
 ) -> ParallelJoinExecutor:
     """Instantiate a parallel-join executor from a method specification."""
     if spec.invocation is InvocationStrategy.NESTED_LOOP:
@@ -366,4 +420,6 @@ def make_executor(
         k=k,
         scorer=scorer,
         max_calls=max_calls,
+        retry=retry,
+        degradation=degradation,
     )

@@ -10,6 +10,9 @@ from repro.services.marts import (
     movie_night_registry,
 )
 from repro.services.simulated import (
+    NO_FAULTS,
+    FaultModel,
+    FaultProfile,
     LatencyModel,
     ServicePool,
     SimulatedInvocation,
@@ -27,6 +30,9 @@ __all__ = [
     "conference_trip_registry",
     "movie_night_registry",
     "LatencyModel",
+    "FaultProfile",
+    "FaultModel",
+    "NO_FAULTS",
     "ServicePool",
     "SimulatedInvocation",
     "SimulatedService",

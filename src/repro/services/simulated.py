@@ -11,6 +11,15 @@ and returns the next chunk of the ranked result list.
 A :class:`ServicePool` manages one simulated service per registered
 interface, sharing a clock, log, and global seed — this is the "execution
 environment ... capable of executing query plans" of Section 3.
+
+Services can misbehave on demand: a :class:`FaultModel` assigns each
+interface a :class:`FaultProfile` (transient-failure probability, slow-call
+probability and multiplier, permanent-outage flag).  Fault draws come from
+a per-invocation RNG derived from the global seed — *separate* from the
+latency RNG, so a zero-rate fault model reproduces the fault-free timeline
+exactly — and each faulty round trip is logged with its outcome before
+``next_chunk()`` raises :class:`~repro.errors.ServiceTimeoutError` or
+:class:`~repro.errors.ServiceUnavailableError`.
 """
 
 from __future__ import annotations
@@ -23,7 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.query.ast import SelectionPredicate
 
 from repro.engine.events import CallLog, CallRecord, VirtualClock
-from repro.errors import ServiceInvocationError
+from repro.errors import (
+    ServiceInvocationError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
 from repro.joins.methods import ChunkSource
 from repro.model.registry import ServiceRegistry
 from repro.model.scoring import ScoringFunction
@@ -31,7 +44,15 @@ from repro.model.service import ServiceInterface
 from repro.model.tuples import ServiceTuple
 from repro.services.datagen import TupleGenerator, derive_seed
 
-__all__ = ["LatencyModel", "SimulatedInvocation", "SimulatedService", "ServicePool"]
+__all__ = [
+    "LatencyModel",
+    "FaultProfile",
+    "FaultModel",
+    "NO_FAULTS",
+    "SimulatedInvocation",
+    "SimulatedService",
+    "ServicePool",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +75,88 @@ class LatencyModel:
         return max(0.0, latency) + tuples * interface.stats.per_tuple_latency
 
 
+@dataclass(frozen=True)
+class FaultProfile:
+    """How one service interface misbehaves.
+
+    ``failure_rate`` is the per-round-trip probability of a transient
+    fault (the call costs a latency draw, delivers nothing, and raises
+    :class:`~repro.errors.ServiceUnavailableError`).  ``timeout_rate`` is
+    the probability a call is pathologically slow: its latency is
+    multiplied by ``slow_factor``, and if a per-call timeout is in force
+    and exceeded the call costs exactly the timeout and raises
+    :class:`~repro.errors.ServiceTimeoutError` (with no timeout set, the
+    slow call simply takes longer and is logged with outcome ``slow``).
+    ``outage`` marks the service permanently down: every call fails.
+    """
+
+    failure_rate: float = 0.0
+    timeout_rate: float = 0.0
+    slow_factor: float = 10.0
+    outage: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ServiceInvocationError("failure_rate must be in [0, 1]")
+        if not 0.0 <= self.timeout_rate <= 1.0:
+            raise ServiceInvocationError("timeout_rate must be in [0, 1]")
+        if self.slow_factor < 1.0:
+            raise ServiceInvocationError("slow_factor must be at least 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether this profile can produce any fault at all."""
+        return bool(self.failure_rate or self.timeout_rate or self.outage)
+
+
+#: The default, perfectly well-behaved profile.
+NO_FAULTS = FaultProfile()
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-interface fault assignment for a :class:`ServicePool`.
+
+    ``default`` applies to every interface not named in
+    ``per_interface``.  Profiles are looked up by interface name.
+    """
+
+    default: FaultProfile = NO_FAULTS
+    per_interface: Mapping[str, FaultProfile] = field(default_factory=dict)
+
+    def profile(self, interface_name: str) -> FaultProfile:
+        return self.per_interface.get(interface_name, self.default)
+
+    @classmethod
+    def uniform(
+        cls,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        slow_factor: float = 10.0,
+    ) -> "FaultModel":
+        """Same transient-fault behaviour for every interface."""
+        return cls(
+            default=FaultProfile(
+                failure_rate=failure_rate,
+                timeout_rate=timeout_rate,
+                slow_factor=slow_factor,
+            )
+        )
+
+    def with_outage(self, *interface_names: str) -> "FaultModel":
+        """A copy with the named interfaces permanently down."""
+        per = dict(self.per_interface)
+        for name in interface_names:
+            base = self.profile(name)
+            per[name] = FaultProfile(
+                failure_rate=base.failure_rate,
+                timeout_rate=base.timeout_rate,
+                slow_factor=base.slow_factor,
+                outage=True,
+            )
+        return FaultModel(default=self.default, per_interface=per)
+
+
 @dataclass
 class SimulatedInvocation(ChunkSource):
     """One in-flight invocation: a chunk source over generated results."""
@@ -65,10 +168,15 @@ class SimulatedInvocation(ChunkSource):
     log: CallLog
     latency_model: LatencyModel
     rng: random.Random
+    fault_profile: FaultProfile = NO_FAULTS
+    fault_rng: random.Random | None = None
+    call_timeout: float | None = None
     chunk_size: int = field(init=False)
     scoring: ScoringFunction = field(init=False)
     _cursor: int = 0
     _calls: int = 0
+    _attempt: int = 1
+    _terminal_recorded: bool = False
 
     def __post_init__(self) -> None:
         self.chunk_size = self.interface.chunk_size
@@ -78,24 +186,93 @@ class SimulatedInvocation(ChunkSource):
         """One request-response: advance time, log the call, return a chunk.
 
         Unchunked services ship their whole result list in the single
-        first call and are exhausted afterwards.
+        first call and are exhausted afterwards.  A failing round trip is
+        logged (it costs real time) before the corresponding
+        :class:`~repro.errors.ServiceUnavailableError` /
+        :class:`~repro.errors.ServiceTimeoutError` is raised; the cursor
+        does not move, so a retry re-requests the same chunk.
         """
+        profile = self.fault_profile
+        if profile.outage:
+            self._record_failure("unavailable")
+            raise ServiceUnavailableError(
+                f"service {self.interface.name!r} is down",
+                service=self.interface.name,
+                permanent=True,
+            )
+        if (
+            profile.failure_rate
+            and self._fault_draw() < profile.failure_rate
+        ):
+            self._record_failure("error")
+            raise ServiceUnavailableError(
+                f"transient failure calling {self.interface.name!r}",
+                service=self.interface.name,
+                permanent=False,
+            )
+        slow = bool(profile.timeout_rate) and self._fault_draw() < profile.timeout_rate
+
         if self._cursor >= len(self.results):
-            if self._calls == 0 and not self.results:
-                # An empty first response still costs one round trip.
-                self._record(0)
+            if not self._terminal_recorded:
+                if self._calls == 0:
+                    # An empty first response still costs one round trip.
+                    self._record(0, slow=slow)
+                elif self.interface.is_chunked:
+                    # A chunked client cannot know the list ended: the
+                    # round trip that discovers exhaustion costs a call.
+                    self._record(0, slow=slow)
+                self._terminal_recorded = True
             return None
+
         if self.interface.is_chunked:
             chunk = self.results[self._cursor : self._cursor + self.chunk_size]
-            self._cursor += self.chunk_size
         else:
             chunk = self.results[self._cursor :]
-            self._cursor = len(self.results)
-        self._record(len(chunk))
+        self._record(len(chunk), slow=slow)
+        self._cursor += len(chunk)
         return list(chunk)
 
-    def _record(self, tuples: int) -> None:
+    def _fault_draw(self) -> float:
+        rng = self.fault_rng
+        if rng is None:
+            return 1.0  # no fault RNG: never triggers
+        return rng.random()
+
+    def _record(self, tuples: int, slow: bool = False) -> None:
+        """Log one round trip; a slow call past the deadline times out."""
         latency = self.latency_model.draw(self.interface, tuples, self.rng)
+        if slow:
+            latency *= self.fault_profile.slow_factor
+        timed_out = (
+            self.call_timeout is not None and latency > self.call_timeout
+        )
+        if timed_out:
+            # The caller stops waiting at the deadline; nothing arrives.
+            latency = float(self.call_timeout)  # type: ignore[arg-type]
+            outcome = "timeout"
+            tuples = 0
+        else:
+            outcome = "slow" if slow else "ok"
+        self._append(tuples, latency, outcome)
+        if timed_out:
+            self._attempt += 1
+            raise ServiceTimeoutError(
+                f"call to {self.interface.name!r} exceeded its "
+                f"{self.call_timeout}s timeout",
+                service=self.interface.name,
+                timeout=self.call_timeout,
+            )
+        self._attempt = 1
+
+    def _record_failure(self, outcome: str) -> None:
+        """Log a failed round trip: it costs a latency draw but ships nothing."""
+        latency = self.latency_model.draw(self.interface, 0, self.rng)
+        if self.call_timeout is not None:
+            latency = min(latency, self.call_timeout)
+        self._append(0, latency, outcome)
+        self._attempt += 1
+
+    def _append(self, tuples: int, latency: float, outcome: str) -> None:
         self.log.record(
             CallRecord(
                 service=self.interface.name,
@@ -104,6 +281,8 @@ class SimulatedInvocation(ChunkSource):
                 started_at=self.clock.now,
                 latency=latency,
                 tuples=tuples,
+                outcome=outcome,
+                attempt=self._attempt,
             )
         )
         self.clock.advance(latency)
@@ -125,6 +304,7 @@ class SimulatedService:
     interface: ServiceInterface
     global_seed: int = 0
     latency_model: LatencyModel = field(default_factory=LatencyModel)
+    fault_profile: FaultProfile = NO_FAULTS
     generator: TupleGenerator = field(init=False)
 
     def __post_init__(self) -> None:
@@ -140,6 +320,7 @@ class SimulatedService:
         alias: str | None = None,
         constraints: Sequence["SelectionPredicate"] = (),
         availability: float = 1.0,
+        call_timeout: float | None = None,
     ) -> SimulatedInvocation:
         """Start one invocation with the given input bindings.
 
@@ -149,7 +330,8 @@ class SimulatedService:
         executor passes the pipe-join selectivity here, modelling e.g.
         "only 40% of theatres have a good restaurant close by"
         (Section 5.6's DinnerPlace estimate).  The draw is a deterministic
-        function of the bindings.  Raises
+        function of the bindings.  ``call_timeout`` bounds each round
+        trip's virtual duration (see :class:`FaultProfile`).  Raises
         :class:`~repro.errors.ServiceInvocationError` when a declared input
         path is missing from ``inputs``.
         """
@@ -166,6 +348,13 @@ class SimulatedService:
         rng = random.Random(
             derive_seed(self.global_seed ^ 0x5EC0, self.interface.name, inputs)
         )
+        fault_rng = (
+            random.Random(
+                derive_seed(self.global_seed ^ 0xFA17, self.interface.name, inputs)
+            )
+            if self.fault_profile.active
+            else None
+        )
         return SimulatedInvocation(
             interface=self.interface,
             results=results,
@@ -174,6 +363,9 @@ class SimulatedService:
             log=log,
             latency_model=self.latency_model,
             rng=rng,
+            fault_profile=self.fault_profile,
+            fault_rng=fault_rng,
+            call_timeout=call_timeout,
         )
 
 
@@ -184,6 +376,7 @@ class ServicePool:
     registry: ServiceRegistry
     global_seed: int = 0
     latency_model: LatencyModel = field(default_factory=LatencyModel)
+    fault_model: FaultModel = field(default_factory=FaultModel)
     clock: VirtualClock = field(default_factory=VirtualClock)
     log: CallLog = field(default_factory=CallLog)
     _services: dict[str, SimulatedService] = field(default_factory=dict)
@@ -195,6 +388,7 @@ class ServicePool:
                 interface=interface,
                 global_seed=self.global_seed,
                 latency_model=self.latency_model,
+                fault_profile=self.fault_model.profile(interface_name),
             )
         return self._services[interface_name]
 
@@ -205,6 +399,7 @@ class ServicePool:
         alias: str | None = None,
         constraints: Sequence["SelectionPredicate"] = (),
         availability: float = 1.0,
+        call_timeout: float | None = None,
     ) -> SimulatedInvocation:
         return self.service(interface_name).invoke(
             inputs,
@@ -213,12 +408,19 @@ class ServicePool:
             alias=alias,
             constraints=constraints,
             availability=availability,
+            call_timeout=call_timeout,
         )
 
     def reset(self) -> None:
-        """Fresh clock and log; generated data stays identical (same seed)."""
-        self.clock = VirtualClock()
-        self.log = CallLog()
+        """Zero the clock and clear the log; data stays identical (same seed).
+
+        Both are reset *in place*: cached :class:`SimulatedService`\\ s and
+        in-flight :class:`SimulatedInvocation`\\ s hold references to the
+        pool's clock and log, so swapping in fresh objects would leave
+        them recording to an orphaned log and advancing a dead clock.
+        """
+        self.clock.reset()
+        self.log.clear()
 
 
 def ranked_order_ok(tuples: Iterable[ServiceTuple]) -> bool:

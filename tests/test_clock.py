@@ -35,6 +35,25 @@ class TestJoinClock:
         assert clock.calls_y == 2
         assert clock.next_axis() is Axis.X  # X is badly behind
 
+    def test_tick_honours_falsy_axis_argument(self):
+        """Regression: ``axis or self.next_axis()`` silently handed a falsy
+        axis back to the scheduler; an explicitly passed axis must always
+        win, truthiness notwithstanding."""
+
+        class FalsyAxis:
+            def __bool__(self):
+                return False
+
+        falsy = FalsyAxis()
+        clock = JoinClock()
+        # A fresh clock's scheduler would pick Axis.X; the old code did
+        # exactly that and counted an X call.
+        chosen = clock.tick(falsy)
+        assert chosen is falsy
+        assert clock.history == (falsy,)
+        assert clock.calls_x == 0  # not the scheduler's pick
+        assert clock.calls_y == 1
+
     def test_retune_changes_future_behaviour(self):
         clock = JoinClock(ratio=Fraction(1, 1))
         for _ in range(10):

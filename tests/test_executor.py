@@ -225,3 +225,34 @@ class TestMeasuredTimeToScreen:
             annotations = annotate(plan, movie_query, fetches=FETCHES)
             estimate = TimeToScreenMetric().cost(plan, annotations)
             assert result.time_to_screen == pytest.approx(estimate, rel=0.25)
+
+
+class TestInvocationCacheKey:
+    """Regression: the memo key used ``repr(value)`` alone, conflating
+    binding values of different types whose reprs coincide."""
+
+    def test_identical_reprs_across_types_do_not_collide(self):
+        from repro.engine.executor import invocation_cache_key
+
+        class Impostor:
+            def __repr__(self):
+                return "1"
+
+        key_int = invocation_cache_key("S", "A", 1, {"Key": 1})
+        key_imp = invocation_cache_key("S", "A", 1, {"Key": Impostor()})
+        assert repr(1) == repr(Impostor())  # the collision the bug needs
+        assert key_int != key_imp
+
+    def test_bool_and_int_bindings_are_distinct(self):
+        from repro.engine.executor import invocation_cache_key
+
+        assert invocation_cache_key(
+            "S", "A", 1, {"Key": True}
+        ) != invocation_cache_key("S", "A", 1, {"Key": 1})
+
+    def test_equal_bindings_share_a_key_regardless_of_order(self):
+        from repro.engine.executor import invocation_cache_key
+
+        assert invocation_cache_key(
+            "S", "A", 1, {"a": 1, "b": "x"}
+        ) == invocation_cache_key("S", "A", 1, {"b": "x", "a": 1})

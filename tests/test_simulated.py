@@ -90,6 +90,44 @@ class TestSimulatedInvocation:
         invocation = service.invoke({}, clock, log)
         assert invocation.next_chunk() is None
         assert log.total_calls() == 1  # the empty round trip is logged
+        assert invocation.next_chunk() is None
+        assert log.total_calls() == 1  # ... exactly once
+
+    def test_chunked_exhaustion_discovery_costs_one_call(
+        self, tiny_search_interface, context
+    ):
+        """Regression: the empty round trip that tells a chunked client the
+        list ended used to go unrecorded, under-counting calls vs. the
+        chapter's cost model."""
+        clock, log = context
+        service = SimulatedService(tiny_search_interface, global_seed=1)
+        invocation = service.invoke({"Key": 2}, clock, log)
+        data_chunks = 0
+        while invocation.next_chunk() is not None:
+            data_chunks += 1
+        assert log.total_calls() == data_chunks + 1
+        terminal = log.records[-1]
+        assert terminal.tuples == 0
+        # The discovery is charged once, not on every later probe.
+        assert invocation.next_chunk() is None
+        assert log.total_calls() == data_chunks + 1
+
+    def test_unchunked_exhaustion_costs_nothing_extra(self, tiny_mart, context):
+        from repro.model.scoring import LinearScoring
+        from repro.model.service import ServiceInterface, ServiceStats
+
+        clock, log = context
+        iface = ServiceInterface(
+            name="Exact",
+            mart=tiny_mart,
+            stats=ServiceStats(avg_cardinality=8),  # no chunk_size: unchunked
+            scoring=LinearScoring(horizon=8),
+        )
+        service = SimulatedService(iface, global_seed=1)
+        invocation = service.invoke({}, clock, log)
+        assert invocation.next_chunk()  # the whole list, one round trip
+        assert invocation.next_chunk() is None
+        assert log.total_calls() == 1  # the client knows the list ended
 
 
 class TestServicePool:
@@ -123,3 +161,29 @@ class TestServicePool:
         assert pool.log.total_calls() == 0
         assert pool.clock.now == 0.0
         assert pool.invoke("Theatre1", inputs).results == first
+
+    def test_reset_propagates_to_inflight_invocations(self, movie_registry):
+        """Regression: reset used to swap in a fresh clock/log, so calls on
+        a pre-reset invocation recorded to the orphaned log and advanced a
+        dead clock — invisible to all post-reset accounting."""
+        pool = ServicePool(movie_registry, global_seed=11)
+        inputs = {"UAddress": "a", "UCity": "c", "UCountry": "k"}
+        inflight = pool.invoke("Theatre1", inputs)
+        inflight.next_chunk()
+        pool.reset()
+        inflight.next_chunk()  # in-flight continuation after the reset
+        assert pool.log.total_calls() == 1
+        assert pool.clock.now > 0.0
+
+    def test_reset_propagates_to_cached_services(self, movie_registry):
+        pool = ServicePool(movie_registry, global_seed=11)
+        inputs = {"UAddress": "a", "UCity": "c", "UCountry": "k"}
+        pool.invoke("Theatre1", inputs).next_chunk()
+        cached = pool.service("Theatre1")
+        pool.reset()
+        # A post-reset invocation through the cached service must record
+        # to the pool's live accounting.
+        assert pool.service("Theatre1") is cached
+        pool.invoke("Theatre1", inputs).next_chunk()
+        assert pool.log.total_calls() == 1
+        assert pool.clock.now > 0.0
