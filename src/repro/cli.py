@@ -123,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="multiply every fetch factor (ask for more results)",
     )
+    run_cmd.add_argument(
+        "--invocation-cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU bound on memoised service invocations; 0 disables the "
+        "bound (default: 1024)",
+    )
     faults = run_cmd.add_argument_group("fault injection & retries")
     faults.add_argument(
         "--failure-rate",
@@ -256,6 +264,7 @@ def _cmd_run(args) -> int:
             fetches,
             retry=retry,
             degradation=args.degradation,
+            invocation_cache_size=args.invocation_cache_size or None,
         )
     except RetryExhaustedError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -17,7 +17,24 @@ over abstract states with
   ``satisfies`` marks leaves that meet the goal (k results); incumbent
   preference is "satisfying, then cheapest", and pruning compares lower
   bounds against the best *satisfying* incumbent only;
-* ``lower_bound(state)`` — a monotone optimistic cost.
+* ``lower_bound(state)`` — a monotone optimistic cost;
+* ``signature_of(state)`` — optional canonical signature: two states with
+  the same signature root identical subtrees, so only the first one
+  *actually enqueued* claims it (hash-consing; ``stats.deduped`` counts
+  the drops).  Signatures of states rejected by pruning or dominance are
+  not recorded — a later equivalent push must be re-judged, because the
+  rejected state was never going to be explored;
+* ``dominance_of(state)`` — optional ``(group, vector)``: a state whose
+  (bound, \\*vector) is componentwise >= that of a state **currently in
+  the open queue** of the same group explores a subset of that state's
+  completions at no lower cost, so it is dropped (``stats.dominated``).
+  The frontier holds only queued states — an entry is retired when its
+  state is popped — because a popped state has already spent its one
+  expansion and no longer stands in for its subtree; keeping its entry
+  would let a parent dominate its own children and wedge the search.
+  Only sound when every completion of the dominated state is reachable
+  from the dominating one and the metric is monotone — the caller asserts
+  that by supplying the callback.
 
 The search is **anytime** (Section 5.2: "the search for the optimal plan
 can be stopped at any time, and it will nevertheless return a valid
@@ -30,12 +47,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterable, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
 
 __all__ = ["BnBStats", "BnBOutcome", "BranchAndBound"]
 
 S = TypeVar("S")  # search state
 P = TypeVar("P")  # leaf payload
+
+#: Pareto-frontier entries kept per dominance group; past this the check
+#: degrades gracefully to "record nothing new" rather than growing without
+#: bound.
+_MAX_FRONTIER = 64
 
 
 @dataclass
@@ -47,6 +69,10 @@ class BnBStats:
     leaves: int = 0
     incumbent_updates: int = 0
     enqueued: int = 0
+    #: States dropped because an identical-signature state was enqueued.
+    deduped: int = 0
+    #: States dropped because a same-group state dominates them.
+    dominated: int = 0
     budget_exhausted: bool = False
 
 
@@ -84,6 +110,12 @@ class BranchAndBound(Generic[S, P]):
     depth_of:
         Optional depth function; deeper states win ties so the search
         dives to a first incumbent quickly (quasi-greedy warm start).
+    signature_of:
+        Optional canonical signature; ``None`` results exempt a state from
+        deduplication.  See module docstring.
+    dominance_of:
+        Optional ``(group, vector)`` for dominance pruning; ``None``
+        results exempt a state.  See module docstring.
     """
 
     def __init__(
@@ -94,6 +126,10 @@ class BranchAndBound(Generic[S, P]):
         lower_bound: Callable[[S], float],
         prune: bool = True,
         depth_of: Callable[[S], int] | None = None,
+        signature_of: Callable[[S], Hashable | None] | None = None,
+        dominance_of: (
+            Callable[[S], tuple[Hashable, tuple[float, ...]] | None] | None
+        ) = None,
     ) -> None:
         self._expand = expand
         self._is_leaf = is_leaf
@@ -101,6 +137,8 @@ class BranchAndBound(Generic[S, P]):
         self._lower_bound = lower_bound
         self._prune = prune
         self._depth_of = depth_of or (lambda state: 0)
+        self._signature_of = signature_of
+        self._dominance_of = dominance_of
 
     def run(
         self,
@@ -121,9 +159,59 @@ class BranchAndBound(Generic[S, P]):
         counter = itertools.count()
 
         heap: list[tuple[float, int, int, S]] = []
+        seen: set[Hashable] = set()
+        frontiers: dict[Hashable, list[tuple[float, ...]]] = {}
+
+        def frontier_entry(
+            state: S, bound: float
+        ) -> tuple[Hashable, tuple[float, ...]] | None:
+            if self._dominance_of is None:
+                return None
+            entry = self._dominance_of(state)
+            if entry is None:
+                return None
+            group, vector = entry
+            return group, (bound, *vector)
+
+        def retire(state: S, bound: float) -> None:
+            """Drop a popped state's frontier entry: it no longer stands
+            in for its (now materialised) subtree."""
+            entry = frontier_entry(state, bound)
+            if entry is None:
+                return
+            group, full = entry
+            frontier = frontiers.get(group)
+            if frontier and full in frontier:
+                frontier.remove(full)
 
         def push(state: S) -> None:
+            """Enqueue unless deduplicated, prunable, or dominated."""
+            signature = (
+                self._signature_of(state)
+                if self._signature_of is not None
+                else None
+            )
+            if signature is not None and signature in seen:
+                stats.deduped += 1
+                return
             bound = self._lower_bound(state)
+            if self._prune and best_satisfies and bound >= best_cost:
+                stats.pruned += 1
+                return
+            entry = frontier_entry(state, bound)
+            if entry is not None:
+                group, full = entry
+                frontier = frontiers.setdefault(group, [])
+                for other in frontier:
+                    if len(other) == len(full) and all(
+                        a <= b for a, b in zip(other, full)
+                    ):
+                        stats.dominated += 1
+                        return
+                if len(frontier) < _MAX_FRONTIER:
+                    frontier.append(full)
+            if signature is not None:
+                seen.add(signature)
             heapq.heappush(
                 heap, (bound, -self._depth_of(state), next(counter), state)
             )
@@ -147,6 +235,7 @@ class BranchAndBound(Generic[S, P]):
                 stats.budget_exhausted = True
                 break
             bound, _, _, state = heapq.heappop(heap)
+            retire(state, bound)
             if self._prune and best_satisfies and bound >= best_cost:
                 stats.pruned += 1
                 continue
@@ -155,10 +244,6 @@ class BranchAndBound(Generic[S, P]):
                 continue
             stats.expanded += 1
             for child in self._expand(state):
-                if self._prune and best_satisfies:
-                    if self._lower_bound(child) >= best_cost:
-                        stats.pruned += 1
-                        continue
                 push(child)
 
         return BnBOutcome(

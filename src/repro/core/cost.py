@@ -83,6 +83,38 @@ class CostMetric:
         """
         return self.cost(plan, annotations)
 
+    def cached_partial_cost(
+        self, key: object, plan: QueryPlan, annotations_fn
+    ) -> float:
+        """Memoized :meth:`partial_cost` keyed by a canonical state signature.
+
+        Different move orders in the optimizer's phase 2 reach identical
+        partial constructions; the cost-relevant signature (see
+        :func:`repro.core.topology.topology_signature`) identifies them, so
+        the partial plan is priced once per equivalence class.
+
+        ``annotations_fn`` is a zero-argument callable producing the
+        plan's annotations; it is only invoked on a miss, so a signature
+        hit skips the annotation walk entirely.  Note the signature only
+        guarantees equal *costs* across its equivalence class — per-node
+        annotations may differ (unpiped serial reorderings), which is why
+        the cache holds the priced scalar and never the annotations.
+        The memo lives on the metric instance — share one metric across a
+        search, not across unrelated queries.
+        """
+        cache = self.__dict__.get("_partial_cost_cache")
+        if cache is None:
+            cache = self.__dict__["_partial_cost_cache"] = {}
+        if key in cache:
+            return cache[key]
+        value = self.partial_cost(plan, annotations_fn())
+        cache[key] = value
+        return value
+
+    def clear_cost_cache(self) -> None:
+        """Drop the partial-cost memo (e.g. between unrelated queries)."""
+        self.__dict__.pop("_partial_cost_cache", None)
+
     def interfaces_lower_bound(self, interfaces) -> float:
         """Optimistic cost given only the set of selected interfaces.
 
@@ -110,16 +142,22 @@ def _path_cost(
     node_time,
     to_output: bool = True,
 ) -> float:
-    """Longest input-to-output path under a per-node time function.
+    """Longest input-to-output path under a ``(node, annotations)`` time
+    function.
 
     With ``to_output=False`` (partial plans) the longest path to *any*
     node is returned instead.
     """
     finish: dict[str, float] = {}
+    nodes = plan.nodes
     for node_id in plan.topological_order():
         parents = plan.parents(node_id)
-        start = max((finish[p] for p in parents), default=0.0)
-        finish[node_id] = start + node_time(plan.node(node_id))
+        start = 0.0
+        for parent in parents:
+            t = finish[parent]
+            if t > start:
+                start = t
+        finish[node_id] = start + node_time(nodes[node_id], annotations)
     if to_output:
         return finish[plan.output_node.node_id]
     return max(finish.values(), default=0.0)
@@ -145,17 +183,10 @@ class ExecutionTimeMetric(CostMetric):
         return 0.0
 
     def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
-        return _path_cost(
-            plan, annotations, lambda node: self.node_time(node, annotations)
-        )
+        return _path_cost(plan, annotations, self.node_time)
 
     def partial_cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
-        return _path_cost(
-            plan,
-            annotations,
-            lambda node: self.node_time(node, annotations),
-            to_output=False,
-        )
+        return _path_cost(plan, annotations, self.node_time, to_output=False)
 
     def interfaces_lower_bound(self, interfaces) -> float:
         return max((i.stats.latency for i in interfaces), default=0.0)
@@ -251,35 +282,24 @@ class TimeToScreenMetric(CostMetric):
 
     name: str = "time-to-screen"
 
-    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
-        def first_call_time(node: PlanNode) -> float:
-            if isinstance(node, ServiceNode):
-                assert node.interface is not None
-                stats = node.interface.stats
-                first_tuples = (
-                    node.interface.chunk_size
-                    if node.interface.is_chunked
-                    else stats.avg_cardinality
-                )
-                return stats.latency + first_tuples * stats.per_tuple_latency
-            return 0.0
+    @staticmethod
+    def _first_call_time(node: PlanNode, annotations: PlanAnnotations) -> float:
+        if isinstance(node, ServiceNode):
+            assert node.interface is not None
+            stats = node.interface.stats
+            first_tuples = (
+                node.interface.chunk_size
+                if node.interface.is_chunked
+                else stats.avg_cardinality
+            )
+            return stats.latency + first_tuples * stats.per_tuple_latency
+        return 0.0
 
-        return _path_cost(plan, annotations, first_call_time)
+    def cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
+        return _path_cost(plan, annotations, self._first_call_time)
 
     def partial_cost(self, plan: QueryPlan, annotations: PlanAnnotations) -> float:
-        def first_call_time(node: PlanNode) -> float:
-            if isinstance(node, ServiceNode):
-                assert node.interface is not None
-                stats = node.interface.stats
-                first_tuples = (
-                    node.interface.chunk_size
-                    if node.interface.is_chunked
-                    else stats.avg_cardinality
-                )
-                return stats.latency + first_tuples * stats.per_tuple_latency
-            return 0.0
-
-        return _path_cost(plan, annotations, first_call_time, to_output=False)
+        return _path_cost(plan, annotations, self._first_call_time, to_output=False)
 
     def interfaces_lower_bound(self, interfaces) -> float:
         return max((i.stats.latency for i in interfaces), default=0.0)

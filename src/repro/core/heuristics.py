@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 from repro.core.annotate import annotate
 from repro.model.service import ServiceInterface
-from repro.plans.plan import QueryPlan
+from repro.plans.plan import PlanAnnotations, QueryPlan
 from repro.query.compile import CompiledQuery
 from repro.stats.estimate import Estimator
 
@@ -35,7 +35,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cost import CostMetric
     from repro.core.topology import Move, TopologyBuilder
 
+#: Annotator signature the optimizer threads into phase-3 heuristics:
+#: ``annotate_fn(fetches, base=parent_fetches) -> PlanAnnotations``.
+AnnotateFn = Callable[..., PlanAnnotations]
+
+#: Plan-cost signature the optimizer threads into phase-3 heuristics:
+#: ``cost_fn(fetches, annotations) -> float`` (memoized per vector).
+CostFn = Callable[..., float]
+
+
+def _default_annotate_fn(
+    plan: QueryPlan, query: CompiledQuery, estimator: Estimator
+) -> AnnotateFn:
+    """Plain full re-annotation (the seed behaviour, no memoization)."""
+
+    def annotate_fn(
+        fetches: Mapping[str, int],
+        base: Optional[Mapping[str, int]] = None,
+    ) -> PlanAnnotations:
+        del base
+        return annotate(plan, query, fetches=fetches, estimator=estimator)
+
+    return annotate_fn
+
 __all__ = [
+    "AnnotateFn",
+    "CostFn",
     "Phase1Heuristic",
     "BoundIsBetter",
     "UnboundIsEasier",
@@ -202,8 +227,20 @@ class Phase3Heuristic:
         estimator: Estimator,
         metric: "CostMetric",
         k: int,
+        annotate_fn: "AnnotateFn | None" = None,
+        cost_fn: "CostFn | None" = None,
     ) -> list[dict[str, int]]:
-        """Candidate next vectors, best first.  Empty when saturated."""
+        """Candidate next vectors, best first.  Empty when saturated.
+
+        ``annotate_fn(fetches, base=...)`` — when provided — replaces
+        direct calls to :func:`~repro.core.annotate.annotate`; the
+        optimizer passes its memoizing incremental annotator so heuristics
+        that score candidate vectors reuse cached annotations and only
+        recompute the changed cone.  ``cost_fn(fetches, annotations)``
+        likewise replaces ``metric.cost`` with the optimizer's per-vector
+        cost memo — the same candidate is re-priced at most once, and the
+        price is reused when the candidate is enqueued.
+        """
         raise NotImplementedError
 
     @staticmethod
@@ -234,10 +271,16 @@ class GreedyFetch(Phase3Heuristic):
         estimator: Estimator,
         metric: "CostMetric",
         k: int,
+        annotate_fn: "AnnotateFn | None" = None,
+        cost_fn: "CostFn | None" = None,
     ) -> list[dict[str, int]]:
-        base_ann = annotate(plan, query, fetches=fetches, estimator=estimator)
+        if annotate_fn is None:
+            annotate_fn = _default_annotate_fn(plan, query, estimator)
+        if cost_fn is None:
+            cost_fn = lambda f, ann: metric.cost(plan, ann)  # noqa: E731
+        base_ann = annotate_fn(fetches)
         base_results = base_ann.estimated_results(plan)
-        base_cost = metric.cost(plan, base_ann)
+        base_cost = cost_fn(fetches, base_ann)
         scored: list[tuple[float, dict[str, int]]] = []
         for node in self._chunked_aliases(plan):
             assert node.interface is not None
@@ -247,9 +290,9 @@ class GreedyFetch(Phase3Heuristic):
                 continue
             child = dict(fetches)
             child[alias] = current + 1
-            ann = annotate(plan, query, fetches=child, estimator=estimator)
+            ann = annotate_fn(child, base=fetches)
             gain = ann.estimated_results(plan) - base_results
-            extra = metric.cost(plan, ann) - base_cost
+            extra = cost_fn(child, ann) - base_cost
             sensitivity = gain / max(extra, 1e-9)
             scored.append((sensitivity, child))
         scored.sort(key=lambda pair: -pair[0])
@@ -276,6 +319,8 @@ class SquareIsBetter(Phase3Heuristic):
         estimator: Estimator,
         metric: "CostMetric",
         k: int,
+        annotate_fn: "AnnotateFn | None" = None,
+        cost_fn: "CostFn | None" = None,
     ) -> list[dict[str, int]]:
         nodes = self._chunked_aliases(plan)
         if not nodes:

@@ -20,17 +20,45 @@ come from the monotonic cost metric evaluated on the partial construction;
 an optional greedy warm start (following the heuristics to one complete
 plan) seeds the incumbent so pruning engages immediately.  The search is
 anytime: an expansion budget returns the best incumbent found so far.
+
+Hot-path memoization (see DESIGN.md, "Performance architecture"):
+
+* every search state carries a canonical **signature**; the engine
+  hash-conses states so equivalent constructions reached via different
+  move orders are expanded once, and Pareto-dominated fetch states are
+  dropped;
+* each finished plan gets a **plan key** (one per plan object) under
+  which annotations, full costs, and phase-3 proposals are memoized per
+  ``(plan key, fetch vector)``; a separate **dedup key**, interned by
+  ``(assignment, topology signature)``, scopes the engine's hash-consing
+  — the two are deliberately distinct, because the signature conflates
+  serial reorderings whose costs coincide but whose per-node annotations
+  do not;
+* a fetch state remembers its **parent's fetch vector**, so its
+  annotations are derived from the parent's via
+  :func:`~repro.core.annotate.annotate_delta` — only the services whose
+  factor changed, plus their downstream cone, are recomputed;
+* partial-topology annotations and costs are memoized per signature
+  (:meth:`~repro.core.cost.CostMetric.cached_partial_cost`).
+
+The ``incremental`` / ``dedup`` / ``dominance`` config flags switch the
+layers off individually; with all three off the optimizer reproduces the
+seed implementation's behaviour exactly (the benchmark harness uses that
+as its baseline).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Sequence
+from typing import Hashable, Mapping, Sequence
 
-from repro.core.annotate import annotate
+from repro.core.annotate import annotate, annotate_delta
 from repro.core.bnb import BnBStats, BranchAndBound
 from repro.core.cost import CostMetric, ExecutionTimeMetric
 from repro.core.heuristics import (
+    AnnotateFn,
+    CostFn,
     BoundIsBetter,
     GreedyFetch,
     ParallelIsBetter,
@@ -58,6 +86,10 @@ __all__ = [
     "Optimizer",
     "optimize_query",
 ]
+
+#: Entries kept in the per-optimizer annotation memo; beyond this the
+#: least-recently-used annotations are evicted (they can be recomputed).
+_ANN_CACHE_CAP = 8192
 
 
 @dataclass(frozen=True)
@@ -98,6 +130,22 @@ class OptimizerConfig:
     warm_start: bool = True  # greedy heuristic dive seeds the incumbent
     binding_choice_limit: int | None = 64
     max_phase3_depth: int = 256
+    #: Derive annotations/costs incrementally from the parent state and
+    #: memoize them per (plan key, fetch vector).
+    incremental: bool = True
+    #: Hash-cons search states in the engine by canonical signature.
+    dedup: bool = True
+    #: Pareto-prune fetch states dominated by a queued sibling of the
+    #: same plan (componentwise >= fetch vector at >= cost bound).
+    dominance: bool = True
+
+    @classmethod
+    def legacy(cls, **overrides) -> "OptimizerConfig":
+        """The seed implementation's behaviour: no memoization layers."""
+        overrides.setdefault("incremental", False)
+        overrides.setdefault("dedup", False)
+        overrides.setdefault("dominance", False)
+        return cls(**overrides)
 
 
 @dataclass
@@ -130,6 +178,17 @@ class _TopoState:
     builder: TopologyBuilder
     assignment: tuple[tuple[str, ServiceInterface], ...]
     depth: int
+    #: ``tuple((alias, interface name))`` — computed once per lineage.
+    assignment_key: tuple[tuple[str, str], ...]
+    #: Index of the binding choice this lineage descends from.  Partial
+    #: plans from different choices can look identical while their
+    #: *completions* differ (unplaced aliases have different pipe
+    #: dependencies), so the choice participates in the dedup signature.
+    choice_index: int
+    #: ``topology_signature`` of the partial plan (reused by the bound).
+    partial_sig: tuple
+    #: Engine dedup signature; ``None`` exempts the state.
+    signature: Hashable = None
 
 
 @dataclass(frozen=True)
@@ -138,6 +197,21 @@ class _FetchState:
     assignment: tuple[tuple[str, ServiceInterface], ...]
     fetches: tuple[tuple[str, int], ...]
     depth: int
+    #: Id of this *plan object* — the memoization key prefix for
+    #: annotations/costs/proposals.  Deliberately narrower than the
+    #: topology signature: the signature conflates unpiped serial
+    #: reorderings whose costs coincide but whose per-node annotations
+    #: differ, so sharing cached ``by_node`` tables across it would
+    #: corrupt incremental re-annotation.
+    plan_key: int = -1
+    #: Interned id of ``(assignment_key, topology_signature(plan))`` —
+    #: the engine-level dedup scope (one representative per cost class,
+    #: exactly the seed's topology dedup).
+    dedup_key: int = -1
+    #: Fetch vector of the state this one was derived from; lets the
+    #: annotator recompute only the changed cone (``annotate_delta``).
+    parent_fetches: tuple[tuple[str, int], ...] | None = None
+    signature: Hashable = None
 
 
 class Optimizer:
@@ -151,6 +225,8 @@ class Optimizer:
         self._open_aliases = tuple(
             atom.alias for atom in query.atoms if atom.interface is None
         )
+        # Legacy-mode (dedup=False) seen-sets, replicating the seed
+        # implementation's optimizer-side deduplication.
         self._seen_topologies: set[tuple] = set()
         self._seen_partial: set[tuple] = set()
         self._seen_fetches: set[tuple] = set()
@@ -158,6 +234,14 @@ class Optimizer:
         # alive so a garbage-collected plan's id cannot be recycled by a
         # new plan and shadow its fetch vectors.
         self._plan_refs: list[QueryPlan] = []
+        # Memoization layers (incremental mode).
+        self._dedup_keys: dict[tuple, int] = {}
+        self._ann_cache: OrderedDict[tuple, PlanAnnotations] = OrderedDict()
+        self._cost_cache: dict[tuple, float] = {}
+        self._proposal_cache: dict[tuple, list[dict[str, int]]] = {}
+        # Scopes this optimizer's entries in the (shared) metric's
+        # partial-cost memo; unique per optimizer instance.
+        self._cache_token = object()
 
     # -- phase 1 ----------------------------------------------------------------
 
@@ -183,21 +267,77 @@ class Optimizer:
         assignment = dict(state.assignment)
         if not check_feasibility(self.query, assignment).feasible:
             return []
+        assignment_key = tuple(
+            (alias, iface.name) for alias, iface in state.assignment
+        )
         children = []
-        for choice in enumerate_binding_choices(
-            self.query, assignment, limit=self.config.binding_choice_limit
+        for index, choice in enumerate(
+            enumerate_binding_choices(
+                self.query, assignment, limit=self.config.binding_choice_limit
+            )
         ):
             builder = TopologyBuilder.initial(self.query, assignment, choice)
             children.append(
-                _TopoState(
-                    builder=builder,
-                    assignment=state.assignment,
-                    depth=state.depth + 1,
+                self._topo_state(
+                    builder, state.assignment, assignment_key, index,
+                    state.depth + 1,
                 )
             )
         return children
 
     # -- phase 2 ----------------------------------------------------------------
+
+    def _topo_state(
+        self,
+        builder: TopologyBuilder,
+        assignment: tuple[tuple[str, ServiceInterface], ...],
+        assignment_key: tuple[tuple[str, str], ...],
+        choice_index: int,
+        depth: int,
+    ) -> _TopoState:
+        partial_sig = topology_signature(builder.plan)
+        signature = None
+        if self.config.dedup:
+            signature = ("topo", assignment_key, choice_index, partial_sig)
+        return _TopoState(
+            builder=builder,
+            assignment=assignment,
+            depth=depth,
+            assignment_key=assignment_key,
+            choice_index=choice_index,
+            partial_sig=partial_sig,
+            signature=signature,
+        )
+
+    def _fetch_state(
+        self,
+        plan: QueryPlan,
+        assignment: tuple[tuple[str, ServiceInterface], ...],
+        plan_key: int,
+        dedup_key: int,
+        fetches: tuple[tuple[str, int], ...],
+        parent_fetches: tuple[tuple[str, int], ...] | None,
+        depth: int,
+    ) -> _FetchState:
+        signature = ("fetch", dedup_key, fetches) if self.config.dedup else None
+        return _FetchState(
+            plan=plan,
+            assignment=assignment,
+            fetches=fetches,
+            depth=depth,
+            plan_key=plan_key,
+            dedup_key=dedup_key,
+            parent_fetches=parent_fetches,
+            signature=signature,
+        )
+
+    def _intern_dedup_key(self, assignment_key: tuple, plan_sig: tuple) -> int:
+        key = (assignment_key, plan_sig)
+        dedup_key = self._dedup_keys.get(key)
+        if dedup_key is None:
+            dedup_key = len(self._dedup_keys)
+            self._dedup_keys[key] = dedup_key
+        return dedup_key
 
     def _expand_topology(self, state: _TopoState) -> list:
         children = []
@@ -224,39 +364,39 @@ class Optimizer:
             for builder in applied:
                 if builder.is_complete:
                     plan = builder.finish()
-                    assignment_key = tuple(
-                        (alias, iface.name) for alias, iface in state.assignment
-                    )
-                    signature = (assignment_key, topology_signature(plan))
-                    if signature in self._seen_topologies:
-                        continue
-                    self._seen_topologies.add(signature)
+                    full_key = (state.assignment_key, topology_signature(plan))
+                    if not self.config.dedup:
+                        if full_key in self._seen_topologies:
+                            continue
+                        self._seen_topologies.add(full_key)
                     self._plan_refs.append(plan)
                     children.append(
-                        _FetchState(
-                            plan=plan,
-                            assignment=state.assignment,
-                            fetches=self._initial_fetches(plan),
-                            depth=state.depth + 1,
+                        self._fetch_state(
+                            plan,
+                            state.assignment,
+                            len(self._plan_refs) - 1,
+                            self._intern_dedup_key(*full_key),
+                            self._initial_fetches(plan),
+                            None,
+                            state.depth + 1,
                         )
                     )
                 else:
-                    # Different move orders reach identical partial DAGs;
-                    # enqueue one representative per partial signature.
-                    assignment_key = tuple(
-                        (alias, iface.name) for alias, iface in state.assignment
+                    child = self._topo_state(
+                        builder,
+                        state.assignment,
+                        state.assignment_key,
+                        state.choice_index,
+                        state.depth + 1,
                     )
-                    partial = (assignment_key, topology_signature(builder.plan))
-                    if partial in self._seen_partial:
-                        continue
-                    self._seen_partial.add(partial)
-                    children.append(
-                        _TopoState(
-                            builder=builder,
-                            assignment=state.assignment,
-                            depth=state.depth + 1,
-                        )
-                    )
+                    if not self.config.dedup:
+                        # Different move orders reach identical partial
+                        # DAGs; enqueue one representative per signature.
+                        partial = (state.assignment_key, child.partial_sig)
+                        if partial in self._seen_partial:
+                            continue
+                        self._seen_partial.add(partial)
+                    children.append(child)
         return children
 
     def _suggested_methods(self, builder, move) -> list[JoinMethodSpec]:
@@ -296,42 +436,149 @@ class Optimizer:
 
     # -- phase 3 ----------------------------------------------------------------
 
+    def _cached_annotations(
+        self,
+        plan: QueryPlan,
+        plan_key: int,
+        fetches: tuple[tuple[str, int], ...],
+        parent: tuple[tuple[str, int], ...] | None = None,
+    ) -> PlanAnnotations:
+        """Memoized annotations, derived from the parent vector's when
+        available (only the changed cone is recomputed)."""
+        key = (plan_key, fetches)
+        cached = self._ann_cache.get(key)
+        if cached is not None:
+            self._ann_cache.move_to_end(key)
+            return cached
+        base = self._ann_cache.get((plan_key, parent)) if parent is not None else None
+        if base is not None:
+            annotations = annotate_delta(
+                plan,
+                self.query,
+                base,
+                dict(parent),
+                dict(fetches),
+                estimator=self.estimator,
+            )
+        else:
+            annotations = annotate(
+                plan, self.query, fetches=dict(fetches), estimator=self.estimator
+            )
+        self._ann_cache[key] = annotations
+        while len(self._ann_cache) > _ANN_CACHE_CAP:
+            self._ann_cache.popitem(last=False)
+        return annotations
+
     def _annotations(self, state: _FetchState) -> PlanAnnotations:
-        return annotate(
-            state.plan,
-            self.query,
-            fetches=dict(state.fetches),
-            estimator=self.estimator,
+        if not self.config.incremental:
+            return annotate(
+                state.plan,
+                self.query,
+                fetches=dict(state.fetches),
+                estimator=self.estimator,
+            )
+        return self._cached_annotations(
+            state.plan, state.plan_key, state.fetches, state.parent_fetches
         )
 
     def _estimated_results(self, state: _FetchState) -> float:
         return self._annotations(state).estimated_results(state.plan)
+
+    def _full_cost(self, state: _FetchState) -> float:
+        """Memoized full-plan cost of a fetch state."""
+        if not self.config.incremental:
+            return self.config.metric.cost(state.plan, self._annotations(state))
+        key = (state.plan_key, state.fetches)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = self.config.metric.cost(state.plan, self._annotations(state))
+            self._cost_cache[key] = cost
+        return cost
+
+    def _annotate_fn_for(self, state: _FetchState) -> AnnotateFn:
+        """The memoizing annotator threaded into phase-3 heuristics."""
+        plan, plan_key = state.plan, state.plan_key
+
+        def annotate_fn(
+            fetches: Mapping[str, int],
+            base: Mapping[str, int] | None = None,
+        ) -> PlanAnnotations:
+            vector = tuple(sorted((a, int(v)) for a, v in fetches.items()))
+            parent = (
+                tuple(sorted((a, int(v)) for a, v in base.items()))
+                if base is not None
+                else None
+            )
+            return self._cached_annotations(plan, plan_key, vector, parent)
+
+        return annotate_fn
+
+    def _cost_fn_for(self, state: _FetchState) -> CostFn:
+        """Per-vector cost memo threaded into phase-3 heuristics; shares
+        the cache that later prices the enqueued child states."""
+        plan, plan_key = state.plan, state.plan_key
+        metric = self.config.metric
+
+        def cost_fn(fetches: Mapping[str, int], annotations) -> float:
+            vector = tuple(sorted((a, int(v)) for a, v in fetches.items()))
+            key = (plan_key, vector)
+            cost = self._cost_cache.get(key)
+            if cost is None:
+                cost = metric.cost(plan, annotations)
+                self._cost_cache[key] = cost
+            return cost
+
+        return cost_fn
+
+    def _proposals(self, state: _FetchState) -> list[dict[str, int]]:
+        """Phase-3 successor vectors, memoized per (plan, fetch vector)."""
+        if not self.config.incremental:
+            return self.config.phase3.propose(
+                state.plan,
+                self.query,
+                dict(state.fetches),
+                self.estimator,
+                self.config.metric,
+                self.k,
+            )
+        key = (state.plan_key, state.fetches)
+        cached = self._proposal_cache.get(key)
+        if cached is None:
+            cached = self.config.phase3.propose(
+                state.plan,
+                self.query,
+                dict(state.fetches),
+                self.estimator,
+                self.config.metric,
+                self.k,
+                annotate_fn=self._annotate_fn_for(state),
+                cost_fn=self._cost_fn_for(state),
+            )
+            self._proposal_cache[key] = cached
+        return cached
 
     def _expand_fetch(self, state: _FetchState) -> list:
         if self._estimated_results(state) >= self.k:
             return []  # leaf: handled by _is_leaf
         if state.depth >= self.config.max_phase3_depth:
             return []
-        proposals = self.config.phase3.propose(
-            state.plan,
-            self.query,
-            dict(state.fetches),
-            self.estimator,
-            self.config.metric,
-            self.k,
-        )
         children = []
-        for vector in proposals:
-            key = (id(state.plan), tuple(sorted(vector.items())))
-            if key in self._seen_fetches:
-                continue
-            self._seen_fetches.add(key)
+        for vector in self._proposals(state):
+            fetches = tuple(sorted(vector.items()))
+            if not self.config.dedup:
+                key = (id(state.plan), fetches)
+                if key in self._seen_fetches:
+                    continue
+                self._seen_fetches.add(key)
             children.append(
-                _FetchState(
-                    plan=state.plan,
-                    assignment=state.assignment,
-                    fetches=tuple(sorted(vector.items())),
-                    depth=state.depth + 1,
+                self._fetch_state(
+                    state.plan,
+                    state.assignment,
+                    state.plan_key,
+                    state.dedup_key,
+                    fetches,
+                    state.fetches,
+                    state.depth + 1,
                 )
             )
         return children
@@ -353,18 +600,11 @@ class Optimizer:
         if state.depth >= self.config.max_phase3_depth:
             return True
         # Saturated: no proposal can move any factor.
-        return not self.config.phase3.propose(
-            state.plan,
-            self.query,
-            dict(state.fetches),
-            self.estimator,
-            self.config.metric,
-            self.k,
-        )
+        return not self._proposals(state)
 
     def _leaf_value(self, state: _FetchState):
         annotations = self._annotations(state)
-        cost = self.config.metric.cost(state.plan, annotations)
+        cost = self._full_cost(state)
         results = annotations.estimated_results(state.plan)
         candidate = PlanCandidate(
             plan=state.plan,
@@ -388,15 +628,42 @@ class Optimizer:
             chosen = [iface for _, iface in state.assignment]
             return metric.interfaces_lower_bound(fixed + chosen)
         if isinstance(state, _TopoState):
-            annotations = annotate(
+            def partial_annotations() -> PlanAnnotations:
+                return annotate(
+                    state.builder.plan,
+                    self.query,
+                    fetches={},
+                    estimator=self.estimator,
+                )
+
+            if not self.config.incremental:
+                return metric.partial_cost(
+                    state.builder.plan, partial_annotations()
+                )
+            # Partial-plan costs depend only on the cost-relevant
+            # signature (plus the interface assignment): memoized per
+            # signature, the annotation walk runs only on a miss.
+            sig_key = (state.assignment_key, state.partial_sig)
+            return metric.cached_partial_cost(
+                (self._cache_token, sig_key),
                 state.builder.plan,
-                self.query,
-                fetches={},
-                estimator=self.estimator,
+                partial_annotations,
             )
-            return metric.partial_cost(state.builder.plan, annotations)
-        annotations = self._annotations(state)
-        return metric.cost(state.plan, annotations)
+        return self._full_cost(state)
+
+    def _signature(self, state) -> Hashable:
+        return getattr(state, "signature", None)
+
+    def _dominance(self, state):
+        """Pareto key for fetch states: same plan, componentwise fetch
+        vector (plus remaining phase-3 depth) — see DESIGN.md for the
+        soundness argument."""
+        if not isinstance(state, _FetchState):
+            return None
+        return (
+            ("fetch-dom", state.plan_key),
+            (float(state.depth), *(float(v) for _, v in state.fetches)),
+        )
 
     @staticmethod
     def _depth(state) -> int:
@@ -413,6 +680,7 @@ class Optimizer:
         """
         root = _AssignState(assignment=(), next_index=0, depth=0)
         stack = [root]
+        dive_seen: set[Hashable] = set()
         steps = 0
         while stack:
             steps += 1
@@ -423,6 +691,18 @@ class Optimizer:
                 _, candidate, _ = self._leaf_value(state)
                 return candidate
             children = self._expand(state)
+            if self.config.dedup:
+                # The engine's hash-consing does not apply to this local
+                # dive; an own seen-set keeps it from revisiting states.
+                fresh = []
+                for child in children:
+                    signature = getattr(child, "signature", None)
+                    if signature is not None:
+                        if signature in dive_seen:
+                            continue
+                        dive_seen.add(signature)
+                    fresh.append(child)
+                children = fresh
             # Depth-first along the heuristics' first choice, backtracking
             # out of dead ends (e.g. a fork whose merge is degenerate).
             stack.extend(reversed(children))
@@ -437,18 +717,24 @@ class Optimizer:
             lower_bound=self._lower_bound,
             prune=self.config.prune,
             depth_of=self._depth,
+            signature_of=self._signature if self.config.dedup else None,
+            dominance_of=(
+                self._dominance
+                if self.config.dominance and self.config.prune
+                else None
+            ),
         )
         initial = None
         if self.config.warm_start:
             seed = self.greedy_candidate()
             if seed is not None:
                 initial = (seed.cost, seed, seed.satisfies_k)
-        # The warm start consumed dedup state; reset so the search space
-        # is complete.
+        # The warm start consumed the legacy dedup sets; reset so the
+        # search space is complete.  (The memoization caches survive on
+        # purpose: a cached annotation is valid whoever asks for it.)
         self._seen_topologies.clear()
         self._seen_partial.clear()
         self._seen_fetches.clear()
-        self._plan_refs.clear()
         root = _AssignState(assignment=(), next_index=0, depth=0)
         outcome = engine.run(root, budget=self.config.budget, initial=initial)
         return OptimizationOutcome(

@@ -32,8 +32,9 @@ optimizer's estimates.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.annotate import pipe_join_selectivity
 from repro.engine.events import CallLog
@@ -60,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 
 __all__ = [
     "NodeRunStats",
+    "InvocationCacheStats",
     "ExecutionResult",
     "PlanExecutor",
     "execute_plan",
@@ -93,6 +95,15 @@ def invocation_cache_key(
 
 
 @dataclass
+class InvocationCacheStats:
+    """Hit/miss/eviction accounting of the per-execution invocation memo."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+@dataclass
 class NodeRunStats:
     """Actual (not estimated) tuple flow and call counts of one node."""
 
@@ -117,6 +128,12 @@ class ExecutionResult:
     #: TimeToScreenMetric estimate).
     time_to_screen: float = 0.0
     total_candidates: int = 0
+    #: Candidate pairs the parallel-join assembly actually examined; equals
+    #: ``total_candidates`` for the nested-loop path, smaller when the
+    #: hash-indexed equi-join kernel skipped non-colliding pairs.
+    pairs_probed: int = 0
+    #: Invocation-memo accounting for this execution.
+    cache_stats: InvocationCacheStats = field(default_factory=InvocationCacheStats)
     #: Aliases whose service was abandoned after exhausting retries
     #: (non-empty only under ``partial`` degradation).
     failed_aliases: tuple[str, ...] = ()
@@ -165,6 +182,11 @@ class PlanExecutor:
         keeps going — the dead branch contributes nothing, upstream
         combinations flow through without its component, and the result is
         flagged ``incomplete``.
+    invocation_cache_size:
+        LRU bound on the invocation memo (distinct ``(interface, alias,
+        factor, bindings)`` entries kept); ``None`` means unbounded.
+        Hits, misses, and evictions are reported via
+        :attr:`ExecutionResult.cache_stats`.
     """
 
     def __init__(
@@ -178,6 +200,7 @@ class PlanExecutor:
         final_semantic_check: bool = True,
         retry: RetryPolicy | None = None,
         degradation: Degradation | str = Degradation.FAIL,
+        invocation_cache_size: int | None = 1024,
     ) -> None:
         self.plan = plan
         self.query = query
@@ -195,7 +218,12 @@ class PlanExecutor:
             log=pool.log,
             rng=random.Random(pool.global_seed ^ 0xB0FF),
         )
-        self._invocation_cache: dict[tuple, tuple[list, bool]] = {}
+        if invocation_cache_size is not None and invocation_cache_size <= 0:
+            raise ExecutionError("invocation_cache_size must be positive or None")
+        self._invocation_cache: OrderedDict[tuple, tuple[list, bool]] = OrderedDict()
+        self._invocation_cache_size = invocation_cache_size
+        self.cache_stats = InvocationCacheStats()
+        self._pairs_probed = 0
         self._estimator = Estimator(query)
 
     # -- public entry point ------------------------------------------------------
@@ -263,6 +291,8 @@ class PlanExecutor:
             execution_time=execution_time,
             time_to_screen=time_to_screen,
             total_candidates=candidates,
+            pairs_probed=self._pairs_probed,
+            cache_stats=self.cache_stats,
             failed_aliases=tuple(sorted(self.failed_aliases)),
         )
 
@@ -370,8 +400,12 @@ class PlanExecutor:
         key = invocation_cache_key(
             node.interface.name, node.alias, factor, bindings
         )
-        if key in self._invocation_cache:
-            return self._invocation_cache[key]
+        cached = self._invocation_cache.get(key)
+        if cached is not None:
+            self._invocation_cache.move_to_end(key)
+            self.cache_stats.hits += 1
+            return cached
+        self.cache_stats.misses += 1
         invocation = self.pool.invoke(
             node.interface.name,
             bindings,
@@ -394,6 +428,10 @@ class PlanExecutor:
             failed = True
             self.failed_aliases.add(node.alias)
         self._invocation_cache[key] = (tuples, failed)
+        if self._invocation_cache_size is not None:
+            while len(self._invocation_cache) > self._invocation_cache_size:
+                self._invocation_cache.popitem(last=False)
+                self.cache_stats.evictions += 1
         return tuples, failed
 
     def _run_parallel_join(
@@ -405,6 +443,13 @@ class PlanExecutor:
         triangular = node.method.completion is CompletionStrategy.TRIANGULAR
         n_left = max(1, len(left))
         n_right = max(1, len(right))
+        keys = self._equi_join_keys(node, left, right)
+        if keys is not None:
+            hashed = self._hash_parallel_join(
+                node, left, right, triangular, n_left, n_right, *keys
+            )
+            if hashed is not None:
+                return hashed
         out: list[CompositeTuple] = []
         pair_count = 0
         for i, lc in enumerate(left):
@@ -413,9 +458,145 @@ class PlanExecutor:
                     # Outside the "most promising" diagonal half.
                     continue
                 pair_count += 1
+                self._pairs_probed += 1
                 shared = set(lc.components) & set(rc.components)
                 if any(lc.components[a] != rc.components[a] for a in shared):
                     continue
+                components = dict(lc.components)
+                components.update(rc.components)
+                if node.predicates and not self._satisfies_evaluable(
+                    components, (), node.predicates
+                ):
+                    continue
+                score = self.query.ranking.score_composite(components)
+                out.append(CompositeTuple(components, score))
+        out.sort(key=lambda c: -c.score)
+        return out, pair_count
+
+    def _equi_join_keys(
+        self,
+        node: ParallelJoinNode,
+        left: list[CompositeTuple],
+        right: list[CompositeTuple],
+    ) -> (
+        tuple[
+            Callable[[CompositeTuple], tuple],
+            Callable[[CompositeTuple], tuple],
+        ]
+        | None
+    ):
+        """Key extractors when this join is hash-indexable, else ``None``.
+
+        Eligibility: every predicate is a non-nested EQ with one side per
+        branch, both branches expose uniform component sets, and no branch
+        is degraded (a missing component would make keys non-uniform).
+        The key bundles the shared-alias components (shared-alias
+        agreement is equality, so equal keys subsume the agreement check)
+        with the EQ attribute values from the composite's own side.  EQ
+        compares with plain ``==`` and key equality over-approximates the
+        predicate set (``None == None`` collides though SQL nulls never
+        match), so the predicate stays authoritative on probed pairs.
+        """
+        if self.failed_aliases or not left or not right or not node.predicates:
+            return None
+        left_aliases = frozenset(left[0].components)
+        right_aliases = frozenset(right[0].components)
+        if any(frozenset(c.components) != left_aliases for c in left) or any(
+            frozenset(c.components) != right_aliases for c in right
+        ):
+            return None
+        shared = tuple(sorted(left_aliases & right_aliases))
+        left_refs = []
+        right_refs = []
+        for pred in node.predicates:
+            if pred.comparator is not Comparator.EQ:
+                return None
+            if pred.left.path.is_nested or pred.right.path.is_nested:
+                return None
+            if pred.left.alias in left_aliases and pred.right.alias in right_aliases:
+                lref, rref = pred.left, pred.right
+            elif pred.right.alias in left_aliases and pred.left.alias in right_aliases:
+                lref, rref = pred.right, pred.left
+            else:
+                return None
+            left_refs.append(lref)
+            right_refs.append(rref)
+
+        def make_key(refs):
+            def key(comp: CompositeTuple) -> tuple:
+                components = comp.components
+                return (
+                    tuple(components[a] for a in shared),
+                    tuple(
+                        components[ref.alias].values.get(ref.path.name)
+                        for ref in refs
+                    ),
+                )
+
+            return key
+
+        return make_key(left_refs), make_key(right_refs)
+
+    @staticmethod
+    def _triangular_cutoff(i: int, n_left: int, n_right: int, limit: int) -> int:
+        """First ``j`` outside the diagonal half for row ``i``.
+
+        Bisects the exact float expression the nested loop evaluates —
+        ``j / n_right`` is monotone in ``j`` — so the admitted prefix is
+        bit-for-bit the nested loop's.
+        """
+        a = i / n_left
+        lo, hi = 0, limit
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (a + mid / n_right) >= 1.0:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _hash_parallel_join(
+        self,
+        node: ParallelJoinNode,
+        left: list[CompositeTuple],
+        right: list[CompositeTuple],
+        triangular: bool,
+        n_left: int,
+        n_right: int,
+        left_key: Callable[[CompositeTuple], tuple],
+        right_key: Callable[[CompositeTuple], tuple],
+    ) -> tuple[list[CompositeTuple], int] | None:
+        """Hash-indexed assembly; ``None`` when a key is unhashable.
+
+        Probing rows in order against buckets kept in ``j`` order emits
+        matches in the nested loop's (i, j) order, so the final stable
+        sort reproduces its output exactly.  ``pair_count`` keeps the
+        nested loop's logical meaning (tile area inside the completion
+        region), independent of how many pairs were actually probed.
+        """
+        try:
+            index: dict[tuple, list[tuple[int, CompositeTuple]]] = {}
+            for j, rc in enumerate(right):
+                index.setdefault(right_key(rc), []).append((j, rc))
+            probes = [(i, index.get(left_key(lc))) for i, lc in enumerate(left)]
+        except (TypeError, KeyError):
+            return None
+        out: list[CompositeTuple] = []
+        pair_count = 0
+        for i, bucket in probes:
+            cutoff = (
+                self._triangular_cutoff(i, n_left, n_right, len(right))
+                if triangular
+                else len(right)
+            )
+            pair_count += cutoff
+            if not bucket:
+                continue
+            lc = left[i]
+            for j, rc in bucket:
+                if j >= cutoff:
+                    break
+                self._pairs_probed += 1
                 components = dict(lc.components)
                 components.update(rc.components)
                 if node.predicates and not self._satisfies_evaluable(
@@ -503,6 +684,7 @@ def execute_plan(
     k: int | None = None,
     retry: RetryPolicy | None = None,
     degradation: Degradation | str = Degradation.FAIL,
+    invocation_cache_size: int | None = 1024,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
@@ -514,4 +696,5 @@ def execute_plan(
         k=k,
         retry=retry,
         degradation=degradation,
+        invocation_cache_size=invocation_cache_size,
     ).run()

@@ -20,8 +20,9 @@ binary joins:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.errors import ExecutionError, RetryExhaustedError
 
@@ -77,6 +78,14 @@ class ChunkSource:
         raise NotImplementedError
 
 
+#: Tuple sequences already proven rank-ordered, keyed by id().  Holding a
+#: strong reference to each validated sequence pins its id, so an entry
+#: can never be shadowed by a recycled id; the identity check below makes
+#: the memo exact.  Bounded LRU so long runs cannot grow it unboundedly.
+_VALIDATED_SEQUENCES: "OrderedDict[int, Sequence[ServiceTuple]]" = OrderedDict()
+_VALIDATED_CAP = 1024
+
+
 @dataclass
 class ListChunkSource(ChunkSource):
     """Chunk source over a pre-ranked in-memory tuple list."""
@@ -90,9 +99,23 @@ class ListChunkSource(ChunkSource):
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
             raise ExecutionError("chunk_size must be positive")
+        # The rank-order check is O(n); the engine re-wraps the same
+        # materialised tuple list in a fresh source per invocation (one
+        # per fetch-factor probe), so successful validations are memoized
+        # by sequence identity.  Failures are never cached: an unranked
+        # input must raise at every construction.
+        key = id(self.tuples)
+        cached = _VALIDATED_SEQUENCES.get(key)
+        if cached is not None and cached is self.tuples:
+            _VALIDATED_SEQUENCES.move_to_end(key)
+            return
         scores = [t.score for t in self.tuples]
         if any(a < b - 1e-9 for a, b in zip(scores, scores[1:])):
             raise ExecutionError("source tuples must be in ranking order")
+        if isinstance(self.tuples, (list, tuple)):
+            _VALIDATED_SEQUENCES[key] = self.tuples
+            while len(_VALIDATED_SEQUENCES) > _VALIDATED_CAP:
+                _VALIDATED_SEQUENCES.popitem(last=False)
 
     def next_chunk(self) -> list[ServiceTuple] | None:
         if self._cursor >= len(self.tuples):
@@ -124,7 +147,13 @@ class JoinStatistics:
     calls_x: int = 0
     calls_y: int = 0
     tiles_processed: int = 0
+    #: Logical candidate-pair count: the full tile area, independent of the
+    #: pairing kernel.  This is the paper's "candidate combinations" figure.
     candidates: int = 0
+    #: Pairs the kernel actually evaluated the predicate on.  Equals
+    #: ``candidates`` for the nested-loop kernel; with hash-indexed
+    #: equi-joins only key-colliding pairs are probed.
+    pairs_probed: int = 0
     results: int = 0
     trace: list[Tile] = field(default_factory=list)
     events: list[JoinEvent] = field(default_factory=list)
@@ -201,6 +230,17 @@ class ParallelJoinExecutor:
         Once a source's retries are exhausted: ``"partial"`` (default)
         treats that axis as exhausted and joins what arrived; ``"fail"``
         propagates :class:`~repro.errors.RetryExhaustedError`.
+    equi_key_x, equi_key_y:
+        Optional equi-join key extractors.  When both are supplied the
+        tile kernel builds a hash index over each Y chunk (memoized per
+        chunk, since triangular completion revisits the same chunk across
+        many tiles) and probes it with X tuples, evaluating ``predicate``
+        only on key-colliding pairs.  The caller must guarantee that
+        ``equi_key_x(l) != equi_key_y(r)`` implies ``not predicate(l, r)``
+        — the predicate stays authoritative on probed pairs, so a key
+        that over-approximates the predicate is safe, one that
+        under-approximates it silently drops results.  Without extractors
+        the kernel is the plain nested loop over the tile.
     """
 
     def __init__(
@@ -215,10 +255,17 @@ class ParallelJoinExecutor:
         max_calls: int = 10_000,
         retry: "Retrier | None" = None,
         degradation: str = "partial",
+        equi_key_x: Callable[[ServiceTuple], Hashable] | None = None,
+        equi_key_y: Callable[[ServiceTuple], Hashable] | None = None,
     ) -> None:
         self.source_x = source_x
         self.source_y = source_y
         self.predicate = predicate
+        self.equi_key_x = equi_key_x
+        self.equi_key_y = equi_key_y
+        #: Hash indexes over Y chunks, keyed by chunk ordinal (built lazily,
+        #: reused across every tile sharing that chunk).
+        self._y_indexes: dict[int, dict[Hashable, list[ServiceTuple]]] = {}
         self.schedule = schedule or MergeScanSchedule()
         self.policy = policy or TriangularCompletion()
         self.k = k
@@ -314,12 +361,38 @@ class ParallelJoinExecutor:
         chunk_x = chunks_x[tile.x]
         chunk_y = chunks_y[tile.y]
         stats.candidates += len(chunk_x) * len(chunk_y)
-        matches = [
-            JoinedPair(left, right, self.scorer(left, right), tile)
-            for left in chunk_x
-            for right in chunk_y
-            if self.predicate(left, right)
-        ]
+        if self.equi_key_x is not None and self.equi_key_y is not None:
+            index = self._y_indexes.get(tile.y)
+            if index is None:
+                index = {}
+                for right in chunk_y:
+                    index.setdefault(self.equi_key_y(right), []).append(right)
+                self._y_indexes[tile.y] = index
+            # Probing left-major with buckets in chunk order reproduces
+            # the nested loop's match order exactly, so the stable sort
+            # below yields byte-identical output.
+            matches = []
+            key_of = self.equi_key_x
+            predicate = self.predicate
+            scorer = self.scorer
+            for left in chunk_x:
+                bucket = index.get(key_of(left))
+                if not bucket:
+                    continue
+                stats.pairs_probed += len(bucket)
+                for right in bucket:
+                    if predicate(left, right):
+                        matches.append(
+                            JoinedPair(left, right, scorer(left, right), tile)
+                        )
+        else:
+            stats.pairs_probed += len(chunk_x) * len(chunk_y)
+            matches = [
+                JoinedPair(left, right, self.scorer(left, right), tile)
+                for left in chunk_x
+                for right in chunk_y
+                if self.predicate(left, right)
+            ]
         # Within a tile, emit best combinations first: results are then
         # presented "in the order in which they are computed, tile by tile".
         matches.sort(key=lambda pair: -pair.score)
@@ -378,6 +451,7 @@ class PipeJoinExecutor:
                 stats.trace.append(tile)
                 stats.tiles_processed += 1
                 stats.candidates += len(chunk)
+                stats.pairs_probed += len(chunk)
                 for right in chunk:
                     pairs.append(
                         JoinedPair(left, right, self.scorer(left, right), tile)
@@ -399,6 +473,8 @@ def make_executor(
     max_calls: int = 10_000,
     retry: "Retrier | None" = None,
     degradation: str = "partial",
+    equi_key_x: Callable[[ServiceTuple], Hashable] | None = None,
+    equi_key_y: Callable[[ServiceTuple], Hashable] | None = None,
 ) -> ParallelJoinExecutor:
     """Instantiate a parallel-join executor from a method specification."""
     if spec.invocation is InvocationStrategy.NESTED_LOOP:
@@ -422,4 +498,6 @@ def make_executor(
         max_calls=max_calls,
         retry=retry,
         degradation=degradation,
+        equi_key_x=equi_key_x,
+        equi_key_y=equi_key_y,
     )

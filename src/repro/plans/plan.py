@@ -32,6 +32,15 @@ __all__ = ["QueryPlan", "NodeAnnotation", "PlanAnnotations"]
 
 
 @dataclass
+class _PlanStructure:
+    """Cached adjacency and topological order of one plan DAG."""
+
+    parents: Mapping[str, tuple[str, ...]]
+    children: Mapping[str, tuple[str, ...]]
+    topo_order: tuple[str, ...] | None = None
+
+
+@dataclass
 class QueryPlan:
     """A mutable plan DAG with a builder API.
 
@@ -42,6 +51,12 @@ class QueryPlan:
 
     nodes: dict[str, PlanNode] = field(default_factory=dict)
     arcs: list[tuple[str, str]] = field(default_factory=list)
+    # Lazily built (parents, children, topological order) maps; every
+    # annotation and cost evaluation walks the DAG, so the adjacency scans
+    # are a measurable hot path.  Invalidated by add/connect.
+    _structure: "_PlanStructure | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction -----------------------------------------------------------
 
@@ -49,6 +64,7 @@ class QueryPlan:
         if node.node_id in self.nodes:
             raise PlanError(f"duplicate node id {node.node_id!r}")
         self.nodes[node.node_id] = node
+        self._structure = None
         return node
 
     def connect(self, source: str | PlanNode, target: str | PlanNode) -> None:
@@ -62,8 +78,22 @@ class QueryPlan:
         if src == dst:
             raise PlanError(f"self-loop on {src!r}")
         self.arcs.append((src, dst))
+        self._structure = None
 
     # -- structure queries --------------------------------------------------------
+
+    def _adjacency(self) -> "_PlanStructure":
+        if self._structure is None:
+            parents: dict[str, list[str]] = {node_id: [] for node_id in self.nodes}
+            children: dict[str, list[str]] = {node_id: [] for node_id in self.nodes}
+            for src, dst in self.arcs:
+                parents[dst].append(src)
+                children[src].append(dst)
+            self._structure = _PlanStructure(
+                parents={k: tuple(v) for k, v in parents.items()},
+                children={k: tuple(v) for k, v in children.items()},
+            )
+        return self._structure
 
     def node(self, node_id: str) -> PlanNode:
         if node_id not in self.nodes:
@@ -72,10 +102,10 @@ class QueryPlan:
 
     def parents(self, node_id: str) -> tuple[str, ...]:
         """Parent ids in arc-insertion order (join left input first)."""
-        return tuple(src for src, dst in self.arcs if dst == node_id)
+        return self._adjacency().parents.get(node_id, ())
 
     def children(self, node_id: str) -> tuple[str, ...]:
-        return tuple(dst for src, dst in self.arcs if src == node_id)
+        return self._adjacency().children.get(node_id, ())
 
     @property
     def input_node(self) -> InputNode:
@@ -119,6 +149,9 @@ class QueryPlan:
 
     def topological_order(self) -> tuple[str, ...]:
         """Kahn topological sort; raises :class:`PlanError` on cycles."""
+        structure = self._adjacency()
+        if structure.topo_order is not None:
+            return structure.topo_order
         indegree = {node_id: 0 for node_id in self.nodes}
         for _, dst in self.arcs:
             indegree[dst] += 1
@@ -134,7 +167,8 @@ class QueryPlan:
             ready.sort()
         if len(order) != len(self.nodes):
             raise PlanError("plan graph contains a cycle")
-        return tuple(order)
+        structure.topo_order = tuple(order)
+        return structure.topo_order
 
     def validate(self) -> "QueryPlan":
         """Check the structural invariants of Section 3.2 plans.

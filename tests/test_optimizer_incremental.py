@@ -1,0 +1,170 @@
+"""Equivalence of the memoized/deduped optimizer with the seed search.
+
+The ISSUE-2 hot-path work (incremental annotation, cost memoization,
+state dedup, dominance pruning) must be behaviour-preserving:
+``OptimizerConfig()`` and ``OptimizerConfig.legacy()`` have to agree on
+the chosen plan's cost and topology on every workload.  Fetch vectors may
+differ on equal-cost ties (several vectors can price identically when a
+service sits off the critical path), so the tests compare cost +
+topology signature + k-satisfaction, not raw fetch vectors.
+"""
+
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_optimum
+from repro.core.annotate import (
+    ANNOTATION_COUNTERS,
+    annotate,
+    annotate_delta,
+)
+from repro.core.cost import CallCountMetric, ExecutionTimeMetric
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.core.topology import topology_signature
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.marts import (
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+from repro.services.synth import chain_workload, mixed_workload, star_workload
+
+
+def compiled(workload):
+    return compile_query(parse_query(workload.query_text), workload.registry)
+
+
+@pytest.fixture(scope="module")
+def movie_query():
+    return compile_query(
+        parse_query(RUNNING_EXAMPLE_QUERY), movie_night_registry()
+    )
+
+
+@pytest.fixture(scope="module")
+def conference_query():
+    return compile_query(
+        parse_query(CONFERENCE_QUERY), conference_trip_registry()
+    )
+
+
+def assert_equivalent(query, metric_factory=ExecutionTimeMetric, budget=None):
+    default = Optimizer(
+        query, OptimizerConfig(metric=metric_factory(), budget=budget)
+    ).optimize()
+    legacy = Optimizer(
+        query, OptimizerConfig.legacy(metric=metric_factory(), budget=budget)
+    ).optimize()
+    assert (default.best is None) == (legacy.best is None)
+    if default.best is None:
+        return None, None
+    assert default.best.cost == pytest.approx(legacy.best.cost)
+    assert default.best.satisfies_k == legacy.best.satisfies_k
+    assert topology_signature(default.best.plan) == topology_signature(
+        legacy.best.plan
+    )
+    return default, legacy
+
+
+def test_fig10_equivalent_to_legacy_and_exhaustive(movie_query):
+    default, _ = assert_equivalent(movie_query)
+    truth = exhaustive_optimum(
+        movie_query, metric=ExecutionTimeMetric(), max_fetch=8
+    )
+    assert default.best.satisfies_k and truth.best.satisfies_k
+    assert default.best.cost == pytest.approx(truth.best.cost)
+
+
+def test_conference_equivalent_to_legacy(conference_query):
+    assert_equivalent(conference_query)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize(
+    "maker,size",
+    [(chain_workload, 4), (star_workload, 3), (mixed_workload, 4)],
+)
+def test_equivalent_on_random_workloads(maker, size, seed):
+    assert_equivalent(compiled(maker(size, seed=seed)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize(
+    "maker,size",
+    [(chain_workload, 6), (star_workload, 4), (mixed_workload, 6)],
+)
+def test_equivalence_stress_sweep(maker, size, seed):
+    """Deeper randomized sweep of the same invariant (run with -m slow)."""
+    assert_equivalent(compiled(maker(size, seed=seed)))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_equivalent_under_budget_and_callcount(seed):
+    # Anytime behaviour too: identical budgets must yield identical costs
+    # (both searches expand best-first over the same bound function).
+    query = compiled(star_workload(3, seed=seed))
+    assert_equivalent(query, metric_factory=CallCountMetric, budget=25)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_deduped_matches_exhaustive_on_random_workloads(seed):
+    query = compiled(star_workload(3, seed=seed))
+    metric = CallCountMetric()
+    outcome = Optimizer(query, OptimizerConfig(metric=metric)).optimize()
+    truth = exhaustive_optimum(query, metric=metric, max_fetch=3)
+    if truth.best.satisfies_k:
+        assert outcome.best.satisfies_k
+        assert outcome.best.cost == pytest.approx(truth.best.cost)
+
+
+def test_dedup_and_dominance_counters_populate(movie_query):
+    outcome = Optimizer(movie_query, OptimizerConfig()).optimize()
+    stats = outcome.stats
+    assert stats.dominated > 0
+    assert stats.deduped > 0
+    # Dominance/dedup drop states *before* they are queued, so the
+    # optimized search keeps a strictly smaller open queue than the seed
+    # configuration (which only discards states later, via pruning).
+    legacy = Optimizer(movie_query, OptimizerConfig.legacy()).optimize()
+    assert legacy.stats.deduped == legacy.stats.dominated == 0
+    assert stats.enqueued < legacy.stats.enqueued
+
+
+def test_incremental_reduces_annotation_work(movie_query):
+    ANNOTATION_COUNTERS.reset()
+    Optimizer(movie_query, OptimizerConfig()).optimize()
+    optimized_evals = ANNOTATION_COUNTERS.node_evals
+    assert ANNOTATION_COUNTERS.delta_annotations > 0
+    ANNOTATION_COUNTERS.reset()
+    Optimizer(movie_query, OptimizerConfig.legacy()).optimize()
+    legacy_evals = ANNOTATION_COUNTERS.node_evals
+    assert ANNOTATION_COUNTERS.delta_annotations == 0
+    assert optimized_evals * 3 <= legacy_evals
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_annotate_delta_matches_full_annotation(movie_query, seed):
+    """Property: delta re-annotation from any base == full annotation."""
+    import random
+
+    rng = random.Random(seed)
+    outcome = Optimizer(movie_query, OptimizerConfig()).optimize()
+    plan = outcome.best.plan
+    aliases = sorted(outcome.best.fetch_vector())
+    base_fetches = {alias: rng.randint(1, 6) for alias in aliases}
+    base = annotate(plan, movie_query, base_fetches)
+    for _ in range(8):
+        fetches = dict(base_fetches)
+        for alias in rng.sample(aliases, rng.randint(1, len(aliases))):
+            fetches[alias] = rng.randint(1, 8)
+        incremental = annotate_delta(
+            plan, movie_query, base, base_fetches, fetches
+        )
+        full = annotate(plan, movie_query, fetches)
+        for node_id in plan.nodes:
+            assert incremental.by_node[node_id] == full.by_node[node_id], (
+                node_id,
+                fetches,
+            )
