@@ -36,6 +36,7 @@ from repro.core.topology import topology_signature
 from repro.engine.executor import PlanExecutor
 from repro.joins.methods import ListChunkSource, ParallelJoinExecutor
 from repro.model.scoring import LinearScoring
+from repro.obs.metrics import snapshot_run
 from repro.model.tuples import ServiceTuple
 from repro.query.compile import compile_query
 from repro.query.parser import parse_query
@@ -188,8 +189,18 @@ def collect_hotpath_metrics(repeats=3):
                     "hits": execution.cache_stats.hits,
                     "misses": execution.cache_stats.misses,
                     "evictions": execution.cache_stats.evictions,
+                    "hit_rate": round(execution.cache_stats.hit_rate, 4),
                 },
             },
+            # The unified observability snapshot (optimizer + executor +
+            # call log under one namespace) — BENCH_*.json consumers can
+            # diff these stable dotted names across PRs.
+            "metrics": snapshot_run(
+                outcomes["optimized"].stats,
+                execution,
+                best_cost=best_opt.cost,
+                estimated_results=best_opt.estimated_results,
+            ),
         }
     payload["join_kernel"] = _join_kernel_metrics()
     return payload

@@ -90,9 +90,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from bench_optimizer_hotpath import collect_hotpath_metrics
+    from bench_trace_overhead import MAX_NOOP_SHARE, collect_trace_overhead
 
     repeats = 1 if args.smoke else args.repeats
     metrics = collect_hotpath_metrics(repeats=repeats)
+    observability = collect_trace_overhead(repeats=repeats)
 
     payload = {
         "benchmark": "optimizer & join hot-path (ISSUE-2 tentpole)",
@@ -109,14 +111,39 @@ def main(argv: list[str] | None = None) -> int:
         payload["suite"] = run_suite()
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    obs_payload = {
+        "benchmark": "observability: no-op tracer overhead (ISSUE-4)",
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "fig10": observability,
+    }
+    obs_output = args.output.parent / "BENCH_observability.json"
+    obs_output.write_text(
+        json.dumps(obs_payload, indent=2, sort_keys=True) + "\n"
+    )
     fig10 = payload["workloads"]["movie_night"]
     print(f"wrote {args.output}")
+    print(f"wrote {obs_output}")
+    print(
+        f"tracer: {observability['spans_recorded_when_enabled']} spans when "
+        f"enabled; disabled-path overhead "
+        f"{observability['noop_overhead_share']:.3%} of fig10 wall "
+        f"(gate <{MAX_NOOP_SHARE:.0%}), traced run identical: "
+        f"{observability['traced_run_identical']}"
+    )
     print(
         f"fig10: {fig10['wall_speedup']}x wall, "
         f"{fig10['node_evals_reduction']}x fewer node evals, "
         f"{fig10['optimized']['expansions_per_second']} expansions/s, "
         f"deduped {fig10['optimized']['nodes_deduped']}, "
         f"dominated {fig10['optimized']['nodes_dominated']}"
+    )
+    execution = fig10["execution_join"]
+    cache = execution["invocation_cache"]
+    print(
+        f"fig10 execution: {execution['pairs_probed']} pairs probed, "
+        f"invocation cache hit rate {cache['hit_rate']:.0%} "
+        f"({cache['hits']}/{cache['hits'] + cache['misses']})"
     )
     kernel = payload["join_kernel"]
     print(
@@ -127,6 +154,18 @@ def main(argv: list[str] | None = None) -> int:
     if payload["suite"]["ran"] and payload["suite"]["exit_status"] != 0:
         print("benchmark suite FAILED:", file=sys.stderr)
         print(payload["suite"]["summary"], file=sys.stderr)
+        return 1
+    if (
+        observability["noop_overhead_share"] >= MAX_NOOP_SHARE
+        or not observability["traced_run_identical"]
+    ):
+        print(
+            "observability gate FAILED: "
+            f"overhead share {observability['noop_overhead_share']:.3%} "
+            f"(gate <{MAX_NOOP_SHARE:.0%}), identical "
+            f"{observability['traced_run_identical']}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

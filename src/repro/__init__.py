@@ -13,6 +13,8 @@ Subpackages:
 * :mod:`repro.joins` -- join search space, strategies, methods, top-k.
 * :mod:`repro.core` -- cost metrics, annotation, branch-and-bound optimizer.
 * :mod:`repro.engine` -- dataflow execution over simulated services.
+* :mod:`repro.obs` -- tracing on virtual time, metrics, trace exporters,
+  and the query-explain surface.
 * :mod:`repro.services` -- simulated service substrate and example schemas.
 * :mod:`repro.baselines` -- exhaustive, WSMS, and naive planners.
 * :mod:`repro.stats` -- selectivity and cardinality estimation.
@@ -31,6 +33,14 @@ from repro.engine.executor import ExecutionResult, execute_plan
 from repro.engine.retry import Degradation, RetryPolicy
 from repro.errors import SearchComputingError
 from repro.model.registry import ServiceRegistry
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    build_explain,
+    snapshot_run,
+    write_trace,
+)
 from repro.query.compile import CompiledQuery, compile_query
 from repro.query.parser import parse_query
 from repro.services.simulated import FaultModel, FaultProfile, ServicePool
@@ -57,5 +67,11 @@ __all__ = [
     "compile_query",
     "parse_query",
     "ServicePool",
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "build_explain",
+    "snapshot_run",
+    "write_trace",
     "__version__",
 ]

@@ -7,7 +7,13 @@ Commands:
 * ``plan``      — optimize a query and render the chosen fully
   instantiated plan, with optimizer statistics.
 * ``run``       — optimize and execute a query on the simulator; print
-  the top-k combinations and the call/time accounting.
+  the top-k combinations and the call/time accounting.  ``--trace`` /
+  ``--trace-format`` export the span tree (JSONL or Chrome
+  ``trace_event`` JSON); ``--metrics json`` prints the unified metrics
+  snapshot.
+* ``explain``   — optimize, execute, and print the per-node explain
+  tree: estimated vs. actual cardinality, calls, cache hits, probe
+  counts, and bottleneck attribution.
 * ``topologies``— enumerate the admissible topologies of a query.
 
 Built-in schemas: ``movie`` (the running example) and ``conference``
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import ast as python_ast
+import json
 import sys
 from typing import Any
 
@@ -29,6 +36,10 @@ from repro.core.topology import enumerate_topologies
 from repro.engine.executor import execute_plan
 from repro.engine.retry import RetryPolicy
 from repro.errors import RetryExhaustedError, SearchComputingError
+from repro.obs.explain import build_explain
+from repro.obs.export import TRACE_FORMATS, write_trace
+from repro.obs.metrics import snapshot_run
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.compile import compile_query
 from repro.query.feasibility import enumerate_binding_choices
 from repro.query.parser import parse_query
@@ -98,32 +109,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI (exposed for shell-completion tooling)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Search Computing: multi-domain query optimization & execution",
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    registry_cmd = commands.add_parser("registry", help="print a schema catalogue")
-    registry_cmd.add_argument(
-        "--schema", choices=sorted(_SCHEMAS), default="movie"
-    )
-
-    plan_cmd = commands.add_parser("plan", help="optimize and render a plan")
-    _add_common(plan_cmd)
-
-    run_cmd = commands.add_parser("run", help="optimize and execute a query")
-    _add_common(run_cmd)
-    run_cmd.add_argument("--seed", type=int, default=2009, help="simulator seed")
-    run_cmd.add_argument(
+def _add_execution(parser: argparse.ArgumentParser) -> None:
+    """Simulator/fault knobs shared by ``run`` and ``explain``."""
+    parser.add_argument("--seed", type=int, default=2009, help="simulator seed")
+    parser.add_argument(
         "--fetch-boost",
         type=int,
         default=1,
         help="multiply every fetch factor (ask for more results)",
     )
-    run_cmd.add_argument(
+    parser.add_argument(
         "--invocation-cache-size",
         type=int,
         default=1024,
@@ -131,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on memoised service invocations; 0 disables the "
         "bound (default: 1024)",
     )
-    faults = run_cmd.add_argument_group("fault injection & retries")
+    faults = parser.add_argument_group("fault injection & retries")
     faults.add_argument(
         "--failure-rate",
         type=float,
@@ -181,6 +176,54 @@ def build_parser() -> argparse.ArgumentParser:
         "partial results (default: fail)",
     )
 
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Search Computing: multi-domain query optimization & execution",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    registry_cmd = commands.add_parser("registry", help="print a schema catalogue")
+    registry_cmd.add_argument(
+        "--schema", choices=sorted(_SCHEMAS), default="movie"
+    )
+
+    plan_cmd = commands.add_parser("plan", help="optimize and render a plan")
+    _add_common(plan_cmd)
+
+    run_cmd = commands.add_parser("run", help="optimize and execute a query")
+    _add_common(run_cmd)
+    _add_execution(run_cmd)
+    telemetry = run_cmd.add_argument_group("observability")
+    telemetry.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a span trace of the run and write it to PATH "
+        "('-' for stdout)",
+    )
+    telemetry.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace encoding: one span per line (jsonl) or Chrome "
+        "trace_event JSON loadable in Perfetto (default: jsonl)",
+    )
+    telemetry.add_argument(
+        "--metrics",
+        choices=("json",),
+        help="print the unified metrics snapshot (optimizer + executor + "
+        "call log) in the given format",
+    )
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="optimize, execute, and print the per-node explain tree",
+    )
+    _add_common(explain_cmd)
+    _add_execution(explain_cmd)
+
     topo_cmd = commands.add_parser(
         "topologies", help="enumerate admissible plan topologies"
     )
@@ -194,12 +237,14 @@ def _cmd_registry(args) -> int:
     return 0
 
 
-def _optimize(args):
-    registry, compiled, inputs, query_text = _load(args)
+def _optimize(args, tracer=NULL_TRACER):
+    with tracer.span("compile.query", schema=args.schema) as span:
+        registry, compiled, inputs, query_text = _load(args)
+        span.set("aliases", len(compiled.aliases))
     config = OptimizerConfig(
         metric=DEFAULT_METRICS[args.metric], budget=args.budget
     )
-    outcome = Optimizer(compiled, config).optimize()
+    outcome = Optimizer(compiled, config, tracer=tracer).optimize()
     if outcome.best is None:
         raise SystemExit("no feasible plan found")
     return registry, compiled, inputs, query_text, outcome
@@ -223,9 +268,8 @@ def _cmd_plan(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    registry, compiled, inputs, _, outcome = _optimize(args)
-    best = outcome.best
+def _execute(args, registry, compiled, inputs, best, tracer=NULL_TRACER):
+    """Run ``best`` on the simulator; returns ``(exit_code, result)``."""
     fetches = {
         alias: factor * args.fetch_boost
         for alias, factor in best.fetch_vector().items()
@@ -237,7 +281,7 @@ def _cmd_run(args) -> int:
                 f"(known: {', '.join(registry.interface_names)})",
                 file=sys.stderr,
             )
-            return 2
+            return 2, None
     try:
         fault_model = FaultModel.uniform(
             failure_rate=args.failure_rate,
@@ -253,8 +297,9 @@ def _cmd_run(args) -> int:
         )
     except SearchComputingError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 2, None
     pool = ServicePool(registry, global_seed=args.seed, fault_model=fault_model)
+    tracer.bind_clock(pool.clock)
     try:
         result = execute_plan(
             best.plan,
@@ -265,6 +310,7 @@ def _cmd_run(args) -> int:
             retry=retry,
             degradation=args.degradation,
             invocation_cache_size=args.invocation_cache_size or None,
+            tracer=tracer,
         )
     except RetryExhaustedError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -273,7 +319,17 @@ def _cmd_run(args) -> int:
             "for best-effort results",
             file=sys.stderr,
         )
-        return 1
+        return 1, None
+    return 0, result
+
+
+def _cmd_run(args) -> int:
+    tracer = Tracer() if args.trace else NULL_TRACER
+    registry, compiled, inputs, _, outcome = _optimize(args, tracer)
+    best = outcome.best
+    code, result = _execute(args, registry, compiled, inputs, best, tracer)
+    if code:
+        return code
     print(
         f"{result.total_calls} service calls, "
         f"{result.execution_time:.2f} virtual seconds, "
@@ -304,6 +360,40 @@ def _cmd_run(args) -> int:
             )
             parts.append(f"{alias}={label}")
         print(f"  {rank:2d}. score={combo.score:.3f}  " + "  ".join(parts))
+    if args.trace:
+        if args.trace == "-":
+            write_trace(tracer.spans, sys.stdout, fmt=args.trace_format)
+        else:
+            write_trace(tracer.spans, args.trace, fmt=args.trace_format)
+            print(
+                f"trace: {len(tracer.spans)} spans -> {args.trace} "
+                f"({args.trace_format})"
+            )
+    if args.metrics == "json":
+        snapshot = snapshot_run(
+            outcome.stats,
+            result,
+            best_cost=best.cost,
+            estimated_results=best.estimated_results,
+        )
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    registry, compiled, inputs, query_text, outcome = _optimize(args)
+    best = outcome.best
+    code, result = _execute(args, registry, compiled, inputs, best)
+    if code:
+        return code
+    print(f"query:   {query_text}")
+    print(
+        f"metric:  {args.metric}  cost: {best.cost:.2f}  "
+        f"estimated results: {best.estimated_results:.1f}"
+    )
+    print()
+    report = build_explain(best.plan, best.annotations, result)
+    print(report.render())
     return 0
 
 
@@ -329,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         "registry": _cmd_registry,
         "plan": _cmd_plan,
         "run": _cmd_run,
+        "explain": _cmd_explain,
         "topologies": _cmd_topologies,
     }
     try:

@@ -49,6 +49,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Hashable, Iterable, TypeVar
 
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, coerce_tracer
+
 __all__ = ["BnBStats", "BnBOutcome", "BranchAndBound"]
 
 S = TypeVar("S")  # search state
@@ -116,6 +118,14 @@ class BranchAndBound(Generic[S, P]):
     dominance_of:
         Optional ``(group, vector)`` for dominance pruning; ``None``
         results exempt a state.  See module docstring.
+    tracer:
+        Observability context; every node expansion becomes a
+        ``bnb.expand`` span (with its bound, depth, and child count) and
+        every leaf evaluation a ``bnb.leaf`` span.  The default no-op
+        tracer keeps the hot loop free of tracing work.
+    describe:
+        Optional short label for a state (e.g. its phase); recorded as
+        the expansion span's ``kind`` attribute.
     """
 
     def __init__(
@@ -130,6 +140,8 @@ class BranchAndBound(Generic[S, P]):
         dominance_of: (
             Callable[[S], tuple[Hashable, tuple[float, ...]] | None] | None
         ) = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        describe: Callable[[S], str] | None = None,
     ) -> None:
         self._expand = expand
         self._is_leaf = is_leaf
@@ -139,6 +151,8 @@ class BranchAndBound(Generic[S, P]):
         self._depth_of = depth_of or (lambda state: 0)
         self._signature_of = signature_of
         self._dominance_of = dominance_of
+        self._tracer = coerce_tracer(tracer)
+        self._describe = describe
 
     def run(
         self,
@@ -239,11 +253,31 @@ class BranchAndBound(Generic[S, P]):
             if self._prune and best_satisfies and bound >= best_cost:
                 stats.pruned += 1
                 continue
+            tracer = self._tracer
             if self._is_leaf(state):
-                consider_leaf(state)
+                if tracer.enabled:
+                    with tracer.span(
+                        "bnb.leaf", bound=bound, depth=self._depth_of(state)
+                    ):
+                        consider_leaf(state)
+                else:
+                    consider_leaf(state)
                 continue
             stats.expanded += 1
-            for child in self._expand(state):
+            if tracer.enabled:
+                with tracer.span(
+                    "bnb.expand",
+                    bound=bound,
+                    depth=self._depth_of(state),
+                    kind=(
+                        self._describe(state) if self._describe else "state"
+                    ),
+                ) as span:
+                    children = list(self._expand(state))
+                    span.set("children", len(children))
+            else:
+                children = self._expand(state)
+            for child in children:
                 push(child)
 
         return BnBOutcome(

@@ -68,6 +68,7 @@ from repro.core.heuristics import (
 )
 from repro.core.topology import TopologyBuilder, topology_signature
 from repro.errors import OptimizationError
+from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 from repro.joins.spec import JoinMethodSpec
 from repro.model.service import ServiceInterface
 from repro.plans.plan import PlanAnnotations, QueryPlan
@@ -217,9 +218,18 @@ class _FetchState:
 class Optimizer:
     """Three-phase branch-and-bound optimizer over one compiled query."""
 
-    def __init__(self, query: CompiledQuery, config: OptimizerConfig | None = None):
+    def __init__(
+        self,
+        query: CompiledQuery,
+        config: OptimizerConfig | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ):
         self.query = query
         self.config = config or OptimizerConfig()
+        #: Observability context; the search emits ``optimize.search`` /
+        #: ``optimize.warm_start`` spans plus one ``bnb.expand`` span per
+        #: node expansion.  ``None`` keeps the no-op fast path.
+        self.tracer = coerce_tracer(tracer)
         self.k = self.config.k if self.config.k is not None else query.k
         self.estimator = Estimator(query)
         self._open_aliases = tuple(
@@ -669,6 +679,15 @@ class Optimizer:
     def _depth(state) -> int:
         return state.depth
 
+    @staticmethod
+    def _phase_of(state) -> str:
+        """Span label: which of the three phases a search state is in."""
+        if isinstance(state, _AssignState):
+            return "phase1:interfaces"
+        if isinstance(state, _TopoState):
+            return "phase2:topology"
+        return "phase3:fetches"
+
     # -- entry points -----------------------------------------------------------------
 
     def greedy_candidate(self) -> PlanCandidate | None:
@@ -710,6 +729,7 @@ class Optimizer:
 
     def optimize(self) -> OptimizationOutcome:
         """Run the three-phase branch-and-bound search."""
+        tracer = self.tracer
         engine = BranchAndBound(
             expand=self._expand,
             is_leaf=self._is_leaf,
@@ -723,12 +743,17 @@ class Optimizer:
                 if self.config.dominance and self.config.prune
                 else None
             ),
+            tracer=tracer,
+            describe=self._phase_of,
         )
         initial = None
         if self.config.warm_start:
-            seed = self.greedy_candidate()
-            if seed is not None:
-                initial = (seed.cost, seed, seed.satisfies_k)
+            with tracer.span("optimize.warm_start") as warm_span:
+                seed = self.greedy_candidate()
+                if seed is not None:
+                    initial = (seed.cost, seed, seed.satisfies_k)
+                    warm_span.set("cost", seed.cost)
+                    warm_span.set("satisfies_k", seed.satisfies_k)
         # The warm start consumed the legacy dedup sets; reset so the
         # search space is complete.  (The memoization caches survive on
         # purpose: a cached annotation is valid whoever asks for it.)
@@ -736,7 +761,17 @@ class Optimizer:
         self._seen_partial.clear()
         self._seen_fetches.clear()
         root = _AssignState(assignment=(), next_index=0, depth=0)
-        outcome = engine.run(root, budget=self.config.budget, initial=initial)
+        with tracer.span("optimize.search", k=self.k) as span:
+            outcome = engine.run(
+                root, budget=self.config.budget, initial=initial
+            )
+            span.set("expanded", outcome.stats.expanded)
+            span.set("pruned", outcome.stats.pruned)
+            span.set("leaves", outcome.stats.leaves)
+            span.set("deduped", outcome.stats.deduped)
+            span.set("dominated", outcome.stats.dominated)
+            if outcome.payload is not None:
+                span.set("best_cost", outcome.cost)
         return OptimizationOutcome(
             best=outcome.payload,
             stats=outcome.stats,

@@ -42,6 +42,7 @@ from repro.engine.retry import NO_RETRY, Degradation, Retrier, RetryPolicy
 from repro.errors import ExecutionError, RetryExhaustedError
 from repro.joins.spec import CompletionStrategy
 from repro.model.tuples import CompositeTuple, RankingFunction
+from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 from repro.plans.nodes import (
     InputNode,
     OutputNode,
@@ -67,6 +68,16 @@ __all__ = [
     "execute_plan",
     "invocation_cache_key",
 ]
+
+
+#: Span-name suffix per plan-node kind (``node.<suffix>`` spans).
+_SPAN_KINDS = {
+    "InputNode": "input",
+    "ServiceNode": "service",
+    "SelectionNode": "selection",
+    "ParallelJoinNode": "join",
+    "OutputNode": "output",
+}
 
 
 def invocation_cache_key(
@@ -102,6 +113,12 @@ class InvocationCacheStats:
     misses: int = 0
     evictions: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
 
 @dataclass
 class NodeRunStats:
@@ -113,6 +130,8 @@ class NodeRunStats:
     busy_time: float = 0.0
     #: Latency of the node's first request-response (0 for non-services).
     first_call_latency: float = 0.0
+    #: Candidate pairs this node's join kernel examined (0 for non-joins).
+    pairs_probed: int = 0
 
 
 @dataclass
@@ -148,8 +167,15 @@ class ExecutionResult:
     def total_calls(self) -> int:
         return self.log.total_calls()
 
-    def calls_by_alias(self) -> dict[str, int]:
-        return self.log.calls_by_alias()
+    def calls_by_alias(self, ok_only: bool = False) -> dict[str, int]:
+        return self.log.calls_by_alias(ok_only=ok_only)
+
+    def metrics(self) -> dict:
+        """Unified metrics snapshot of this execution (one snapshot API
+        over the legacy per-field accounting; see :mod:`repro.obs.metrics`)."""
+        from repro.obs.metrics import snapshot_run
+
+        return dict(snapshot_run(None, self))
 
 
 class PlanExecutor:
@@ -187,6 +213,13 @@ class PlanExecutor:
         factor, bindings)`` entries kept); ``None`` means unbounded.
         Hits, misses, and evictions are reported via
         :attr:`ExecutionResult.cache_stats`.
+    tracer:
+        Observability context (:class:`~repro.obs.tracer.Tracer`);
+        execution emits spans for the plan, each node, each service
+        invocation, each chunk fetch (retries included), and join probe
+        batches — all on the pool's virtual clock.  ``None`` (the
+        default) uses the shared no-op tracer: behaviour, results, and
+        the call log are byte-identical to an untraced run.
     """
 
     def __init__(
@@ -201,6 +234,7 @@ class PlanExecutor:
         retry: RetryPolicy | None = None,
         degradation: Degradation | str = Degradation.FAIL,
         invocation_cache_size: int | None = 1024,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.plan = plan
         self.query = query
@@ -212,11 +246,13 @@ class PlanExecutor:
         self.retry = NO_RETRY if retry is None else retry
         self.degradation = Degradation.coerce(degradation)
         self.failed_aliases: set[str] = set()
+        self.tracer = coerce_tracer(tracer)
         self._retrier = Retrier(
             policy=self.retry,
             clock=pool.clock,
             log=pool.log,
             rng=random.Random(pool.global_seed ^ 0xB0FF),
+            tracer=self.tracer,
         )
         if invocation_cache_size is not None and invocation_cache_size <= 0:
             raise ExecutionError("invocation_cache_size must be positive or None")
@@ -232,55 +268,60 @@ class PlanExecutor:
         outputs: dict[str, list[CompositeTuple]] = {}
         stats: dict[str, NodeRunStats] = {}
         candidates = 0
+        tracer = self.tracer
 
-        for node_id in self.plan.topological_order():
-            node = self.plan.node(node_id)
-            parents = self.plan.parents(node_id)
-            before_calls = self.pool.log.total_calls()
-            before_busy = self.pool.log.total_latency()
+        with tracer.span(
+            "plan.execute", nodes=len(self.plan.nodes), k=self.k
+        ):
+            for node_id in self.plan.topological_order():
+                node = self.plan.node(node_id)
+                parents = self.plan.parents(node_id)
+                before_calls = self.pool.log.total_calls()
+                before_busy = self.pool.log.total_latency()
+                before_probes = self._pairs_probed
 
-            if isinstance(node, InputNode):
-                result = [CompositeTuple({}, 0.0)]
-                tin = 0
-            elif isinstance(node, ServiceNode):
-                upstream = outputs[parents[0]]
-                tin = len(upstream)
-                result = self._run_service(node, upstream)
-            elif isinstance(node, SelectionNode):
-                upstream = outputs[parents[0]]
-                tin = len(upstream)
-                result = [
-                    comp
-                    for comp in upstream
-                    if self._satisfies_evaluable(
-                        comp, node.selections, node.join_filters
+                def run_node(span=None):
+                    nonlocal candidates
+                    result, tin, pair_count = self._run_node(
+                        node, parents, outputs
                     )
-                ]
-            elif isinstance(node, ParallelJoinNode):
-                left = outputs[parents[0]]
-                right = outputs[parents[1]]
-                tin = len(left) * len(right)
-                result, pair_count = self._run_parallel_join(node, left, right)
-                candidates += pair_count
-            elif isinstance(node, OutputNode):
-                upstream = outputs[parents[0]]
-                tin = len(upstream)
-                result = self._finalise(upstream)
-            else:  # pragma: no cover - future node kinds
-                raise ExecutionError(f"cannot execute node kind {node.kind}")
+                    candidates += pair_count
+                    outputs[node_id] = result
+                    calls_made = self.pool.log.total_calls() - before_calls
+                    first_latency = (
+                        self.pool.log.records[before_calls].latency
+                        if calls_made
+                        else 0.0
+                    )
+                    stats[node_id] = NodeRunStats(
+                        tin=tin,
+                        tout=len(result),
+                        calls=calls_made,
+                        busy_time=self.pool.log.total_latency() - before_busy,
+                        first_call_latency=first_latency,
+                        pairs_probed=self._pairs_probed - before_probes,
+                    )
+                    if span is not None:
+                        span.set("tin", tin)
+                        span.set("tout", len(result))
+                        if calls_made:
+                            span.set("calls", calls_made)
+                        if stats[node_id].pairs_probed:
+                            span.set(
+                                "pairs_probed", stats[node_id].pairs_probed
+                            )
 
-            outputs[node_id] = result
-            calls_made = self.pool.log.total_calls() - before_calls
-            first_latency = (
-                self.pool.log.records[before_calls].latency if calls_made else 0.0
-            )
-            stats[node_id] = NodeRunStats(
-                tin=tin,
-                tout=len(result),
-                calls=calls_made,
-                busy_time=self.pool.log.total_latency() - before_busy,
-                first_call_latency=first_latency,
-            )
+                if tracer.enabled:
+                    attrs = {"node": node_id}
+                    alias = getattr(node, "alias", None)
+                    if alias is not None:
+                        attrs["alias"] = alias
+                    with tracer.span(
+                        f"node.{_SPAN_KINDS[node.kind]}", **attrs
+                    ) as span:
+                        run_node(span)
+                else:
+                    run_node()
 
         execution_time = self._critical_path(stats)
         time_to_screen = self._critical_path(stats, first_call_only=True)
@@ -297,6 +338,40 @@ class PlanExecutor:
         )
 
     # -- node runners ---------------------------------------------------------------
+
+    def _run_node(
+        self,
+        node,
+        parents: tuple[str, ...],
+        outputs: dict[str, list[CompositeTuple]],
+    ) -> tuple[list[CompositeTuple], int, int]:
+        """Dispatch one node; returns ``(result, tin, candidate_pairs)``."""
+        if isinstance(node, InputNode):
+            return [CompositeTuple({}, 0.0)], 0, 0
+        if isinstance(node, ServiceNode):
+            upstream = outputs[parents[0]]
+            return self._run_service(node, upstream), len(upstream), 0
+        if isinstance(node, SelectionNode):
+            upstream = outputs[parents[0]]
+            result = [
+                comp
+                for comp in upstream
+                if self._satisfies_evaluable(
+                    comp, node.selections, node.join_filters
+                )
+            ]
+            return result, len(upstream), 0
+        if isinstance(node, ParallelJoinNode):
+            left = outputs[parents[0]]
+            right = outputs[parents[1]]
+            result, pair_count = self._run_parallel_join(node, left, right)
+            return result, len(left) * len(right), pair_count
+        if isinstance(node, OutputNode):
+            upstream = outputs[parents[0]]
+            return self._finalise(upstream), len(upstream), 0
+        raise ExecutionError(  # pragma: no cover - future node kinds
+            f"cannot execute node kind {node.kind}"
+        )
 
     def _resolve_constant(self, selection: SelectionPredicate) -> Any:
         return selection.resolved_operand(self.inputs)
@@ -397,6 +472,7 @@ class PlanExecutor:
         (``fail`` mode propagates instead).
         """
         assert node.interface is not None
+        tracer = self.tracer
         key = invocation_cache_key(
             node.interface.name, node.alias, factor, bindings
         )
@@ -404,8 +480,27 @@ class PlanExecutor:
         if cached is not None:
             self._invocation_cache.move_to_end(key)
             self.cache_stats.hits += 1
+            if tracer.enabled:
+                with tracer.span(
+                    "service.invoke",
+                    alias=node.alias,
+                    interface=node.interface.name,
+                    cached=True,
+                ) as span:
+                    span.set("tuples", len(cached[0]))
             return cached
         self.cache_stats.misses += 1
+        invoke_span = (
+            tracer.span(
+                "service.invoke",
+                alias=node.alias,
+                interface=node.interface.name,
+                cached=False,
+                factor=factor,
+            )
+            if tracer.enabled
+            else None
+        )
         invocation = self.pool.invoke(
             node.interface.name,
             bindings,
@@ -417,22 +512,41 @@ class PlanExecutor:
         tuples: list = []
         failed = False
         try:
-            for _ in range(factor):
-                chunk = self._retrier.call(invocation.next_chunk)
+            for index in range(factor):
+                chunk = self._fetch_one_chunk(invocation, node.alias, index)
                 if chunk is None:
                     break
                 tuples.extend(chunk)
         except RetryExhaustedError:
             if self.degradation is Degradation.FAIL:
+                if invoke_span is not None:
+                    invoke_span.set("error", "RetryExhaustedError")
+                    invoke_span.__exit__(None, None, None)
                 raise
             failed = True
             self.failed_aliases.add(node.alias)
+        if invoke_span is not None:
+            invoke_span.set("tuples", len(tuples))
+            invoke_span.set("failed", failed)
+            invoke_span.__exit__(None, None, None)
         self._invocation_cache[key] = (tuples, failed)
         if self._invocation_cache_size is not None:
             while len(self._invocation_cache) > self._invocation_cache_size:
                 self._invocation_cache.popitem(last=False)
                 self.cache_stats.evictions += 1
         return tuples, failed
+
+    def _fetch_one_chunk(self, invocation, alias: str, index: int):
+        """One (possibly retried) chunk draw, traced when tracing is on."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._retrier.call(invocation.next_chunk)
+        with tracer.span("fetch.chunk", alias=alias, chunk=index) as span:
+            before = len(self.pool.log.records)
+            chunk = self._retrier.call(invocation.next_chunk)
+            span.set("round_trips", len(self.pool.log.records) - before)
+            span.set("tuples", 0 if chunk is None else len(chunk))
+        return chunk
 
     def _run_parallel_join(
         self,
@@ -450,6 +564,32 @@ class PlanExecutor:
             )
             if hashed is not None:
                 return hashed
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "join.probe",
+                kernel="nested_loop",
+                left=len(left),
+                right=len(right),
+            ) as span:
+                out, pair_count = self._nested_parallel_join(
+                    node, left, right, triangular, n_left, n_right
+                )
+                span.set("pairs_probed", pair_count)
+                span.set("produced", len(out))
+            return out, pair_count
+        return self._nested_parallel_join(
+            node, left, right, triangular, n_left, n_right
+        )
+
+    def _nested_parallel_join(
+        self,
+        node: ParallelJoinNode,
+        left: list[CompositeTuple],
+        right: list[CompositeTuple],
+        triangular: bool,
+        n_left: int,
+        n_right: int,
+    ) -> tuple[list[CompositeTuple], int]:
         out: list[CompositeTuple] = []
         pair_count = 0
         for i, lc in enumerate(left):
@@ -581,6 +721,17 @@ class PlanExecutor:
             probes = [(i, index.get(left_key(lc))) for i, lc in enumerate(left)]
         except (TypeError, KeyError):
             return None
+        probes_before = self._pairs_probed
+        span = (
+            self.tracer.span(
+                "join.probe",
+                kernel="hash_indexed",
+                left=len(left),
+                right=len(right),
+            )
+            if self.tracer.enabled
+            else None
+        )
         out: list[CompositeTuple] = []
         pair_count = 0
         for i, bucket in probes:
@@ -606,6 +757,10 @@ class PlanExecutor:
                 score = self.query.ranking.score_composite(components)
                 out.append(CompositeTuple(components, score))
         out.sort(key=lambda c: -c.score)
+        if span is not None:
+            span.set("pairs_probed", self._pairs_probed - probes_before)
+            span.set("produced", len(out))
+            span.__exit__(None, None, None)
         return out, pair_count
 
     def _satisfies_evaluable(
@@ -685,6 +840,7 @@ def execute_plan(
     retry: RetryPolicy | None = None,
     degradation: Degradation | str = Degradation.FAIL,
     invocation_cache_size: int | None = 1024,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
@@ -697,4 +853,5 @@ def execute_plan(
         retry=retry,
         degradation=degradation,
         invocation_cache_size=invocation_cache_size,
+        tracer=tracer,
     ).run()

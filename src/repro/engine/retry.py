@@ -32,6 +32,7 @@ from enum import Enum
 from typing import Callable, TypeVar
 
 from repro.engine.events import CallLog, VirtualClock
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.errors import (
     ExecutionError,
     RetryExhaustedError,
@@ -130,6 +131,9 @@ class Retrier:
     retries: int = 0
     #: Calls abandoned after exhausting the policy.
     gave_up: int = 0
+    #: Observability context; backoff waits become ``retry.backoff`` spans
+    #: on virtual time (the default no-op tracer drops them for free).
+    tracer: "Tracer | NullTracer" = NULL_TRACER
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn`` until it succeeds or the policy is exhausted.
@@ -154,8 +158,14 @@ class Retrier:
                         attempts=attempt,
                     ) from exc
                 wait = self.policy.backoff(attempt, self.rng)
-                if wait and self.clock is not None:
-                    self.clock.advance(wait)
+                with self.tracer.span(
+                    "retry.backoff",
+                    service=service,
+                    attempt=attempt,
+                    wait=wait,
+                ):
+                    if wait and self.clock is not None:
+                        self.clock.advance(wait)
                 if wait and self.log is not None and len(self.log):
                     self.log.amend_last(backoff_wait=wait)
                 self.retries += 1

@@ -49,6 +49,7 @@ from repro.joins.strategies import (
 )
 from repro.model.scoring import ScoringFunction
 from repro.model.tuples import ServiceTuple
+from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 
 __all__ = [
     "ChunkSource",
@@ -230,6 +231,10 @@ class ParallelJoinExecutor:
         Once a source's retries are exhausted: ``"partial"`` (default)
         treats that axis as exhausted and joins what arrived; ``"fail"``
         propagates :class:`~repro.errors.RetryExhaustedError`.
+    tracer:
+        Observability context; each processed tile becomes a
+        ``join.tile`` span (its probe batch: candidates, pairs probed,
+        matches) on virtual time.  ``None`` uses the shared no-op tracer.
     equi_key_x, equi_key_y:
         Optional equi-join key extractors.  When both are supplied the
         tile kernel builds a hash index over each Y chunk (memoized per
@@ -257,10 +262,12 @@ class ParallelJoinExecutor:
         degradation: str = "partial",
         equi_key_x: Callable[[ServiceTuple], Hashable] | None = None,
         equi_key_y: Callable[[ServiceTuple], Hashable] | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.source_x = source_x
         self.source_y = source_y
         self.predicate = predicate
+        self.tracer = coerce_tracer(tracer)
         self.equi_key_x = equi_key_x
         self.equi_key_y = equi_key_y
         #: Hash indexes over Y chunks, keyed by chunk ordinal (built lazily,
@@ -348,6 +355,27 @@ class ParallelJoinExecutor:
         return JoinResult(pairs=pairs, stats=stats)
 
     def _process_tile(
+        self,
+        tile: Tile,
+        chunks_x: list[list[ServiceTuple]],
+        chunks_y: list[list[ServiceTuple]],
+        stats: JoinStatistics,
+        pairs: list[JoinedPair],
+    ) -> None:
+        if self.tracer.enabled:
+            before_probed = stats.pairs_probed
+            before_results = len(pairs)
+            with self.tracer.span(
+                "join.tile", x=tile.x, y=tile.y
+            ) as span:
+                self._process_tile_inner(tile, chunks_x, chunks_y, stats, pairs)
+                span.set("candidates", len(chunks_x[tile.x]) * len(chunks_y[tile.y]))
+                span.set("pairs_probed", stats.pairs_probed - before_probed)
+                span.set("matches", len(pairs) - before_results)
+            return
+        self._process_tile_inner(tile, chunks_x, chunks_y, stats, pairs)
+
+    def _process_tile_inner(
         self,
         tile: Tile,
         chunks_x: list[list[ServiceTuple]],
@@ -475,6 +503,7 @@ def make_executor(
     degradation: str = "partial",
     equi_key_x: Callable[[ServiceTuple], Hashable] | None = None,
     equi_key_y: Callable[[ServiceTuple], Hashable] | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> ParallelJoinExecutor:
     """Instantiate a parallel-join executor from a method specification."""
     if spec.invocation is InvocationStrategy.NESTED_LOOP:
@@ -500,4 +529,5 @@ def make_executor(
         degradation=degradation,
         equi_key_x=equi_key_x,
         equi_key_y=equi_key_y,
+        tracer=tracer,
     )

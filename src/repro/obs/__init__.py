@@ -1,0 +1,69 @@
+"""Unified observability: tracing, metrics, exporters, and explain.
+
+The chapter's cost model is defined over observable execution facts —
+service round trips, chunk fetches, join probes, bottleneck time — so
+every benchmark claim should be auditable from a trace.  This package
+provides the zero-dependency telemetry layer the engine, optimizer, and
+CLI thread their accounting through:
+
+* :mod:`repro.obs.tracer` — a span tree on **virtual time**, carried by
+  an explicit :class:`Tracer` context object (no globals), with a
+  near-zero-overhead no-op path (:data:`NULL_TRACER`) used whenever
+  tracing is off;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters/gauges/histograms unifying the legacy scattered stats
+  (``BnBStats``, ``InvocationCacheStats``, ``pairs_probed``, ``CallLog``
+  aggregates) behind one snapshot API;
+* :mod:`repro.obs.export` — JSONL span logs and Chrome ``trace_event``
+  JSON (loadable in ``chrome://tracing`` / Perfetto against the virtual
+  clock);
+* :mod:`repro.obs.explain` — the ``repro explain`` surface: a
+  per-plan-node tree annotating estimated vs. actual cardinality, calls,
+  cache hits, probes, and bottleneck attribution.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer, coerce_tracer
+
+# The engine and optimizer import ``repro.obs.tracer`` from their module
+# bodies, which executes this package ``__init__`` mid-way through
+# ``repro``'s own import.  Only the dependency-free tracer module may be
+# imported eagerly here; metrics/export/explain reach back into
+# ``repro.engine``/``repro.core`` and are resolved lazily (PEP 562).
+_LAZY = {
+    "MetricsRegistry": "repro.obs.metrics",
+    "record_call_log": "repro.obs.metrics",
+    "record_execution": "repro.obs.metrics",
+    "record_optimization": "repro.obs.metrics",
+    "snapshot_run": "repro.obs.metrics",
+    "spans_to_jsonl": "repro.obs.export",
+    "spans_to_chrome_trace": "repro.obs.export",
+    "write_trace": "repro.obs.export",
+    "TRACE_FORMATS": "repro.obs.export",
+    "ExplainNode": "repro.obs.explain",
+    "ExplainReport": "repro.obs.explain",
+    "build_explain": "repro.obs.explain",
+}
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "coerce_tracer",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,137 @@
+"""Span exporters: JSONL and Chrome ``trace_event`` JSON.
+
+Both formats are rendered from the tracer's finished spans on the
+virtual clock, so a trace is byte-identical across runs with the same
+seed and query — the reproducible-profile analogue of the paper's
+deterministic cost measurements.
+
+* **JSONL** — one span object per line in span-id (start) order; the
+  stable machine-readable archive format, and the one the determinism
+  tests hash.
+* **Chrome trace_event** — a ``{"traceEvents": [...]}`` document of
+  complete (``"ph": "X"``) events, loadable in ``chrome://tracing`` and
+  Perfetto.  Virtual seconds map to trace microseconds; compile- and
+  optimizer-phase spans sit at t=0 with zero duration (virtual time only
+  moves during execution) but keep their nesting via stack depth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+from repro.errors import SearchComputingError
+from repro.obs.tracer import SpanRecord
+
+__all__ = [
+    "TRACE_FORMATS",
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "write_trace",
+]
+
+#: Supported ``--trace-format`` values.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+#: Virtual seconds -> trace_event microseconds.
+_US = 1_000_000.0
+
+
+def _ordered(spans: Iterable[SpanRecord]) -> list[SpanRecord]:
+    return sorted(spans, key=lambda span: span.span_id)
+
+
+def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:
+    """One JSON object per line, in span-id order; deterministic bytes."""
+    lines = []
+    for span in _ordered(spans):
+        lines.append(
+            json.dumps(
+                {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": {
+                        key: span.attrs[key] for key in sorted(span.attrs)
+                    },
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[SpanRecord], label: str = "repro"
+) -> dict:
+    """A Chrome/Perfetto ``trace_event`` document over the virtual clock."""
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": label},
+        },
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "thread_name",
+            "args": {"name": "virtual-time"},
+        },
+    ]
+    for span in _ordered(spans):
+        args = {key: span.attrs[key] for key in sorted(span.attrs)}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": label},
+    }
+
+
+def write_trace(
+    spans: Sequence[SpanRecord],
+    destination: "str | Path | IO[str]",
+    fmt: str = "jsonl",
+    label: str = "repro",
+) -> None:
+    """Serialise ``spans`` to ``destination`` in ``fmt`` (jsonl|chrome)."""
+    if fmt not in TRACE_FORMATS:
+        raise SearchComputingError(
+            f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+        )
+    if fmt == "jsonl":
+        payload = spans_to_jsonl(spans)
+    else:
+        payload = (
+            json.dumps(
+                spans_to_chrome_trace(spans, label=label),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+    if hasattr(destination, "write"):
+        destination.write(payload)  # type: ignore[union-attr]
+    else:
+        Path(destination).write_text(payload)  # type: ignore[arg-type]
