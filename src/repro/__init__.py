@@ -15,6 +15,8 @@ Subpackages:
 * :mod:`repro.engine` -- dataflow execution over simulated services.
 * :mod:`repro.obs` -- tracing on virtual time, metrics, trace exporters,
   and the query-explain surface.
+* :mod:`repro.serve` -- multi-query serving runtime: workload
+  generation, cooperative scheduling, plan cache, cross-query sharing.
 * :mod:`repro.services` -- simulated service substrate and example schemas.
 * :mod:`repro.baselines` -- exhaustive, WSMS, and naive planners.
 * :mod:`repro.stats` -- selectivity and cardinality estimation.
@@ -29,7 +31,13 @@ from repro.core.optimizer import (
     PlanCandidate,
     optimize_query,
 )
-from repro.engine.executor import ExecutionResult, execute_plan
+from repro.core.optimizer import plan_signature
+from repro.engine.executor import (
+    ExecutionResult,
+    InvocationCache,
+    execute_plan,
+)
+from repro.engine.liquid import LiquidQuerySession
 from repro.engine.retry import Degradation, RetryPolicy
 from repro.errors import SearchComputingError
 from repro.model.registry import ServiceRegistry
@@ -43,6 +51,15 @@ from repro.obs import (
 )
 from repro.query.compile import CompiledQuery, compile_query
 from repro.query.parser import parse_query
+from repro.serve import (
+    PlanCache,
+    ServeConfig,
+    ServeScheduler,
+    SessionManager,
+    WorkloadConfig,
+    generate_workload,
+    run_serving_benchmark,
+)
 from repro.services.simulated import FaultModel, FaultProfile, ServicePool
 
 __version__ = "1.0.0"
@@ -55,8 +72,11 @@ __all__ = [
     "OptimizerConfig",
     "PlanCandidate",
     "optimize_query",
+    "plan_signature",
     "Degradation",
     "ExecutionResult",
+    "InvocationCache",
+    "LiquidQuerySession",
     "execute_plan",
     "FaultModel",
     "FaultProfile",
@@ -67,6 +87,13 @@ __all__ = [
     "compile_query",
     "parse_query",
     "ServicePool",
+    "PlanCache",
+    "ServeConfig",
+    "ServeScheduler",
+    "SessionManager",
+    "WorkloadConfig",
+    "generate_workload",
+    "run_serving_benchmark",
     "Tracer",
     "NULL_TRACER",
     "MetricsRegistry",

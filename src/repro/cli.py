@@ -15,6 +15,18 @@ Commands:
   tree: estimated vs. actual cardinality, calls, cache hits, probe
   counts, and bottleneck attribution.
 * ``topologies``— enumerate the admissible topologies of a query.
+* ``serve-bench`` — run the multi-query serving benchmark: the same
+  seeded workload with and without plan/invocation sharing, reporting
+  throughput, latency percentiles, and round-trip savings; ``--output``
+  writes the full ``BENCH_serving.json`` report.  Exits nonzero when a
+  sharing gate fails (shared mode issuing more round trips than
+  isolated, or per-request results diverging), so CI can gate on it.
+
+``run`` exits 0 on success and, by default, also when execution
+*degraded* (some services stayed down and results are best-effort
+partial).  ``--strict`` turns degradation into exit code 3 with the
+failed aliases on stderr — for scripts that must not mistake partial
+answers for complete ones.
 
 Built-in schemas: ``movie`` (the running example) and ``conference``
 (Figs. 2/3).  Custom queries are accepted with ``--query``; INPUT
@@ -196,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="optimize and execute a query")
     _add_common(run_cmd)
     _add_execution(run_cmd)
+    run_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit with code 3 (and print the degraded aliases to stderr) "
+        "when execution completes but some services stayed down",
+    )
     telemetry = run_cmd.add_argument_group("observability")
     telemetry.add_argument(
         "--trace",
@@ -228,6 +246,51 @@ def build_parser() -> argparse.ArgumentParser:
         "topologies", help="enumerate admissible plan topologies"
     )
     _add_common(topo_cmd)
+
+    serve_cmd = commands.add_parser(
+        "serve-bench",
+        help="benchmark the multi-query serving runtime "
+        "(shared vs. isolated caches)",
+    )
+    serve_cmd.add_argument(
+        "--requests", type=int, default=40, help="requests per load level"
+    )
+    serve_cmd.add_argument(
+        "--rates",
+        default="0.5,2.0",
+        help="comma-separated arrival rates (requests per virtual second)",
+    )
+    serve_cmd.add_argument("--seed", type=int, default=2009, help="workload/data seed")
+    serve_cmd.add_argument(
+        "--skew",
+        type=float,
+        default=1.3,
+        help="Zipf exponent over parameter popularity (default: 1.3)",
+    )
+    serve_cmd.add_argument(
+        "--followups",
+        type=float,
+        default=0.25,
+        help="fraction of requests that are more/rerank/resubmit follow-ups",
+    )
+    serve_cmd.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="scheduler concurrency bound (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--service-rate",
+        type=float,
+        default=4.0,
+        help="per-service token-bucket rate in calls per virtual second; "
+        "0 disables rate limiting (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the full benchmark report as JSON to PATH",
+    )
     return parser
 
 
@@ -377,6 +440,13 @@ def _cmd_run(args) -> int:
             estimated_results=best.estimated_results,
         )
         print(json.dumps(snapshot, indent=2, sort_keys=True))
+    if args.strict and result.incomplete:
+        print(
+            "strict: execution degraded — services down for aliases "
+            + ", ".join(result.failed_aliases),
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -395,6 +465,59 @@ def _cmd_explain(args) -> int:
     report = build_explain(best.plan, best.annotations, result)
     print(report.render())
     return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.serve import run_serving_benchmark
+
+    try:
+        rates = tuple(
+            float(token) for token in args.rates.split(",") if token.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
+    if not rates:
+        raise SystemExit("--rates needs at least one rate")
+    report = run_serving_benchmark(
+        load_levels=rates,
+        num_requests=args.requests,
+        seed=args.seed,
+        skew=args.skew,
+        followup_fraction=args.followups,
+        max_concurrency=args.concurrency,
+        default_service_rate=args.service_rate or None,
+    )
+    print(
+        f"serving benchmark: {args.requests} requests per level, "
+        f"seed {args.seed}, concurrency {args.concurrency}"
+    )
+    for level in report["levels"]:
+        isolated, shared = level["isolated"], level["shared"]
+        print(f"rate {level['rate']:g} req/s:")
+        for mode, summary in (("isolated", isolated), ("shared", shared)):
+            print(
+                f"  {mode:9s} round trips {summary['total_round_trips']:5d}  "
+                f"throughput {summary['throughput']:.3f}/s  "
+                f"latency p50 {summary['latency_p50']:7.2f}  "
+                f"p95 {summary['latency_p95']:7.2f}  "
+                f"p99 {summary['latency_p99']:7.2f}"
+            )
+        print(
+            f"  sharing saves {level['round_trip_reduction']:.1%} of round "
+            f"trips; results identical: {level['results_identical']}"
+        )
+    gates = report["gates"]
+    for name, passed in sorted(gates.items()):
+        print(f"gate {name}: {'PASS' if passed else 'FAIL'}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    hard_gates = (
+        gates["results_identical"],
+        gates["shared_never_more_round_trips"],
+    )
+    return 0 if all(hard_gates) else 1
 
 
 def _cmd_topologies(args) -> int:
@@ -421,6 +544,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "explain": _cmd_explain,
         "topologies": _cmd_topologies,
+        "serve-bench": _cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

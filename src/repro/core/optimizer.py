@@ -86,6 +86,7 @@ __all__ = [
     "OptimizationOutcome",
     "Optimizer",
     "optimize_query",
+    "plan_signature",
 ]
 
 #: Entries kept in the per-optimizer annotation memo; beyond this the
@@ -787,3 +788,99 @@ def optimize_query(
     if outcome.best is None:
         raise OptimizationError("no feasible plan found")
     return outcome.best
+
+
+# ----------------------------------------------------------------------------- #
+# Plan signatures (cross-request optimizer reuse)
+# ----------------------------------------------------------------------------- #
+
+#: Signature schema version; bump when the normalization rules change so
+#: persisted/capped caches keyed on old signatures cannot alias new ones.
+_SIGNATURE_VERSION = 1
+
+
+def _operand_signature(operand) -> tuple:
+    """Canonical form of a selection operand.
+
+    INPUT variables normalise to their *name only*: the chosen plan does
+    not depend on the runtime binding (estimation uses domain statistics,
+    not values), which is exactly what lets one cached plan serve every
+    parameterization of a query template.  Literal constants stay in the
+    signature (type-qualified), since two queries with different baked-in
+    constants are different queries even if today's estimator prices them
+    alike.
+    """
+    from repro.query.ast import InputRef
+
+    if isinstance(operand, InputRef):
+        return ("input", operand.name.upper())
+    return ("const", type(operand).__qualname__, repr(operand))
+
+
+def plan_signature(
+    query: CompiledQuery,
+    metric: "CostMetric | str | None" = None,
+    k: int | None = None,
+) -> tuple:
+    """Canonical, hashable signature of a compiled query for plan caching.
+
+    Two compiled queries with equal signatures are interchangeable for
+    optimization: same atoms (alias → mart/interface), same predicate
+    structure, same ranking weights, same ``k``, and the same cost
+    metric.  Alias *order* and join-side order are normalised away;
+    INPUT bindings are deliberately excluded (see
+    :func:`_operand_signature`).  The signature does **not** identify the
+    registry — callers caching across registries must scope their keys by
+    a registry identity of their own (the serving runtime keys by schema
+    name).
+    """
+    metric_name = (
+        metric
+        if isinstance(metric, str)
+        else type(metric).__name__
+        if metric is not None
+        else None
+    )
+    atoms = tuple(
+        sorted(
+            (
+                atom.alias,
+                atom.mart.name,
+                atom.interface.name if atom.interface is not None else None,
+            )
+            for atom in query.atoms
+        )
+    )
+    selections = tuple(
+        sorted(
+            (
+                str(sel.attr),
+                sel.comparator.value,
+                _operand_signature(sel.operand),
+            )
+            for sel in query.selections
+        )
+    )
+
+    def join_sides(join) -> tuple:
+        left = (str(join.left), join.comparator.value, str(join.right))
+        right = (str(join.right), join.comparator.flipped.value, str(join.left))
+        return min(left, right)
+
+    joins = tuple(
+        sorted(
+            (*join_sides(join), join.pattern, join.selectivity)
+            for join in query.joins
+        )
+    )
+    ranking = tuple(sorted(query.ranking.weights.items()))
+    return (
+        "plan-sig",
+        _SIGNATURE_VERSION,
+        metric_name,
+        query.k if k is None else k,
+        atoms,
+        selections,
+        joins,
+        ranking,
+    )

@@ -27,14 +27,28 @@ Execution is measured on virtual time: every service call advances the
 pool's clock and appends to its log; the executor derives per-node busy
 times and a critical-path *measured execution time* comparable with the
 optimizer's estimates.
+
+Execution is **step-resumable**: :meth:`PlanExecutor.steps` is a
+generator that yields a :class:`StepEvent` immediately *before* every
+chunk-granular service round trip (retries included in the step), so a
+scheduler can interleave many in-flight queries on one timeline —
+pausing a query before each round trip, granting it when admission,
+concurrency, and rate-limit checks pass.  :meth:`PlanExecutor.run`
+simply drains the generator, so single-query behaviour is unchanged.
+
+The invocation memo is likewise factored into a standalone
+:class:`InvocationCache` that may be **shared across executors**:
+identical service calls issued by concurrent queries then coalesce into
+one set of round trips (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import random
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.annotate import pipe_join_selectivity
 from repro.engine.events import CallLog
@@ -62,9 +76,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 
 __all__ = [
     "NodeRunStats",
+    "InvocationCache",
     "InvocationCacheStats",
     "ExecutionResult",
     "PlanExecutor",
+    "StepEvent",
     "execute_plan",
     "invocation_cache_key",
 ]
@@ -80,17 +96,35 @@ _SPAN_KINDS = {
 }
 
 
+def _value_key(value: Any) -> tuple:
+    """Type-qualified repr of one value: ``repr`` alone conflates values
+    of different types whose reprs coincide."""
+    return (type(value).__qualname__, repr(value))
+
+
 def invocation_cache_key(
     interface_name: str,
     alias: str,
     factor: int,
     bindings: Mapping[str, Any],
+    *,
+    constraints: Sequence[SelectionPredicate] = (),
+    availability: float = 1.0,
 ) -> tuple:
     """Memo key for one service invocation.
 
     Each binding value is keyed by ``(type qualname, repr)``: ``repr``
     alone conflates values of different types whose reprs coincide, which
     would silently reuse another binding's results.
+
+    ``constraints`` (server-side input predicates, already resolved to
+    constants) and ``availability`` (the pipe-join selectivity gate) also
+    shape the simulated response, so they participate in the key.  Within
+    one execution both are constant per alias, making the extra
+    components redundant there — but a cache **shared across queries**
+    (see :mod:`repro.serve`) must distinguish, e.g., two parameterized
+    instances of ``Date > INPUT3`` whose range constant differs while the
+    bindings (``None`` for range-only inputs) coincide.
     """
     return (
         interface_name,
@@ -98,10 +132,20 @@ def invocation_cache_key(
         factor,
         tuple(
             sorted(
-                (key, type(value).__qualname__, repr(value))
-                for key, value in bindings.items()
+                (key, *_value_key(value)) for key, value in bindings.items()
             )
         ),
+        tuple(
+            sorted(
+                (
+                    str(constraint.attr),
+                    constraint.comparator.value,
+                    *_value_key(constraint.operand),
+                )
+                for constraint in constraints
+            )
+        ),
+        round(float(availability), 12),
     )
 
 
@@ -118,6 +162,85 @@ class InvocationCacheStats:
         """Fraction of lookups served from the memo (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass
+class InvocationCache:
+    """LRU memo of service invocations, shareable across executors.
+
+    One entry per :func:`invocation_cache_key`, holding the
+    ``(tuples, failed)`` outcome of drawing an invocation's chunks.  A
+    :class:`PlanExecutor` builds a private instance by default; handing
+    several executors the *same* instance coalesces identical service
+    calls across queries — the simulated substrate is deterministic per
+    ``(global seed, interface, bindings, constraints)``, so a cached
+    outcome is byte-identical to what the second query would have fetched
+    itself (see DESIGN.md, "Why cross-query sharing is safe").
+
+    ``stats`` accounts lifetime totals; lookups additionally increment
+    the per-execution :class:`InvocationCacheStats` the caller passes, so
+    shared-cache hit rates remain attributable to individual queries.
+    """
+
+    max_size: int | None = 1024
+    stats: InvocationCacheStats = field(default_factory=InvocationCacheStats)
+    _data: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_size is not None and self.max_size <= 0:
+            raise ExecutionError("invocation cache size must be positive or None")
+
+    def get(
+        self, key: tuple, stats: InvocationCacheStats | None = None
+    ) -> tuple[list, bool] | None:
+        entry = self._data.get(key)
+        if entry is not None:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            if stats is not None:
+                stats.hits += 1
+        else:
+            self.stats.misses += 1
+            if stats is not None:
+                stats.misses += 1
+        return entry
+
+    def put(
+        self,
+        key: tuple,
+        value: tuple[list, bool],
+        stats: InvocationCacheStats | None = None,
+    ) -> None:
+        self._data[key] = value
+        if self.max_size is not None:
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+                if stats is not None:
+                    stats.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One impending service round trip, yielded by :meth:`PlanExecutor.steps`.
+
+    The executor pauses *before* the round trip happens; resuming the
+    generator performs it (retries and backoff included) plus any
+    CPU-only work up to the next round trip.  A scheduler uses the event
+    to decide *when* the paused query may proceed (rate limits, fairness)
+    — the round trip then starts at whatever time the pool's clock shows.
+    """
+
+    alias: str
+    interface: str
+    #: 0-based index of the chunk this round trip requests.
+    chunk_index: int
 
 
 @dataclass
@@ -213,6 +336,11 @@ class PlanExecutor:
         factor, bindings)`` entries kept); ``None`` means unbounded.
         Hits, misses, and evictions are reported via
         :attr:`ExecutionResult.cache_stats`.
+    invocation_cache:
+        An externally owned :class:`InvocationCache` to use instead of a
+        private one — the cross-query sharing hook: executors handed the
+        same instance coalesce identical service calls.  When given,
+        ``invocation_cache_size`` is ignored (the owner sized the cache).
     tracer:
         Observability context (:class:`~repro.obs.tracer.Tracer`);
         execution emits spans for the plan, each node, each service
@@ -235,6 +363,7 @@ class PlanExecutor:
         degradation: Degradation | str = Degradation.FAIL,
         invocation_cache_size: int | None = 1024,
         tracer: "Tracer | NullTracer | None" = None,
+        invocation_cache: InvocationCache | None = None,
     ) -> None:
         self.plan = plan
         self.query = query
@@ -256,15 +385,37 @@ class PlanExecutor:
         )
         if invocation_cache_size is not None and invocation_cache_size <= 0:
             raise ExecutionError("invocation_cache_size must be positive or None")
-        self._invocation_cache: OrderedDict[tuple, tuple[list, bool]] = OrderedDict()
-        self._invocation_cache_size = invocation_cache_size
+        self._invocation_cache = (
+            invocation_cache
+            if invocation_cache is not None
+            else InvocationCache(max_size=invocation_cache_size)
+        )
         self.cache_stats = InvocationCacheStats()
         self._pairs_probed = 0
         self._estimator = Estimator(query)
 
-    # -- public entry point ------------------------------------------------------
+    # -- public entry points -----------------------------------------------------
 
     def run(self) -> ExecutionResult:
+        """Execute to completion (drains :meth:`steps`)."""
+        stepper = self.steps()
+        while True:
+            try:
+                next(stepper)
+            except StopIteration as stop:
+                return stop.value
+
+    def steps(self) -> Iterator[StepEvent]:
+        """Step-resumable execution: one yield per impending round trip.
+
+        The generator pauses with a :class:`StepEvent` immediately before
+        each chunk-granular service round trip; resuming performs the
+        round trip (with retries) plus all CPU-only work up to the next
+        one.  The :class:`ExecutionResult` is the generator's return
+        value (``StopIteration.value``).  Closing the generator early
+        unwinds cleanly — open tracer spans finish, but no result is
+        produced and the plan is left partially executed.
+        """
         outputs: dict[str, list[CompositeTuple]] = {}
         stats: dict[str, NodeRunStats] = {}
         candidates = 0
@@ -280,48 +431,47 @@ class PlanExecutor:
                 before_busy = self.pool.log.total_latency()
                 before_probes = self._pairs_probed
 
-                def run_node(span=None):
-                    nonlocal candidates
-                    result, tin, pair_count = self._run_node(
-                        node, parents, outputs
-                    )
-                    candidates += pair_count
-                    outputs[node_id] = result
-                    calls_made = self.pool.log.total_calls() - before_calls
-                    first_latency = (
-                        self.pool.log.records[before_calls].latency
-                        if calls_made
-                        else 0.0
-                    )
-                    stats[node_id] = NodeRunStats(
-                        tin=tin,
-                        tout=len(result),
-                        calls=calls_made,
-                        busy_time=self.pool.log.total_latency() - before_busy,
-                        first_call_latency=first_latency,
-                        pairs_probed=self._pairs_probed - before_probes,
-                    )
-                    if span is not None:
-                        span.set("tin", tin)
-                        span.set("tout", len(result))
-                        if calls_made:
-                            span.set("calls", calls_made)
-                        if stats[node_id].pairs_probed:
-                            span.set(
-                                "pairs_probed", stats[node_id].pairs_probed
-                            )
-
+                span = None
                 if tracer.enabled:
                     attrs = {"node": node_id}
                     alias = getattr(node, "alias", None)
                     if alias is not None:
                         attrs["alias"] = alias
-                    with tracer.span(
+                    span = tracer.span(
                         f"node.{_SPAN_KINDS[node.kind]}", **attrs
-                    ) as span:
-                        run_node(span)
-                else:
-                    run_node()
+                    )
+                try:
+                    result, tin, pair_count = yield from self._run_node(
+                        node, parents, outputs
+                    )
+                except BaseException:
+                    if span is not None:
+                        span.__exit__(*sys.exc_info())
+                    raise
+                candidates += pair_count
+                outputs[node_id] = result
+                calls_made = self.pool.log.total_calls() - before_calls
+                first_latency = (
+                    self.pool.log.records[before_calls].latency
+                    if calls_made
+                    else 0.0
+                )
+                stats[node_id] = NodeRunStats(
+                    tin=tin,
+                    tout=len(result),
+                    calls=calls_made,
+                    busy_time=self.pool.log.total_latency() - before_busy,
+                    first_call_latency=first_latency,
+                    pairs_probed=self._pairs_probed - before_probes,
+                )
+                if span is not None:
+                    span.set("tin", tin)
+                    span.set("tout", len(result))
+                    if calls_made:
+                        span.set("calls", calls_made)
+                    if stats[node_id].pairs_probed:
+                        span.set("pairs_probed", stats[node_id].pairs_probed)
+                    span.__exit__(None, None, None)
 
         execution_time = self._critical_path(stats)
         time_to_screen = self._critical_path(stats, first_call_only=True)
@@ -344,13 +494,15 @@ class PlanExecutor:
         node,
         parents: tuple[str, ...],
         outputs: dict[str, list[CompositeTuple]],
-    ) -> tuple[list[CompositeTuple], int, int]:
-        """Dispatch one node; returns ``(result, tin, candidate_pairs)``."""
+    ):
+        """Dispatch one node (a step generator); returns
+        ``(result, tin, candidate_pairs)``."""
         if isinstance(node, InputNode):
             return [CompositeTuple({}, 0.0)], 0, 0
         if isinstance(node, ServiceNode):
             upstream = outputs[parents[0]]
-            return self._run_service(node, upstream), len(upstream), 0
+            result = yield from self._run_service(node, upstream)
+            return result, len(upstream), 0
         if isinstance(node, SelectionNode):
             upstream = outputs[parents[0]]
             result = [
@@ -387,9 +539,8 @@ class PlanExecutor:
             return members[0].get(path.name)
         return component.values.get(path.name)
 
-    def _run_service(
-        self, node: ServiceNode, upstream: list[CompositeTuple]
-    ) -> list[CompositeTuple]:
+    def _run_service(self, node: ServiceNode, upstream: list[CompositeTuple]):
+        """Step generator over one service node's invocations."""
         assert node.interface is not None
         alias = node.alias
         factor = max(1, int(self.fetches.get(alias, 1)))
@@ -441,7 +592,9 @@ class PlanExecutor:
             for path in node.interface.input_paths():
                 bindings.setdefault(path, None)
 
-            tuples, failed = self._fetch(node, bindings, constraints, factor)
+            tuples, failed = yield from self._fetch(
+                node, bindings, constraints, factor
+            )
             if failed and not tuples:
                 # Best-effort degradation: the branch is down, so the
                 # upstream combination flows on without this component.
@@ -464,22 +617,27 @@ class PlanExecutor:
         bindings: Mapping[str, Any],
         constraints: list[SelectionPredicate],
         factor: int,
-    ) -> tuple[list, bool]:
+    ):
         """Invoke (memoised per distinct binding) and draw ``factor`` chunks.
 
-        Returns ``(tuples, failed)``: ``failed`` is True when the call was
-        abandoned after exhausting retries under ``partial`` degradation
-        (``fail`` mode propagates instead).
+        A step generator: yields one :class:`StepEvent` before each chunk
+        round trip.  Returns ``(tuples, failed)``: ``failed`` is True
+        when the call was abandoned after exhausting retries under
+        ``partial`` degradation (``fail`` mode propagates instead).
         """
         assert node.interface is not None
         tracer = self.tracer
+        availability = pipe_join_selectivity(node, self.query, self._estimator)
         key = invocation_cache_key(
-            node.interface.name, node.alias, factor, bindings
+            node.interface.name,
+            node.alias,
+            factor,
+            bindings,
+            constraints=constraints,
+            availability=availability,
         )
-        cached = self._invocation_cache.get(key)
+        cached = self._invocation_cache.get(key, self.cache_stats)
         if cached is not None:
-            self._invocation_cache.move_to_end(key)
-            self.cache_stats.hits += 1
             if tracer.enabled:
                 with tracer.span(
                     "service.invoke",
@@ -489,7 +647,6 @@ class PlanExecutor:
                 ) as span:
                     span.set("tuples", len(cached[0]))
             return cached
-        self.cache_stats.misses += 1
         invoke_span = (
             tracer.span(
                 "service.invoke",
@@ -506,13 +663,18 @@ class PlanExecutor:
             bindings,
             alias=node.alias,
             constraints=constraints,
-            availability=pipe_join_selectivity(node, self.query, self._estimator),
+            availability=availability,
             call_timeout=self.retry.call_timeout,
         )
         tuples: list = []
         failed = False
         try:
             for index in range(factor):
+                yield StepEvent(
+                    alias=node.alias,
+                    interface=node.interface.name,
+                    chunk_index=index,
+                )
                 chunk = self._fetch_one_chunk(invocation, node.alias, index)
                 if chunk is None:
                     break
@@ -529,11 +691,7 @@ class PlanExecutor:
             invoke_span.set("tuples", len(tuples))
             invoke_span.set("failed", failed)
             invoke_span.__exit__(None, None, None)
-        self._invocation_cache[key] = (tuples, failed)
-        if self._invocation_cache_size is not None:
-            while len(self._invocation_cache) > self._invocation_cache_size:
-                self._invocation_cache.popitem(last=False)
-                self.cache_stats.evictions += 1
+        self._invocation_cache.put(key, (tuples, failed), self.cache_stats)
         return tuples, failed
 
     def _fetch_one_chunk(self, invocation, alias: str, index: int):
@@ -841,6 +999,7 @@ def execute_plan(
     degradation: Degradation | str = Degradation.FAIL,
     invocation_cache_size: int | None = 1024,
     tracer: "Tracer | NullTracer | None" = None,
+    invocation_cache: InvocationCache | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
@@ -854,4 +1013,5 @@ def execute_plan(
         degradation=degradation,
         invocation_cache_size=invocation_cache_size,
         tracer=tracer,
+        invocation_cache=invocation_cache,
     ).run()

@@ -20,12 +20,26 @@ and supports:
 * :meth:`resubmit` — change INPUT bindings and re-execute (fresh
   invocations, same plan);
 * a running :attr:`total_calls` account across the whole interaction.
+
+Every call-issuing interaction also has a **step-generator twin**
+(:meth:`run_steps`, :meth:`more_steps`, :meth:`resubmit_steps`) built on
+:meth:`~repro.engine.executor.PlanExecutor.steps`: the generator yields a
+:class:`~repro.engine.executor.StepEvent` before each service round trip
+and returns the presented result list.  The synchronous methods simply
+drain their twin, so a serving scheduler (:mod:`repro.serve`) can
+interleave session interactions with other in-flight queries while the
+interactive behaviour stays byte-identical.
+
+``executor_options`` forwards extra keyword arguments to every
+:class:`~repro.engine.executor.PlanExecutor` the session builds — the
+hook for retry policies, degradation modes, a shared cross-query
+invocation cache, or a tracer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.core.optimizer import PlanCandidate
 from repro.engine.executor import ExecutionResult, PlanExecutor
@@ -34,6 +48,15 @@ from repro.model.tuples import CompositeTuple, RankingFunction
 from repro.query.compile import CompiledQuery
 
 __all__ = ["LiquidQuerySession"]
+
+
+def _drain(stepper: Iterator):
+    """Run a step generator to completion; return its result."""
+    while True:
+        try:
+            next(stepper)
+        except StopIteration as stop:
+            return stop.value
 
 
 @dataclass
@@ -52,6 +75,10 @@ class LiquidQuerySession:
         Initial INPUT variable bindings.
     growth:
         Multiplicative fetch-factor step used by :meth:`more`.
+    executor_options:
+        Extra keyword arguments for every executor this session builds
+        (``retry``, ``degradation``, ``invocation_cache``, ``tracer``,
+        ``invocation_cache_size``).
     """
 
     candidate: PlanCandidate
@@ -59,6 +86,7 @@ class LiquidQuerySession:
     pool: Any  # ServicePool (kept untyped to avoid an import cycle)
     inputs: dict[str, Any]
     growth: int = 2
+    executor_options: dict[str, Any] = field(default_factory=dict)
     _fetches: dict[str, int] = field(init=False)
     _ranking: RankingFunction = field(init=False)
     _last: ExecutionResult | None = field(init=False, default=None)
@@ -72,7 +100,7 @@ class LiquidQuerySession:
 
     # -- execution ------------------------------------------------------------
 
-    def _execute(self) -> ExecutionResult:
+    def _make_executor(self) -> PlanExecutor:
         executor = PlanExecutor(
             plan=self.candidate.plan,
             query=self.query,
@@ -80,19 +108,31 @@ class LiquidQuerySession:
             inputs=self.inputs,
             fetches=self._fetches,
             k=None,
+            **self.executor_options,
         )
         # Materialise the *raw* (untruncated) list so re-ranking and
         # "more" can reuse it; presentation applies k.
         executor.k = 10**9
-        result = executor.run()
+        return executor
+
+    def execute_steps(self):
+        """Step generator for one (re-)execution; absorbs the result."""
+        result = yield from self._make_executor().steps()
         self._raw = list(result.tuples)
         self._last = result
         return result
 
+    def _execute(self) -> ExecutionResult:
+        return _drain(self.execute_steps())
+
     def run(self, k: int | None = None) -> list[CompositeTuple]:
         """Execute (or re-present) the current query; returns the top-k."""
+        return _drain(self.run_steps(k))
+
+    def run_steps(self, k: int | None = None):
+        """Step-generator twin of :meth:`run`."""
         if self._last is None:
-            self._execute()
+            yield from self.execute_steps()
         return self._present(k)
 
     def _present(self, k: int | None) -> list[CompositeTuple]:
@@ -112,11 +152,15 @@ class LiquidQuerySession:
         "A plan execution can be continued, after an explicit user
         request, thereby producing more tuples."
         """
+        return _drain(self.more_steps(k))
+
+    def more_steps(self, k: int | None = None):
+        """Step-generator twin of :meth:`more`."""
         self._fetches = {
             alias: factor * self.growth for alias, factor in self._fetches.items()
         }
         before = len(self._raw)
-        self._execute()
+        yield from self.execute_steps()
         if len(self._raw) < before:  # pragma: no cover - defensive
             raise ExecutionError("result list shrank while fetching more")
         limit = self.query.k if k is None else k
@@ -150,9 +194,13 @@ class LiquidQuerySession:
         self, inputs: Mapping[str, Any], k: int | None = None
     ) -> list[CompositeTuple]:
         """Change the INPUT keywords and re-execute the same plan."""
+        return _drain(self.resubmit_steps(inputs, k))
+
+    def resubmit_steps(self, inputs: Mapping[str, Any], k: int | None = None):
+        """Step-generator twin of :meth:`resubmit`."""
         self.inputs = dict(inputs)
         self._fetches = dict(self.candidate.fetch_vector())
-        self._execute()
+        yield from self.execute_steps()
         return self._present(k)
 
     # -- accounting -------------------------------------------------------------------

@@ -97,6 +97,7 @@ class Histogram:
             "mean": sum(ordered) / count,
             "p50": quantile(0.50),
             "p95": quantile(0.95),
+            "p99": quantile(0.99),
         }
 
 

@@ -128,6 +128,16 @@ class NullTracer:
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        return None
+
     def bind_clock(self, clock: _ClockLike | None) -> None:
         pass
 
@@ -183,6 +193,34 @@ class Tracer:
         if self._stack:
             self._stack.pop()
         self._record(handle)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Append an already-measured span retrospectively.
+
+        The serving scheduler measures a request's life (arrival →
+        completion) on the *server* clock and only knows the interval
+        once it closes — a stack-based ``span()`` cannot express dozens
+        of overlapping request lifetimes anyway.  The record joins the
+        span list as a root (or a child of ``parent_id``) with its id in
+        creation order, like any other span.
+        """
+        record = SpanRecord(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        return record
 
     def _record(self, handle: _SpanHandle) -> None:
         self.spans.append(

@@ -1,0 +1,56 @@
+"""Multi-query serving runtime over the virtual clock.
+
+The single-query engine answers *one* liquid query; this package is the
+runtime above it that serves *traffic* — the concurrent, production-scale
+regime the ROADMAP's north star calls for:
+
+* :mod:`repro.serve.workload` — parameterized query templates sampled
+  into seeded arrival streams (rates, Zipf parameter skew, follow-up
+  interactions);
+* :mod:`repro.serve.scheduler` — a cooperative discrete-event scheduler
+  with admission control, bounded concurrency, and per-service token
+  buckets, interleaving chunk-granular execution steps of many queries
+  on one server clock;
+* :mod:`repro.serve.plancache` — optimizer reuse across requests keyed
+  by normalized plan signature;
+* :mod:`repro.serve.sessions` — liquid-query sessions
+  (``more``/``rerank``/``resubmit``) routed through the same scheduler,
+  optionally sharing one cross-query invocation cache;
+* :mod:`repro.serve.bench` — the shared-vs-isolated serving benchmark
+  behind ``repro serve-bench`` and ``BENCH_serving.json``.
+"""
+
+from repro.serve.bench import result_digest, run_serving_benchmark, serve_workload
+from repro.serve.plancache import PlanCache, PlanCacheStats
+from repro.serve.scheduler import (
+    RequestOutcome,
+    ServeConfig,
+    ServeReport,
+    ServeScheduler,
+)
+from repro.serve.sessions import SessionManager
+from repro.serve.workload import (
+    QueryTemplate,
+    Request,
+    WorkloadConfig,
+    default_templates,
+    generate_workload,
+)
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryTemplate",
+    "Request",
+    "RequestOutcome",
+    "ServeConfig",
+    "ServeReport",
+    "ServeScheduler",
+    "SessionManager",
+    "WorkloadConfig",
+    "default_templates",
+    "generate_workload",
+    "result_digest",
+    "run_serving_benchmark",
+    "serve_workload",
+]

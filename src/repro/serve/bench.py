@@ -1,0 +1,207 @@
+"""The serving benchmark: sharing vs. isolation, quantified.
+
+For each load level (arrival rate), the *identical* seeded workload is
+served twice:
+
+* **isolated** — no plan cache, no cross-query invocation cache: every
+  request optimizes its own plan and fetches its own chunks, as if each
+  client ran the single-query engine alone;
+* **shared** — one :class:`~repro.serve.plancache.PlanCache` and one
+  cross-query :class:`~repro.engine.executor.InvocationCache` serve all
+  requests: repeated query shapes reuse plans, identical service
+  invocations coalesce into one set of round trips.
+
+The report records, per level and mode, throughput, p50/p95/p99
+virtual-time latency, total service round trips, and cache statistics —
+plus a **result digest** per completed request.  The digests prove the
+headline safety claim: sharing changes how much work is done and when,
+but every request's result list is byte-identical in both modes (the
+simulated substrate is deterministic per ``(data seed, interface,
+bindings)``, so a cache hit returns exactly what a fresh fetch would).
+
+``gates`` summarises the acceptance checks CI enforces: sharing must
+never *increase* round trips, must strictly reduce them and improve p95
+latency on the seeded workload, and results must match exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping, Sequence
+
+from repro.engine.executor import InvocationCache
+from repro.model.tuples import CompositeTuple
+from repro.serve.plancache import PlanCache
+from repro.serve.scheduler import ServeConfig, ServeReport, ServeScheduler
+from repro.serve.sessions import SessionManager
+from repro.serve.workload import (
+    QueryTemplate,
+    WorkloadConfig,
+    default_templates,
+    generate_workload,
+)
+
+__all__ = ["result_digest", "run_serving_benchmark", "serve_workload"]
+
+
+def result_digest(tuples: Sequence[CompositeTuple]) -> str:
+    """Stable content hash of a result list (order, components, scores).
+
+    Scores are rounded to 12 decimals purely for printability; both
+    serving modes compute them from identical component tuples, so the
+    digest is an exact equality witness.
+    """
+    parts: list[str] = []
+    for comp in tuples:
+        for alias in sorted(comp.components):
+            values = comp.component(alias).values
+            parts.append(
+                alias
+                + "|"
+                + "|".join(f"{k}={values[k]!r}" for k in sorted(values))
+            )
+        parts.append(f"score={round(comp.score, 12)!r}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def serve_workload(
+    *,
+    rate: float,
+    num_requests: int,
+    seed: int,
+    shared: bool,
+    skew: float = 1.3,
+    followup_fraction: float = 0.25,
+    max_concurrency: int = 4,
+    queue_limit: int = 10_000,
+    default_service_rate: float | None = 4.0,
+    templates: Sequence[QueryTemplate] | None = None,
+) -> tuple[ServeReport, dict[int, str]]:
+    """Serve one seeded workload; returns the report and per-request digests.
+
+    The benchmark's queue limit is effectively unbounded so both modes
+    complete every request — rejection behaviour is exercised by unit
+    tests, while here the modes must stay per-request comparable.
+    """
+    templates = tuple(templates or default_templates())
+    workload = generate_workload(
+        templates,
+        WorkloadConfig(
+            num_requests=num_requests,
+            rate=rate,
+            skew=skew,
+            seed=seed,
+            followup_fraction=followup_fraction,
+        ),
+    )
+    sessions = SessionManager(
+        templates={template.name: template for template in templates},
+        data_seed=seed,
+        plan_cache=PlanCache() if shared else None,
+        invocation_cache=(
+            InvocationCache(max_size=None) if shared else None
+        ),
+    )
+    scheduler = ServeScheduler(
+        sessions,
+        ServeConfig(
+            max_concurrency=max_concurrency,
+            queue_limit=queue_limit,
+            default_service_rate=default_service_rate,
+        ),
+    )
+    report = scheduler.run(workload)
+    digests = {
+        outcome.request.request_id: result_digest(outcome.results or ())
+        for outcome in report.completed()
+    }
+    return report, digests
+
+
+def _mode_summary(report: ServeReport) -> dict[str, Any]:
+    summary = report.summary()
+    latency = summary["latency"]
+    summary["latency_p50"] = latency.get("p50", 0.0)
+    summary["latency_p95"] = latency.get("p95", 0.0)
+    summary["latency_p99"] = latency.get("p99", 0.0)
+    return summary
+
+
+def run_serving_benchmark(
+    *,
+    load_levels: Sequence[float] = (0.5, 2.0),
+    num_requests: int = 40,
+    seed: int = 2009,
+    skew: float = 1.3,
+    followup_fraction: float = 0.25,
+    max_concurrency: int = 4,
+    default_service_rate: float | None = 4.0,
+    templates: Sequence[QueryTemplate] | None = None,
+) -> dict[str, Any]:
+    """The full shared-vs-isolated comparison across load levels."""
+    levels: list[dict[str, Any]] = []
+    all_identical = True
+    never_more_calls = True
+    strictly_fewer_calls = True
+    p95_improves = True
+    for rate in load_levels:
+        per_mode: dict[str, ServeReport] = {}
+        digests: dict[str, Mapping[int, str]] = {}
+        for mode, shared in (("isolated", False), ("shared", True)):
+            report, mode_digests = serve_workload(
+                rate=rate,
+                num_requests=num_requests,
+                seed=seed,
+                shared=shared,
+                skew=skew,
+                followup_fraction=followup_fraction,
+                max_concurrency=max_concurrency,
+                default_service_rate=default_service_rate,
+                templates=templates,
+            )
+            per_mode[mode] = report
+            digests[mode] = mode_digests
+        identical = digests["isolated"] == digests["shared"]
+        all_identical = all_identical and identical
+        isolated, shared_report = per_mode["isolated"], per_mode["shared"]
+        calls_isolated = isolated.total_round_trips
+        calls_shared = shared_report.total_round_trips
+        never_more_calls = never_more_calls and calls_shared <= calls_isolated
+        strictly_fewer_calls = (
+            strictly_fewer_calls and calls_shared < calls_isolated
+        )
+        p95_isolated = isolated.latency_summary().get("p95", 0.0)
+        p95_shared = shared_report.latency_summary().get("p95", 0.0)
+        p95_improves = p95_improves and p95_shared < p95_isolated
+        levels.append(
+            {
+                "rate": rate,
+                "isolated": _mode_summary(isolated),
+                "shared": _mode_summary(shared_report),
+                "results_identical": identical,
+                "round_trip_reduction": (
+                    1.0 - calls_shared / calls_isolated
+                    if calls_isolated
+                    else 0.0
+                ),
+                "p95_latency_isolated": p95_isolated,
+                "p95_latency_shared": p95_shared,
+            }
+        )
+    return {
+        "benchmark": "serving",
+        "seed": seed,
+        "num_requests": num_requests,
+        "skew": skew,
+        "followup_fraction": followup_fraction,
+        "max_concurrency": max_concurrency,
+        "default_service_rate": default_service_rate,
+        "load_levels": list(load_levels),
+        "levels": levels,
+        "gates": {
+            "results_identical": all_identical,
+            "shared_never_more_round_trips": never_more_calls,
+            "shared_strictly_fewer_round_trips": strictly_fewer_calls,
+            "shared_improves_p95_latency": p95_improves,
+        },
+    }

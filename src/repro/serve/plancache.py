@@ -1,0 +1,97 @@
+"""Plan cache: optimizer reuse across requests with the same signature.
+
+The branch-and-bound optimizer is deterministic — the same compiled
+query under the same cost metric always yields the same
+:class:`~repro.core.optimizer.PlanCandidate` — so a serving runtime can
+pay the search once per *query shape* and reuse the plan for every
+request that differs only in its INPUT bindings.
+:func:`~repro.core.optimizer.plan_signature` provides the key: it
+normalises alias order, join direction, and INPUT references (name only,
+never the bound value), so two requests instantiating the same template
+with different keywords map to one cache entry.
+
+Signatures do not identify the *registry* the interface names resolve
+in, so callers scope keys by schema name (see
+:meth:`PlanCache.key_for`).  Cached candidates are shared by reference:
+plans and annotations are read-only to the executor, and sessions copy
+the fetch vector before mutating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.optimizer import (
+    Optimizer,
+    OptimizerConfig,
+    PlanCandidate,
+    plan_signature,
+)
+from repro.errors import OptimizationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.compile import CompiledQuery
+
+__all__ = ["PlanCache", "PlanCacheStats"]
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting for plan reuse."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class PlanCache:
+    """Normalised-signature → optimized-plan memo for a serving runtime."""
+
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+    _plans: dict[tuple, PlanCandidate] = field(default_factory=dict, repr=False)
+
+    @staticmethod
+    def key_for(
+        schema: str, query: "CompiledQuery", config: OptimizerConfig
+    ) -> tuple:
+        """Scope the plan signature by schema and cost metric."""
+        return (schema, plan_signature(query, metric=config.metric))
+
+    def plan(
+        self,
+        schema: str,
+        query: "CompiledQuery",
+        config: OptimizerConfig | None = None,
+    ) -> PlanCandidate:
+        """The optimized plan for ``query``, searched at most once per key."""
+        config = config or OptimizerConfig()
+        key = self.key_for(schema, query, config)
+        candidate = self._plans.get(key)
+        if candidate is not None:
+            self.stats.hits += 1
+            return candidate
+        self.stats.misses += 1
+        outcome = Optimizer(query, config).optimize()
+        if outcome.best is None:
+            raise OptimizationError("no feasible plan found")
+        self._plans[key] = outcome.best
+        return outcome.best
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,457 @@
+"""Cooperative multi-query scheduler on one virtual timeline.
+
+The serving runtime is a discrete-event simulation over a **server
+clock**: requests arrive at workload-assigned virtual times, pass
+admission control, and execute as *cooperative coroutines* — the
+step-resumable generators of :meth:`~repro.engine.executor.PlanExecutor.steps`
+— that pause before every chunk-granular service round trip.  The
+scheduler owns the interleaving:
+
+* **Admission control** — at most ``max_concurrency`` requests execute
+  at once; excess arrivals wait in a bounded FIFO queue; a full queue
+  rejects the arrival (backpressure to the client).
+* **Per-service rate limits** — each interface has a token bucket on
+  virtual time.  A paused query about to call interface ``S`` (the
+  yielded :class:`~repro.engine.executor.StepEvent` names it) resumes
+  only once a token is available, so a hot service throttles *all* its
+  callers without stalling queries bound elsewhere.
+* **Follow-up parking** — a ``more``/``rerank``/``resubmit`` arriving
+  before its target session finished parks until the target completes,
+  then re-enters admission.
+* **Per-session serialization** — interactions on one session mutate
+  shared state (fetch factors, the ranking function, the cached result
+  list), so a session executes at most one interaction at a time and
+  its waiters are granted in *arrival order*.  Arrival order is a
+  property of the workload, not of cache timing — which is what keeps
+  per-request results byte-identical between shared and isolated modes
+  even when completion times differ wildly.
+
+Time composition: each session's pool clock accumulates only that
+query's service latencies.  When a resumed step consumes ``Δ`` of pool
+time, the job's next event lands at ``server_now + Δ`` — so concurrent
+queries overlap on the server clock exactly as independent clients
+would, while per-query accounting stays isolated.  Everything (arrival
+order, tie-breaks, token grants) is a pure function of the workload and
+data seeds: event-heap entries carry a monotone sequence number, so the
+interleaving is deterministic and seed-reproducible.
+
+The scheduler never touches result contents: sharing caches changes
+*when* and *how many* round trips happen, never what a query returns —
+see DESIGN.md, "Why cross-query sharing is safe under the virtual
+clock".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.events import VirtualClock
+from repro.errors import ExecutionError, SearchComputingError
+from repro.model.tuples import CompositeTuple
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
+from repro.serve.sessions import SessionManager
+from repro.serve.workload import Request
+
+__all__ = ["ServeConfig", "ServeScheduler", "ServeReport", "RequestOutcome"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler knobs (admission, concurrency, backpressure)."""
+
+    max_concurrency: int = 4
+    queue_limit: int = 64
+    #: Interface name -> max calls per virtual second (token bucket).
+    service_rates: Mapping[str, float] = field(default_factory=dict)
+    #: Rate applied to interfaces absent from ``service_rates``
+    #: (``None`` leaves them unlimited).
+    default_service_rate: float | None = None
+    #: Bucket depth: how many calls a service absorbs back-to-back.
+    service_burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency <= 0:
+            raise ExecutionError("max_concurrency must be positive")
+        if self.queue_limit < 0:
+            raise ExecutionError("queue_limit cannot be negative")
+        if self.service_burst < 1.0:
+            raise ExecutionError("service_burst must be at least 1")
+        for name, rate in self.service_rates.items():
+            if rate <= 0:
+                raise ExecutionError(f"service rate for {name!r} must be positive")
+        if self.default_service_rate is not None and self.default_service_rate <= 0:
+            raise ExecutionError("default_service_rate must be positive")
+
+
+@dataclass
+class _TokenBucket:
+    """Token bucket on virtual time with FIFO reservations."""
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    updated: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.tokens = self.burst
+
+    def grant(self, at: float) -> float:
+        """Earliest time ≥ ``at`` a call may go out; claims the token.
+
+        Reservations are granted in request order: a later reservation
+        never jumps ahead of one already granted (``updated`` tracks the
+        frontier the bucket state is valid at).
+        """
+        now = max(at, self.updated)
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return now
+        wait = (1.0 - self.tokens) / self.rate
+        self.tokens = 0.0
+        self.updated = now + wait
+        return now + wait
+
+
+@dataclass
+class _Job:
+    """One admitted request executing cooperatively."""
+
+    request: Request
+    stepper: Iterator | None
+    admitted_at: float
+    started_at: float
+    calls_before: int
+    rate_wait: float = 0.0
+    steps: int = 0
+    result: list[CompositeTuple] | None = None
+    error: str | None = None
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one workload request."""
+
+    request: Request
+    status: str  # "completed" | "rejected" | "failed"
+    finished_at: float = 0.0
+    queue_wait: float = 0.0
+    rate_wait: float = 0.0
+    round_trips: int = 0
+    steps: int = 0
+    results: list[CompositeTuple] | None = None
+    error: str | None = None
+
+    @property
+    def latency(self) -> float:
+        """Virtual time from arrival to completion (queueing included)."""
+        return self.finished_at - self.request.arrival
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving one workload."""
+
+    outcomes: dict[int, RequestOutcome]
+    makespan: float
+    total_round_trips: int
+    metrics: MetricsRegistry
+    plan_cache_stats: dict[str, float] | None
+    invocation_cache_stats: dict[str, float] | None
+
+    def completed(self) -> list[RequestOutcome]:
+        return [o for o in self.outcomes.values() if o.status == "completed"]
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per virtual second of the whole run."""
+        done = len(self.completed())
+        return done / self.makespan if self.makespan > 0 else float(done)
+
+    def latency_summary(self) -> dict[str, float]:
+        return self.metrics.histogram("serve.latency").summary()
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serialisable digest (what the benchmark report embeds)."""
+        return {
+            "requests": len(self.outcomes),
+            "by_status": self.by_status(),
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "total_round_trips": self.total_round_trips,
+            "latency": self.latency_summary(),
+            "queue_wait": self.metrics.histogram("serve.queue_wait").summary(),
+            "plan_cache": self.plan_cache_stats,
+            "invocation_cache": self.invocation_cache_stats,
+        }
+
+
+class ServeScheduler:
+    """Discrete-event loop interleaving many liquid-query sessions."""
+
+    def __init__(
+        self,
+        sessions: SessionManager,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.sessions = sessions
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = coerce_tracer(tracer)
+        self.clock = VirtualClock()
+        self._seq = itertools.count()
+        self._events: list[tuple[float, int, str, Any]] = []
+        self._queue: deque[Request] = deque()
+        self._queued_at: dict[int, float] = {}
+        self._parked: dict[int, list[Request]] = {}
+        self._busy_sessions: set[int] = set()
+        self._session_waiters: dict[int, deque[Request]] = {}
+        self._outcomes: dict[int, RequestOutcome] = {}
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._active = 0
+        self._known_runs: set[int] = set()
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _schedule(self, at: float, action: str, payload: Any) -> None:
+        heapq.heappush(self._events, (at, next(self._seq), action, payload))
+
+    def _bucket(self, interface: str) -> _TokenBucket | None:
+        bucket = self._buckets.get(interface)
+        if bucket is None:
+            rate = self.config.service_rates.get(
+                interface, self.config.default_service_rate
+            )
+            if rate is None:
+                return None
+            bucket = self._buckets[interface] = _TokenBucket(
+                rate=rate, burst=self.config.service_burst
+            )
+        return bucket
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, workload: Sequence[Request]) -> ServeReport:
+        """Serve the workload to completion; returns the report."""
+        self._known_runs = {r.request_id for r in workload if r.kind == "run"}
+        for request in sorted(
+            workload, key=lambda r: (r.arrival, r.request_id)
+        ):
+            self._schedule(request.arrival, "arrival", request)
+        while self._events:
+            at, _, action, payload = heapq.heappop(self._events)
+            self.clock.advance_to(at)
+            if action == "arrival":
+                self._on_arrival(payload, at)
+            elif action == "resume":
+                self._on_resume(payload, at)
+            else:
+                self._on_finish(payload, at)
+        # Follow-ups still parked at drain time targeted a run that never
+        # completed (rejected or failed): account them as rejected.
+        for parked in self._parked.values():
+            for request in parked:
+                self._reject(request, self.clock.now)
+        self._parked.clear()
+        manager = self.sessions
+        return ServeReport(
+            outcomes=dict(sorted(self._outcomes.items())),
+            makespan=self.clock.now,
+            total_round_trips=manager.total_round_trips(),
+            metrics=self.metrics,
+            plan_cache_stats=(
+                manager.plan_cache.stats.as_dict()
+                if manager.plan_cache is not None
+                else None
+            ),
+            invocation_cache_stats=(
+                {
+                    "hits": manager.invocation_cache.stats.hits,
+                    "misses": manager.invocation_cache.stats.misses,
+                    "evictions": manager.invocation_cache.stats.evictions,
+                    "entries": len(manager.invocation_cache),
+                }
+                if manager.invocation_cache is not None
+                else None
+            ),
+        )
+
+    # -- transitions ---------------------------------------------------------
+
+    def _on_arrival(self, request: Request, now: float) -> None:
+        if request.target is not None:
+            if request.target not in self._known_runs:
+                self._reject(request, now)
+                return
+            target = self._outcomes.get(request.target)
+            if target is None or target.status == "running":
+                # Target still queued/executing: park until it finishes.
+                self._parked.setdefault(request.target, []).append(request)
+                return
+            if target.status != "completed":
+                self._reject(request, now)
+                return
+            if request.target in self._busy_sessions:
+                # Another interaction holds the session: serialize.
+                # Waiters drain in arrival order — a workload property,
+                # identical across serving modes.
+                self._session_waiters.setdefault(
+                    request.target, deque()
+                ).append(request)
+                return
+            self._busy_sessions.add(request.target)
+        if self._active < self.config.max_concurrency:
+            self._start(request, now)
+        elif len(self._queue) < self.config.queue_limit:
+            self._queue.append(request)
+            self._queued_at[request.request_id] = now
+        else:
+            if request.target is not None:
+                self._release_session(request.target, now)
+            self._reject(request, now)
+
+    def _start(self, request: Request, now: float) -> None:
+        self._active += 1
+        queue_wait = now - self._queued_at.pop(request.request_id, now)
+        if request.kind == "rerank":
+            # CPU-only: re-scores the cached result list, zero service
+            # calls, zero virtual time — completes at its start instant.
+            job = _Job(
+                request=request,
+                stepper=None,
+                admitted_at=now,
+                started_at=now,
+                calls_before=0,
+            )
+            try:
+                job.result = self.sessions.rerank(request)
+            except SearchComputingError as exc:
+                job.error = f"{type(exc).__name__}: {exc}"
+            self._queue_wait_of(request, queue_wait)
+            self._schedule(now, "finish", job)
+            return
+        try:
+            stepper = self.sessions.stepper(request)
+            pool = self.sessions.pool_for(request)
+        except SearchComputingError as exc:
+            job = _Job(
+                request=request,
+                stepper=None,
+                admitted_at=now,
+                started_at=now,
+                calls_before=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._queue_wait_of(request, queue_wait)
+            self._schedule(now, "finish", job)
+            return
+        job = _Job(
+            request=request,
+            stepper=stepper,
+            admitted_at=now,
+            started_at=now,
+            calls_before=pool.log.total_calls(),
+        )
+        self._queue_wait_of(request, queue_wait)
+        self._schedule(now, "resume", job)
+
+    def _queue_wait_of(self, request: Request, wait: float) -> None:
+        self.metrics.histogram("serve.queue_wait").observe(wait)
+        self._outcomes[request.request_id] = RequestOutcome(
+            request=request, status="running", queue_wait=wait
+        )
+
+    def _on_resume(self, job: _Job, now: float) -> None:
+        pool = self.sessions.pool_for(job.request)
+        before = pool.clock.now
+        assert job.stepper is not None
+        try:
+            event = next(job.stepper)
+        except StopIteration as stop:
+            job.result = stop.value
+            self._schedule(now + (pool.clock.now - before), "finish", job)
+            return
+        except SearchComputingError as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._schedule(now + (pool.clock.now - before), "finish", job)
+            return
+        job.steps += 1
+        ready = now + (pool.clock.now - before)
+        bucket = self._bucket(event.interface)
+        if bucket is not None:
+            granted = bucket.grant(ready)
+            if granted > ready:
+                job.rate_wait += granted - ready
+                self.metrics.counter("serve.rate_limited").inc()
+            ready = granted
+        self._schedule(ready, "resume", job)
+
+    def _on_finish(self, job: _Job, now: float) -> None:
+        self._active -= 1
+        request = job.request
+        outcome = self._outcomes[request.request_id]
+        outcome.finished_at = now
+        outcome.rate_wait = job.rate_wait
+        outcome.steps = job.steps
+        if job.error is not None:
+            outcome.status = "failed"
+            outcome.error = job.error
+            self.metrics.counter("serve.failed").inc()
+        else:
+            outcome.status = "completed"
+            outcome.results = job.result
+            self.metrics.counter("serve.completed").inc()
+            self.metrics.histogram("serve.latency").observe(outcome.latency)
+        if job.stepper is not None:
+            pool = self.sessions.pool_for(request)
+            outcome.round_trips = pool.log.total_calls() - job.calls_before
+        self.metrics.counter(f"serve.kind.{request.kind}").inc()
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "serve.request",
+                start=request.arrival,
+                end=now,
+                request=request.request_id,
+                kind=request.kind,
+                template=request.template,
+                status=outcome.status,
+                round_trips=outcome.round_trips,
+            )
+        # Wake follow-ups parked on this request.
+        for parked in self._parked.pop(request.request_id, ()):
+            self._schedule(now, "arrival", parked)
+        # A finished interaction frees its session for the next waiter.
+        if request.target is not None:
+            self._release_session(request.target, now)
+        # Grant freed slots to the admission queue (FIFO).
+        while self._queue and self._active < self.config.max_concurrency:
+            self._start(self._queue.popleft(), now)
+
+    def _release_session(self, root_id: int, now: float) -> None:
+        self._busy_sessions.discard(root_id)
+        waiters = self._session_waiters.get(root_id)
+        if waiters:
+            self._schedule(now, "arrival", waiters.popleft())
+
+    def _reject(self, request: Request, now: float) -> None:
+        self._outcomes[request.request_id] = RequestOutcome(
+            request=request, status="rejected", finished_at=now
+        )
+        self.metrics.counter("serve.rejected").inc()
+        # A rejected run can never serve its follow-ups.
+        for parked in self._parked.pop(request.request_id, ()):
+            self._reject(parked, now)

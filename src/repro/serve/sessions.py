@@ -1,0 +1,193 @@
+"""Session management: liquid-query sessions behind the scheduler.
+
+The :class:`SessionManager` is the bridge between serving requests and
+the single-query machinery: for each ``run`` request it compiles the
+template's query (memoised per query text), obtains a plan (through the
+shared :class:`~repro.serve.plancache.PlanCache` when sharing is on,
+else a fresh optimizer search), builds a **per-request**
+:class:`~repro.services.simulated.ServicePool`, and opens a
+:class:`~repro.engine.liquid.LiquidQuerySession`.  Follow-up requests
+(``more`` / ``rerank`` / ``resubmit``) resolve their target's session
+and flow through its step-generator twins, so every service round trip a
+session interaction issues is scheduled exactly like a fresh query's.
+
+Each session's pool has its **own** virtual clock and call log: a
+request's service time and round trips stay attributable to it, and
+per-session results are exactly what a single-user run with the same
+data seed would produce.  What *is* shared — when the manager is given a
+cross-query :class:`~repro.engine.executor.InvocationCache` — is the
+invocation memo, which is safe precisely because the simulated substrate
+derives results, latencies, and fault draws from
+``(data seed, interface, bindings)`` alone, never from clock state or
+call order (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.engine.executor import InvocationCache
+from repro.engine.liquid import LiquidQuerySession
+from repro.engine.retry import Degradation, RetryPolicy
+from repro.errors import ExecutionError, OptimizationError
+from repro.model.registry import ServiceRegistry
+from repro.model.tuples import CompositeTuple
+from repro.query.compile import CompiledQuery, compile_query
+from repro.query.parser import parse_query
+from repro.serve.plancache import PlanCache
+from repro.serve.workload import QueryTemplate, Request
+from repro.services.simulated import FaultModel, ServicePool
+
+__all__ = ["SessionManager"]
+
+
+@dataclass
+class SessionManager:
+    """Opens and resolves liquid-query sessions for serving requests.
+
+    Parameters
+    ----------
+    templates:
+        The workload's templates, by name (supplies query text, schema,
+        and registry factory).
+    data_seed:
+        Global seed of every per-request service pool.  One seed for the
+        whole server is what makes cross-query coalescing sound: two
+        pools with the same seed are the *same* simulated world.
+    plan_cache:
+        Shared optimizer memo; ``None`` re-optimizes every request
+        (isolated mode).
+    invocation_cache:
+        Shared cross-query invocation memo; ``None`` gives every
+        execution its private memo (isolated mode).
+    retry / degradation / fault_model:
+        Fault-tolerance posture applied uniformly to every session.
+    """
+
+    templates: Mapping[str, QueryTemplate]
+    data_seed: int = 2009
+    optimizer_config: OptimizerConfig = field(default_factory=OptimizerConfig)
+    plan_cache: PlanCache | None = None
+    invocation_cache: InvocationCache | None = None
+    retry: RetryPolicy | None = None
+    degradation: Degradation | str = Degradation.FAIL
+    fault_model: FaultModel = field(default_factory=FaultModel)
+    _registries: dict[str, ServiceRegistry] = field(default_factory=dict)
+    _compiled: dict[str, CompiledQuery] = field(default_factory=dict)
+    _sessions: dict[int, LiquidQuerySession] = field(default_factory=dict)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _template(self, name: str) -> QueryTemplate:
+        template = self.templates.get(name)
+        if template is None:
+            raise ExecutionError(f"unknown template {name!r}")
+        return template
+
+    def _registry(self, template: QueryTemplate) -> ServiceRegistry:
+        registry = self._registries.get(template.schema)
+        if registry is None:
+            registry = self._registries[template.schema] = (
+                template.registry_factory()
+            )
+        return registry
+
+    def _compile(self, template: QueryTemplate) -> CompiledQuery:
+        compiled = self._compiled.get(template.name)
+        if compiled is None:
+            compiled = self._compiled[template.name] = compile_query(
+                parse_query(template.query_text), self._registry(template)
+            )
+        return compiled
+
+    def _plan(self, template: QueryTemplate, compiled: CompiledQuery):
+        if self.plan_cache is not None:
+            return self.plan_cache.plan(
+                template.schema, compiled, self.optimizer_config
+            )
+        outcome = Optimizer(compiled, self.optimizer_config).optimize()
+        if outcome.best is None:
+            raise OptimizationError("no feasible plan found")
+        return outcome.best
+
+    def _executor_options(self) -> dict[str, Any]:
+        options: dict[str, Any] = {
+            "retry": self.retry,
+            "degradation": self.degradation,
+        }
+        if self.invocation_cache is not None:
+            options["invocation_cache"] = self.invocation_cache
+        return options
+
+    # -- request entry points ------------------------------------------------
+
+    def open(self, request: Request) -> LiquidQuerySession:
+        """Create (and register) the session for a ``run`` request."""
+        template = self._template(request.template)
+        compiled = self._compile(template)
+        candidate = self._plan(template, compiled)
+        pool = ServicePool(
+            self._registry(template),
+            global_seed=self.data_seed,
+            fault_model=self.fault_model,
+        )
+        session = LiquidQuerySession(
+            candidate=candidate,
+            query=compiled,
+            pool=pool,
+            inputs=dict(request.inputs or {}),
+            executor_options=self._executor_options(),
+        )
+        self._sessions[request.request_id] = session
+        return session
+
+    def session_for(self, request_id: int) -> LiquidQuerySession:
+        session = self._sessions.get(request_id)
+        if session is None:
+            raise ExecutionError(f"no session for request {request_id}")
+        return session
+
+    def stepper(self, request: Request) -> Iterator:
+        """The step generator executing ``request`` (not for ``rerank``)."""
+        if request.kind == "run":
+            return self.open(request).run_steps(request.k)
+        session = self.session_for(self._target_of(request))
+        if request.kind == "more":
+            return session.more_steps(request.k)
+        if request.kind == "resubmit":
+            return session.resubmit_steps(dict(request.inputs or {}), request.k)
+        raise ExecutionError(f"request kind {request.kind!r} has no steps")
+
+    def rerank(self, request: Request) -> list[CompositeTuple]:
+        """Apply a ``rerank`` follow-up — synchronous, no service calls."""
+        if request.kind != "rerank":
+            raise ExecutionError(f"cannot rerank a {request.kind!r} request")
+        session = self.session_for(self._target_of(request))
+        return session.rerank(dict(request.weights or {}), request.k)
+
+    def pool_for(self, request: Request) -> ServicePool:
+        """The service pool the request's round trips are logged to."""
+        if request.kind == "run":
+            return self.session_for(request.request_id).pool
+        return self.session_for(self._target_of(request)).pool
+
+    @staticmethod
+    def _target_of(request: Request) -> int:
+        if request.target is None:
+            raise ExecutionError(
+                f"{request.kind!r} request {request.request_id} names no target"
+            )
+        return request.target
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_round_trips(self) -> int:
+        """Service round trips across every distinct session pool."""
+        pools = {id(s.pool): s.pool for s in self._sessions.values()}
+        return sum(pool.log.total_calls() for pool in pools.values())
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,255 @@
+"""Workload generation: query templates sampled into arrival streams.
+
+A serving benchmark needs *traffic*, not one query: a stream of requests
+drawn from parameterized **query templates** (the Fig. 3 movie-night and
+Fig. 10 conference-trip schemas), arriving over virtual time at a
+configurable rate, with parameter values drawn from a skewed (Zipf-like)
+distribution so that popular parameter combinations repeat — the regime
+where cross-query sharing pays off, exactly as popular keywords repeat in
+a real multi-domain search service.
+
+Everything is a pure function of the workload seed: arrival times come
+from a seeded exponential inter-arrival draw, template choice and
+parameter picks from the same generator.  The same
+:class:`WorkloadConfig` therefore yields the *identical* request stream
+for the shared and isolated serving modes, making their comparison
+apples-to-apples.
+
+A fraction of requests are **follow-up interactions** on an earlier
+request's session — ``more`` (grow the fetch factors), ``rerank``
+(re-weight the ranking function; costs no service calls), ``resubmit``
+(new INPUT bindings, same plan) — so the liquid-query surface of
+Section 3.2 flows through the scheduler alongside fresh queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.services.marts import (
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+
+__all__ = [
+    "QueryTemplate",
+    "Request",
+    "WorkloadConfig",
+    "default_templates",
+    "generate_workload",
+]
+
+
+def zipf_index(rng: random.Random, n: int, skew: float) -> int:
+    """Draw an index in ``[0, n)`` with probability ∝ ``1/(i+1)**skew``.
+
+    ``skew=0`` is uniform; larger values concentrate mass on the first
+    few options (the "popular keywords" of the workload).
+    """
+    if n <= 0:
+        raise ExecutionError("cannot draw from an empty option list")
+    weights = [1.0 / (i + 1) ** skew for i in range(n)]
+    total = sum(weights)
+    point = rng.random() * total
+    acc = 0.0
+    for index, weight in enumerate(weights):
+        acc += weight
+        if point < acc:
+            return index
+    return n - 1  # pragma: no cover - float-edge fallback
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A parameterized query: fixed text, sampled INPUT bindings.
+
+    ``parameter_space`` maps each INPUT variable to its candidate values,
+    ordered most-popular first — :meth:`sample_inputs` draws each
+    independently with Zipf skew.  ``rerank_weights`` are the alternative
+    ranking-weight sets a ``rerank`` follow-up may switch to.
+    """
+
+    name: str
+    schema: str
+    query_text: str
+    registry_factory: Callable[[], Any]
+    parameter_space: Mapping[str, Sequence[Any]]
+    rerank_weights: Sequence[Mapping[str, float]] = ()
+
+    def sample_inputs(self, rng: random.Random, skew: float) -> dict[str, Any]:
+        return {
+            name: options[zipf_index(rng, len(options), skew)]
+            for name, options in sorted(self.parameter_space.items())
+        }
+
+
+@dataclass(frozen=True)
+class Request:
+    """One arrival in the serving workload.
+
+    ``kind`` is ``run`` (a fresh query), or a follow-up interaction —
+    ``more`` / ``rerank`` / ``resubmit`` — on the session opened by the
+    ``run`` request named in ``target``.
+    """
+
+    request_id: int
+    kind: str
+    template: str
+    schema: str
+    arrival: float
+    inputs: Mapping[str, Any] | None = None
+    weights: Mapping[str, float] | None = None
+    target: int | None = None
+    k: int | None = None
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the arrival stream (all consumed by one seeded RNG)."""
+
+    num_requests: int = 40
+    rate: float = 1.0  # mean arrivals per virtual second
+    skew: float = 1.3  # Zipf exponent over parameter popularity
+    seed: int = 2009
+    followup_fraction: float = 0.25
+    #: Relative odds of each follow-up kind when a follow-up is drawn.
+    followup_mix: Mapping[str, float] = field(
+        default_factory=lambda: {"more": 0.4, "rerank": 0.35, "resubmit": 0.25}
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ExecutionError("num_requests must be positive")
+        if self.rate <= 0:
+            raise ExecutionError("arrival rate must be positive")
+        if not 0.0 <= self.followup_fraction < 1.0:
+            raise ExecutionError("followup_fraction must be in [0, 1)")
+
+
+def default_templates() -> tuple[QueryTemplate, ...]:
+    """The two built-in templates over the chapter's example schemas.
+
+    Parameter universes are deliberately small and head-heavy: under the
+    default skew many requests bind the same (genre, country, date) for
+    ``Movie1`` or the same (topic, city, date) for the conference trip,
+    so concurrent queries issue *identical* service invocations — the
+    sharing opportunity the serving runtime exploits.
+    """
+    return (
+        QueryTemplate(
+            name="movie-night",
+            schema="movie",
+            query_text=RUNNING_EXAMPLE_QUERY,
+            registry_factory=movie_night_registry,
+            parameter_space={
+                "INPUT1": [f"genre#{i}" for i in (3, 1, 5)],
+                "INPUT2": ["country#1", "country#2"],
+                "INPUT3": ["2009-03-01", "2009-06-01"],
+                "INPUT4": [f"address#{i}" for i in (17, 3)],
+                "INPUT5": [f"city#{i}" for i in (4, 2)],
+                "INPUT6": ["category#2", "category#1"],
+            },
+            rerank_weights=(
+                {"M": 0.6, "T": 0.2, "R": 0.2},
+                {"M": 0.2, "T": 0.3, "R": 0.5},
+            ),
+        ),
+        QueryTemplate(
+            name="conference-trip",
+            schema="conference",
+            query_text=CONFERENCE_QUERY,
+            registry_factory=conference_trip_registry,
+            parameter_space={
+                "INPUT1": [f"topic#{i}" for i in (5, 2)],
+                "INPUT2": [26.0, 20.0],
+                "INPUT3": ["city#0", "city#7"],
+                "INPUT4": ["2009-06-15", "2009-09-01"],
+            },
+            rerank_weights=(
+                {"F": 0.8, "H": 0.2},
+                {"F": 0.3, "H": 0.7},
+            ),
+        ),
+    )
+
+
+def generate_workload(
+    templates: Sequence[QueryTemplate], config: WorkloadConfig
+) -> list[Request]:
+    """Sample a deterministic arrival stream from the templates.
+
+    Inter-arrival gaps are exponential with mean ``1/rate`` (a Poisson
+    process on virtual time).  Template choice is Zipf over the template
+    list; follow-ups target a uniformly drawn earlier ``run`` request of
+    the stream (the scheduler parks a follow-up until its target
+    completes, so generation never needs completion knowledge).
+    """
+    if not templates:
+        raise ExecutionError("workload needs at least one template")
+    by_name = {template.name: template for template in templates}
+    if len(by_name) != len(templates):
+        raise ExecutionError("template names must be unique")
+    rng = random.Random(config.seed)
+    kinds = sorted(config.followup_mix)
+    kind_weights = [config.followup_mix[kind] for kind in kinds]
+    now = 0.0
+    requests: list[Request] = []
+    runs: list[Request] = []
+    for request_id in range(config.num_requests):
+        now += rng.expovariate(config.rate)
+        if runs and rng.random() < config.followup_fraction:
+            target = runs[rng.randrange(len(runs))]
+            template = by_name[target.template]
+            kind = rng.choices(kinds, weights=kind_weights)[0]
+            if kind == "rerank" and not template.rerank_weights:
+                kind = "more"
+            if kind == "rerank":
+                weights = template.rerank_weights[
+                    rng.randrange(len(template.rerank_weights))
+                ]
+                request = Request(
+                    request_id=request_id,
+                    kind="rerank",
+                    template=template.name,
+                    schema=template.schema,
+                    arrival=now,
+                    weights=dict(weights),
+                    target=target.request_id,
+                )
+            elif kind == "resubmit":
+                request = Request(
+                    request_id=request_id,
+                    kind="resubmit",
+                    template=template.name,
+                    schema=template.schema,
+                    arrival=now,
+                    inputs=template.sample_inputs(rng, config.skew),
+                    target=target.request_id,
+                )
+            else:
+                request = Request(
+                    request_id=request_id,
+                    kind="more",
+                    template=template.name,
+                    schema=template.schema,
+                    arrival=now,
+                    target=target.request_id,
+                )
+        else:
+            template = templates[zipf_index(rng, len(templates), config.skew)]
+            request = Request(
+                request_id=request_id,
+                kind="run",
+                template=template.name,
+                schema=template.schema,
+                arrival=now,
+                inputs=template.sample_inputs(rng, config.skew),
+            )
+            runs.append(request)
+        requests.append(request)
+    return requests

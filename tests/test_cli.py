@@ -73,6 +73,66 @@ class TestRun:
             main(["run", "--input", "MALFORMED"])
 
 
+class TestRunStrict:
+    """``repro run`` exit-code contract under degraded execution."""
+
+    DEGRADED = (
+        "run",
+        "--seed",
+        "3",
+        "--outage",
+        "Restaurant1",
+        "--degradation",
+        "partial",
+    )
+
+    def test_degraded_run_exits_zero_by_default(self, capsys):
+        code, out = run_cli(capsys, *self.DEGRADED)
+        assert code == 0
+
+    def test_strict_degraded_run_exits_nonzero_with_stderr(self, capsys):
+        code = main([*self.DEGRADED, "--strict"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "strict: execution degraded" in captured.err
+        # The degraded aliases are named on stderr, not swallowed.
+        assert "R" in captured.err.split("aliases", 1)[1]
+
+    def test_strict_healthy_run_exits_zero(self, capsys):
+        code = main(["run", "--seed", "3", "--strict"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""
+
+
+class TestServeBench:
+    def test_smoke_prints_gates_and_exits_zero(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_serving.json"
+        code, out = run_cli(
+            capsys,
+            "serve-bench",
+            "--requests",
+            "10",
+            "--rates",
+            "1.0",
+            "--output",
+            str(out_file),
+        )
+        assert code == 0
+        assert "results_identical" in out
+        assert "PASS" in out
+        assert out_file.exists()
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["benchmark"] == "serving"
+        assert payload["gates"]["results_identical"] is True
+
+    def test_rejects_bad_rates(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--rates", "fast"])
+
+
 class TestTopologies:
     def test_running_example_lists_four(self, capsys):
         code, out = run_cli(capsys, "topologies")

@@ -4,9 +4,10 @@ import pytest
 
 from repro.core.optimizer import optimize_query
 from repro.engine.liquid import LiquidQuerySession
+from repro.engine.retry import Degradation, RetryPolicy
 from repro.errors import ExecutionError
 from repro.services.marts import RUNNING_EXAMPLE_INPUTS
-from repro.services.simulated import ServicePool
+from repro.services.simulated import FaultModel, ServicePool
 
 
 @pytest.fixture()
@@ -104,6 +105,134 @@ class TestResubmit:
         grown = session.fetch_factors
         session.resubmit(dict(RUNNING_EXAMPLE_INPUTS))
         assert session.fetch_factors != grown
+
+
+def _faulty_session(movie_query, movie_registry, *, seed=21, failure_rate=0.3,
+                    max_attempts=4, degradation=Degradation.FAIL):
+    """A session over a flaky pool with retries — interactions must stay
+    deterministic and correctly accounted even when calls fail and are
+    re-issued."""
+    pool = ServicePool(
+        movie_registry,
+        global_seed=seed,
+        fault_model=FaultModel.uniform(failure_rate=failure_rate),
+    )
+    return LiquidQuerySession(
+        candidate=optimize_query(movie_query),
+        query=movie_query,
+        pool=pool,
+        inputs=dict(RUNNING_EXAMPLE_INPUTS),
+        executor_options={
+            "retry": RetryPolicy(max_attempts=max_attempts, base_backoff=0.1),
+            "degradation": degradation,
+        },
+    )
+
+
+def _fingerprint(session):
+    """Results + call log, rounded for exact comparison across replays."""
+    return (
+        [round(c.score, 9) for c in session.run(k=1000)],
+        [
+            (r.alias, r.chunk_index, r.outcome, r.attempt)
+            for r in session.pool.log.records
+        ],
+    )
+
+
+class TestFaultComposition:
+    """Session interactions composed with fault injection and retry."""
+
+    def test_run_retries_transient_faults(self, movie_query, movie_registry):
+        session = _faulty_session(movie_query, movie_registry)
+        results = session.run()
+        assert results
+        records = session.pool.log.records
+        # The seeded fault model fired at least once and the retry
+        # harness re-issued those chunks.
+        assert any(r.failed for r in records)
+        assert any(r.attempt > 1 for r in records)
+        # Every chunk was eventually delivered: failures are strictly
+        # outnumbered by round trips.
+        assert session.total_calls == len(records)
+
+    def test_rerank_under_faults_is_deterministic(
+        self, movie_query, movie_registry
+    ):
+        def reranked():
+            session = _faulty_session(movie_query, movie_registry)
+            session.run(k=1000)
+            calls = session.total_calls
+            order = [
+                round(c.score, 9)
+                for c in session.rerank({"M": 1.0, "T": 0.0, "R": 0.0}, k=1000)
+            ]
+            # Re-weighting never re-fetches, faults or not.
+            assert session.total_calls == calls
+            return order
+
+        assert reranked() == reranked()
+
+    def test_resubmit_under_faults_round_trips_and_determinism(
+        self, movie_query, movie_registry
+    ):
+        def resubmitted():
+            session = _faulty_session(movie_query, movie_registry)
+            session.run()
+            before = session.total_calls
+            changed = dict(RUNNING_EXAMPLE_INPUTS)
+            changed["INPUT1"] = "genre#5"
+            results = session.resubmit(changed)
+            # Resubmission re-executes against the same pool: new round
+            # trips land in the same call log, after the old ones.
+            assert session.total_calls > before
+            return (
+                [round(c.score, 9) for c in results],
+                [
+                    (r.alias, r.outcome, r.attempt)
+                    for r in session.pool.log.records
+                ],
+            )
+
+        first, second = resubmitted(), resubmitted()
+        assert first == second
+
+    def test_full_interaction_sequence_replays_identically(
+        self, movie_query, movie_registry
+    ):
+        def trace():
+            session = _faulty_session(movie_query, movie_registry)
+            session.run()
+            session.more()
+            session.rerank({"M": 0.2, "T": 0.3, "R": 0.5})
+            session.resubmit(dict(RUNNING_EXAMPLE_INPUTS))
+            return _fingerprint(session)
+
+        assert trace() == trace()
+
+    def test_degraded_resubmit_with_outage(self, movie_query, movie_registry):
+        pool = ServicePool(
+            movie_registry,
+            global_seed=21,
+            fault_model=FaultModel().with_outage("Restaurant1"),
+        )
+        session = LiquidQuerySession(
+            candidate=optimize_query(movie_query),
+            query=movie_query,
+            pool=pool,
+            inputs=dict(RUNNING_EXAMPLE_INPUTS),
+            executor_options={
+                "retry": RetryPolicy(max_attempts=2, base_backoff=0.1),
+                "degradation": Degradation.PARTIAL,
+            },
+        )
+        # Graceful degradation applies to the interactive surface too:
+        # both the initial run and a resubmit finish despite the outage.
+        session.run()
+        results = session.resubmit(dict(RUNNING_EXAMPLE_INPUTS))
+        assert results == session.run()
+        assert all(r.outcome == "unavailable"
+                   for r in pool.log.records if r.alias == "R")
 
 
 class TestValidation:

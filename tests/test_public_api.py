@@ -1,0 +1,67 @@
+"""The package's public API surface: ``__all__`` must be importable.
+
+A downstream user's contract with the repro is ``from repro import X``
+for every ``X`` the package advertises.  These tests import every
+advertised name (top-level and :mod:`repro.serve`), so an export that
+goes stale — renamed, moved, or deleted without updating ``__all__`` —
+fails loudly here instead of in user code.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+import repro.serve
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_top_level_export_resolves(name):
+    assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is missing"
+    assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("name", sorted(repro.serve.__all__))
+def test_serve_export_resolves(name):
+    assert hasattr(repro.serve, name)
+
+
+def test_star_import_matches_all():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - the point of the test
+    missing = [name for name in repro.__all__ if name not in namespace]
+    assert not missing, f"star import missed {missing}"
+
+
+def test_key_serving_entry_points_exported():
+    # The serving runtime's user-facing surface, by name.
+    for name in (
+        "LiquidQuerySession",
+        "SessionManager",
+        "ServeScheduler",
+        "ServeConfig",
+        "PlanCache",
+        "InvocationCache",
+        "WorkloadConfig",
+        "generate_workload",
+        "run_serving_benchmark",
+        "plan_signature",
+    ):
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
+
+
+def test_all_names_unique():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_subpackages_importable():
+    for module in (
+        "repro.serve.workload",
+        "repro.serve.scheduler",
+        "repro.serve.sessions",
+        "repro.serve.plancache",
+        "repro.serve.bench",
+    ):
+        assert importlib.import_module(module) is not None
