@@ -1,0 +1,193 @@
+"""E21 — asyncio backend equivalence and wall-clock overlap.
+
+The asyncio real-execution backend must be a *faithful twin* of the
+virtual-clock simulator: same seeded world, byte-identical results.  Its
+payoff is wall-clock overlap — service round trips that the sequential
+simulator walks one at a time genuinely run concurrently on the event
+loop.  This bench gates both claims:
+
+* **Equivalence** — on the Fig. 10 movie plan and the Fig. 2 conference
+  plan, the asyncio run's result digest equals the virtual run's;
+* **Overlap** — on Fig. 10 (three services, a parallel join, chained
+  pipe stages), the asyncio wall time beats the serial sleep budget
+  (``total simulated latency x time_scale``) by more than 1.5x.
+
+``time_scale`` maps virtual seconds to wall seconds.  The overlap gate
+uses a scale where per-call sleeps are a few tens of milliseconds —
+large enough that event-loop overhead (task switching, semaphores) is
+noise against the modelled latency, as it would be against real network
+round trips.  The equivalence checks run at scale 0 (instant sleeps).
+
+Standalone: ``python benchmarks/bench_async_backend.py`` writes
+``BENCH_async.json`` at the repo root and exits non-zero if a gate
+fails — the CI ``async-equivalence`` job runs exactly this.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.topology import enumerate_topologies
+from repro.engine.executor import execute_plan
+from repro.engine.async_runner import run_plan_async
+from repro.query.feasibility import enumerate_binding_choices
+from repro.serve.bench import result_digest
+from repro.services.marts import (
+    CONFERENCE_INPUTS,
+    CONFERENCE_QUERY,
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    conference_trip_registry,
+    movie_night_registry,
+)
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.simulated import ServicePool
+
+SEED = 42
+FIG10_FETCHES = {"M": 5, "T": 5, "R": 1}
+FIG2_FETCHES = {"F": 2, "H": 2}
+#: Virtual->wall scale for the overlap measurement: Fig. 10's ~28 calls
+#: at mean latencies of a second-plus become tens of wall milliseconds
+#: each, so concurrency — not event-loop overhead — dominates.
+OVERLAP_TIME_SCALE = 0.02
+SPEEDUP_GATE = 1.5
+#: Best-of-N wall-clock runs: one-off scheduler hiccups on a busy CI
+#: host must not fail the gate.
+OVERLAP_RUNS = 3
+
+
+def _movie_suite():
+    registry = movie_night_registry()
+    query = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+    choice = next(enumerate_binding_choices(query))
+    for plan in enumerate_topologies(query, {}, choice):
+        joins = plan.join_nodes()
+        if not joins:
+            continue
+        child = plan.node(plan.children(joins[0].node_id)[0])
+        if getattr(child, "alias", None) == "R":
+            return registry, query, plan, RUNNING_EXAMPLE_INPUTS, FIG10_FETCHES
+    raise AssertionError("Fig. 10 topology not found")
+
+
+def _conference_suite():
+    registry = conference_trip_registry()
+    query = compile_query(parse_query(CONFERENCE_QUERY), registry)
+    choice = next(enumerate_binding_choices(query))
+    plan = next(enumerate_topologies(query, {}, choice))
+    return registry, query, plan, CONFERENCE_INPUTS, FIG2_FETCHES
+
+
+def _equivalence(suite) -> dict:
+    registry, query, plan, inputs, fetches = suite
+    virtual = execute_plan(
+        plan, query, ServicePool(registry, global_seed=SEED), inputs, fetches
+    )
+    real = run_plan_async(
+        plan,
+        query,
+        ServicePool(registry, global_seed=SEED),
+        inputs,
+        fetches,
+        time_scale=0.0,
+    )
+    return {
+        "results": len(virtual.tuples),
+        "round_trips": virtual.log.total_calls(),
+        "virtual_digest": result_digest(virtual.tuples),
+        "async_digest": result_digest(real.tuples),
+        "identical": result_digest(real.tuples) == result_digest(virtual.tuples),
+        "execution_time_virtual": virtual.execution_time,
+        "execution_time_async": real.execution_time,
+    }
+
+
+def _overlap(suite) -> dict:
+    registry, query, plan, inputs, fetches = suite
+    best = None
+    for _ in range(OVERLAP_RUNS):
+        result = run_plan_async(
+            plan,
+            query,
+            ServicePool(registry, global_seed=SEED),
+            inputs,
+            fetches,
+            time_scale=OVERLAP_TIME_SCALE,
+        )
+        serial = result.log.total_latency() * OVERLAP_TIME_SCALE
+        speedup = serial / result.wall_time if result.wall_time > 0 else 0.0
+        run = {
+            "wall_time": result.wall_time,
+            "serial_sleep_budget": serial,
+            "speedup": speedup,
+        }
+        if best is None or run["speedup"] > best["speedup"]:
+            best = run
+    assert best is not None
+    best["time_scale"] = OVERLAP_TIME_SCALE
+    best["runs"] = OVERLAP_RUNS
+    return best
+
+
+def collect_async_backend() -> dict:
+    """Equivalence + overlap across both example plans, with gates."""
+    fig10 = _movie_suite()
+    fig2 = _conference_suite()
+    equivalence = {
+        "fig10_movie": _equivalence(fig10),
+        "fig2_conference": _equivalence(fig2),
+    }
+    overlap = _overlap(fig10)
+    return {
+        "benchmark": "async-backend",
+        "seed": SEED,
+        "equivalence": equivalence,
+        "overlap_fig10": overlap,
+        "gates": {
+            "results_identical_fig10": equivalence["fig10_movie"]["identical"],
+            "results_identical_fig2": equivalence["fig2_conference"]["identical"],
+            "speedup_gt_1_5_fig10": overlap["speedup"] > SPEEDUP_GATE,
+        },
+    }
+
+
+def test_e21_async_backend_equivalence_and_overlap(benchmark):
+    payload = benchmark.pedantic(collect_async_backend, rounds=1, iterations=1)
+    gates = payload["gates"]
+    overlap = payload["overlap_fig10"]
+    benchmark.extra_info.update(
+        {
+            "speedup": overlap["speedup"],
+            "wall_time": overlap["wall_time"],
+            "gates": gates,
+        }
+    )
+    report(
+        "E21: asyncio backend — equivalence and overlap",
+        [
+            f"fig10 digests identical: {gates['results_identical_fig10']}",
+            f"fig2 digests identical: {gates['results_identical_fig2']}",
+            (
+                f"fig10 overlap: {overlap['wall_time']:.3f}s wall vs "
+                f"{overlap['serial_sleep_budget']:.3f}s serial "
+                f"({overlap['speedup']:.2f}x, gate > {SPEEDUP_GATE}x)"
+            ),
+        ],
+    )
+    assert all(gates.values()), gates
+
+
+if __name__ == "__main__":  # pragma: no cover - standalone report shim
+    import json
+    import pathlib
+    import sys
+
+    payload = collect_async_backend()
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_async.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    gates = payload["gates"]
+    for name, passed in sorted(gates.items()):
+        print(f"gate {name}: {'PASS' if passed else 'FAIL'}")
+    sys.exit(0 if all(gates.values()) else 1)

@@ -32,6 +32,11 @@ from repro.core.optimizer import (
     optimize_query,
 )
 from repro.core.optimizer import plan_signature
+from repro.engine.async_runner import (
+    AsyncExecutionContext,
+    AsyncPlanExecutor,
+    run_plan_async,
+)
 from repro.engine.executor import (
     ExecutionResult,
     InvocationCache,
@@ -73,11 +78,14 @@ __all__ = [
     "PlanCandidate",
     "optimize_query",
     "plan_signature",
+    "AsyncExecutionContext",
+    "AsyncPlanExecutor",
     "Degradation",
     "ExecutionResult",
     "InvocationCache",
     "LiquidQuerySession",
     "execute_plan",
+    "run_plan_async",
     "FaultModel",
     "FaultProfile",
     "RetryPolicy",

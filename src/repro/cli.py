@@ -10,7 +10,9 @@ Commands:
   the top-k combinations and the call/time accounting.  ``--trace`` /
   ``--trace-format`` export the span tree (JSONL or Chrome
   ``trace_event`` JSON); ``--metrics json`` prints the unified metrics
-  snapshot.
+  snapshot.  ``--backend asyncio`` executes the same plan with really
+  concurrent service calls (digest-identical results, wall-clock
+  overlap reported).
 * ``explain``   — optimize, execute, and print the per-node explain
   tree: estimated vs. actual cardinality, calls, cache hits, probe
   counts, and bottleneck attribution.
@@ -21,6 +23,9 @@ Commands:
   writes the full ``BENCH_serving.json`` report.  Exits nonzero when a
   sharing gate fails (shared mode issuing more round trips than
   isolated, or per-request results diverging), so CI can gate on it.
+  ``--backend asyncio`` serves the same workload on the asyncio
+  real-execution backend and gates per-request digests against the
+  virtual scheduler's.
 
 ``run`` exits 0 on success and, by default, also when execution
 *degraded* (some services stayed down and results are best-effort
@@ -45,6 +50,7 @@ from typing import Any
 from repro.core.cost import DEFAULT_METRICS
 from repro.core.optimizer import Optimizer, OptimizerConfig
 from repro.core.topology import enumerate_topologies
+from repro.engine.async_runner import run_plan_async
 from repro.engine.executor import execute_plan
 from repro.engine.retry import RetryPolicy
 from repro.errors import RetryExhaustedError, SearchComputingError
@@ -118,6 +124,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--budget",
         type=int,
         help="anytime expansion budget (default: run to exhaustion)",
+    )
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend knobs (shared by ``run``, ``explain``, ``serve-bench``)."""
+    backend = parser.add_argument_group("execution backend")
+    backend.add_argument(
+        "--backend",
+        choices=("virtual", "asyncio"),
+        default="virtual",
+        help="virtual: deterministic discrete-event simulation (default); "
+        "asyncio: really concurrent service calls on an event loop — "
+        "same results, real wall-clock overlap",
+    )
+    backend.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.001,
+        help="asyncio backend: wall seconds slept per virtual second of "
+        "simulated latency (default: 0.001)",
+    )
+    backend.add_argument(
+        "--max-connections",
+        type=int,
+        default=8,
+        help="asyncio backend: connection-pool size per service interface "
+        "(default: 8)",
     )
 
 
@@ -208,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="optimize and execute a query")
     _add_common(run_cmd)
     _add_execution(run_cmd)
+    _add_backend(run_cmd)
     run_cmd.add_argument(
         "--strict",
         action="store_true",
@@ -241,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(explain_cmd)
     _add_execution(explain_cmd)
+    _add_backend(explain_cmd)
 
     topo_cmd = commands.add_parser(
         "topologies", help="enumerate admissible plan topologies"
@@ -291,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full benchmark report as JSON to PATH",
     )
+    _add_backend(serve_cmd)
     return parser
 
 
@@ -362,19 +398,36 @@ def _execute(args, registry, compiled, inputs, best, tracer=NULL_TRACER):
         print(f"error: {exc}", file=sys.stderr)
         return 2, None
     pool = ServicePool(registry, global_seed=args.seed, fault_model=fault_model)
-    tracer.bind_clock(pool.clock)
+    backend = getattr(args, "backend", "virtual")
+    if backend == "virtual":
+        tracer.bind_clock(pool.clock)
     try:
-        result = execute_plan(
-            best.plan,
-            compiled,
-            pool,
-            inputs,
-            fetches,
-            retry=retry,
-            degradation=args.degradation,
-            invocation_cache_size=args.invocation_cache_size or None,
-            tracer=tracer,
-        )
+        if backend == "asyncio":
+            result = run_plan_async(
+                best.plan,
+                compiled,
+                pool,
+                inputs,
+                fetches,
+                retry=retry,
+                degradation=args.degradation,
+                invocation_cache_size=args.invocation_cache_size or None,
+                tracer=tracer,
+                time_scale=args.time_scale,
+                max_connections=args.max_connections,
+            )
+        else:
+            result = execute_plan(
+                best.plan,
+                compiled,
+                pool,
+                inputs,
+                fetches,
+                retry=retry,
+                degradation=args.degradation,
+                invocation_cache_size=args.invocation_cache_size or None,
+                tracer=tracer,
+            )
     except RetryExhaustedError as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(
@@ -398,6 +451,13 @@ def _cmd_run(args) -> int:
         f"{result.execution_time:.2f} virtual seconds, "
         f"{len(result.tuples)} combinations"
     )
+    if result.backend == "asyncio":
+        serial = result.log.total_latency() * args.time_scale
+        speedup = serial / result.wall_time if result.wall_time > 0 else 0.0
+        print(
+            f"backend asyncio: {result.wall_time:.3f}s wall "
+            f"(serial would sleep {serial:.3f}s; {speedup:.2f}x overlap)"
+        )
     failed = result.log.failed_calls()
     if failed or result.incomplete:
         print(
@@ -478,6 +538,8 @@ def _cmd_serve_bench(args) -> int:
         raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
     if not rates:
         raise SystemExit("--rates needs at least one rate")
+    if args.backend == "asyncio":
+        return _serve_bench_asyncio(args, rates)
     report = run_serving_benchmark(
         load_levels=rates,
         num_requests=args.requests,
@@ -518,6 +580,75 @@ def _cmd_serve_bench(args) -> int:
         gates["shared_never_more_round_trips"],
     )
     return 0 if all(hard_gates) else 1
+
+
+def _serve_bench_asyncio(args, rates) -> int:
+    """Serve the seeded workload on the asyncio backend, per rate, and
+    gate each request's result digest against the virtual scheduler's."""
+    from repro.serve import serve_workload
+    from repro.serve.async_serve import serve_workload_async
+
+    levels = []
+    all_identical = True
+    print(
+        f"async serving: {args.requests} requests per rate, seed {args.seed}, "
+        f"concurrency {args.concurrency}, time scale {args.time_scale:g}"
+    )
+    for rate in rates:
+        kwargs = dict(
+            rate=rate,
+            num_requests=args.requests,
+            seed=args.seed,
+            shared=True,
+            skew=args.skew,
+            followup_fraction=args.followups,
+            max_concurrency=args.concurrency,
+        )
+        _, virtual_digests = serve_workload(**kwargs)
+        report = serve_workload_async(
+            **kwargs,
+            time_scale=args.time_scale,
+            max_connections=args.max_connections,
+        )
+        async_digests = report.digests()
+        identical = virtual_digests == async_digests
+        all_identical = all_identical and identical
+        errors = [o for o in report.outcomes if not o.completed]
+        print(
+            f"rate {rate:g} req/s: {len(report.completed())} completed in "
+            f"{report.wall_time:.3f}s wall ({report.throughput:.1f} req/s); "
+            f"digests match virtual scheduler: {identical}"
+        )
+        for outcome in errors:
+            print(
+                f"  request {outcome.request.request_id} "
+                f"({outcome.request.kind}): {outcome.error}"
+            )
+        levels.append(
+            {
+                "rate": rate,
+                "completed": len(report.completed()),
+                "errors": len(errors),
+                "wall_time": report.wall_time,
+                "throughput": report.throughput,
+                "results_identical": identical,
+            }
+        )
+    print(f"gate results_identical: {'PASS' if all_identical else 'FAIL'}")
+    if args.output:
+        payload = {
+            "benchmark": "serving-asyncio",
+            "seed": args.seed,
+            "num_requests": args.requests,
+            "time_scale": args.time_scale,
+            "max_concurrency": args.concurrency,
+            "levels": levels,
+            "gates": {"results_identical": all_identical},
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    return 0 if all_identical else 1
 
 
 def _cmd_topologies(args) -> int:

@@ -1,5 +1,10 @@
 """Execution engine: virtual time, call logging, clocks, plan execution."""
 
+from repro.engine.async_runner import (
+    AsyncExecutionContext,
+    AsyncPlanExecutor,
+    run_plan_async,
+)
 from repro.engine.clock import JoinClock
 from repro.engine.events import CallLog, CallRecord, VirtualClock
 from repro.engine.liquid import LiquidQuerySession
@@ -13,6 +18,9 @@ from repro.engine.executor import (
 )
 
 __all__ = [
+    "AsyncExecutionContext",
+    "AsyncPlanExecutor",
+    "run_plan_async",
     "LiquidQuerySession",
     "StreamedJoin",
     "stream_binary_join",

@@ -97,8 +97,20 @@ class CallLog:
         """Replace fields of the most recent record (e.g. its backoff wait)."""
         if not self.records:
             raise ExecutionError("cannot amend an empty call log")
-        amended = dataclasses.replace(self.records[-1], **changes)
-        self.records[-1] = amended
+        return self.amend_at(len(self.records) - 1, **changes)
+
+    def amend_at(self, index: int, **changes: object) -> CallRecord:
+        """Replace fields of the record at ``index``.
+
+        Concurrent callers (the asyncio backend) interleave appends from
+        many services, so "the last record" is not necessarily "my
+        record" — amending by the index captured when the call was
+        issued is.
+        """
+        if not -len(self.records) <= index < len(self.records):
+            raise ExecutionError(f"no call record at index {index}")
+        amended = dataclasses.replace(self.records[index], **changes)
+        self.records[index] = amended
         return amended
 
     def __len__(self) -> int:

@@ -279,6 +279,12 @@ class ExecutionResult:
     #: Aliases whose service was abandoned after exhausting retries
     #: (non-empty only under ``partial`` degradation).
     failed_aliases: tuple[str, ...] = ()
+    #: Which backend produced this result: ``"virtual"`` (discrete-event
+    #: simulation) or ``"asyncio"`` (real concurrent execution).
+    backend: str = "virtual"
+    #: Wall-clock seconds the run took (asyncio backend only; the
+    #: virtual-clock backend reports 0.0 — its cost axis is virtual time).
+    wall_time: float = 0.0
 
     @property
     def incomplete(self) -> bool:
@@ -539,76 +545,110 @@ class PlanExecutor:
             return members[0].get(path.name)
         return component.values.get(path.name)
 
+    def _service_call_spec(
+        self, node: ServiceNode, composite: CompositeTuple
+    ) -> tuple[dict[str, Any], list[SelectionPredicate]] | None:
+        """Bindings and server-side constraints for one upstream composite.
+
+        Returns ``None`` when a pipe source never materialised (its
+        service was abandoned under partial degradation), leaving the
+        call with nothing to bind: the caller keeps the upstream
+        combination as-is.  Pure CPU work — shared verbatim by the
+        virtual-clock and asyncio backends, which is what keeps both
+        issuing byte-identical invocations.
+        """
+        assert node.interface is not None
+        if any(
+            provider.kind is not ProviderKind.CONSTANT
+            and provider.source_alias not in composite.components
+            for provider in node.providers
+        ):
+            return None
+        bindings: dict[str, Any] = {}
+        constraints: list[SelectionPredicate] = []
+        for provider in node.providers:
+            path_key = str(provider.path)
+            if provider.kind is ProviderKind.CONSTANT:
+                assert provider.selection is not None
+                value = self._resolve_constant(provider.selection)
+                if provider.selection.comparator is Comparator.EQ:
+                    bindings[path_key] = value
+                # Every constant provider is also a server-side
+                # constraint: the EQ ones are satisfied by echo, but
+                # including them makes the generator's rejection
+                # sampling enforce the *joint* witness (one member
+                # satisfying, e.g., both Country= and Date>).
+                constraints.append(
+                    SelectionPredicate(
+                        provider.selection.attr,
+                        provider.selection.comparator,
+                        value,
+                    )
+                )
+                bindings.setdefault(path_key, None)
+            else:
+                assert provider.source_alias is not None
+                bindings[path_key] = self._source_value(
+                    composite, provider.source_alias, provider.source_path
+                )
+        # Inputs constrained only by range predicates carry no single
+        # value; they are passed as None and the simulated service
+        # treats a None binding as "no preference" (no echo), leaving
+        # the server-side constraint filter to do the work.
+        for path in node.interface.input_paths():
+            bindings.setdefault(path, None)
+        return bindings, constraints
+
+    def _compose_service_results(
+        self,
+        node: ServiceNode,
+        composite: CompositeTuple,
+        tuples: Sequence[Any],
+        failed: bool,
+        selections: Sequence[SelectionPredicate],
+        out: list[CompositeTuple],
+    ) -> None:
+        """Filter one invocation's tuples and compose survivors into ``out``.
+
+        Pure CPU work shared by both execution backends; appending in
+        upstream order keeps the output list byte-identical however the
+        fetches themselves were interleaved.
+        """
+        if failed and not tuples:
+            # Best-effort degradation: the branch is down, so the
+            # upstream combination flows on without this component.
+            out.append(composite)
+            return
+        alias = node.alias
+        for tup in tuples:
+            if selections and not tuple_satisfies_selections(
+                tup, alias, selections, self.inputs
+            ):
+                continue
+            components = dict(composite.components)
+            components[alias] = tup
+            score = self.query.ranking.score_composite(components)
+            out.append(CompositeTuple(components, score))
+
     def _run_service(self, node: ServiceNode, upstream: list[CompositeTuple]):
         """Step generator over one service node's invocations."""
         assert node.interface is not None
-        alias = node.alias
-        factor = max(1, int(self.fetches.get(alias, 1)))
-        selections = list(self.query.selections_on(alias))
+        factor = max(1, int(self.fetches.get(node.alias, 1)))
+        selections = list(self.query.selections_on(node.alias))
         out: list[CompositeTuple] = []
 
         for composite in upstream:
-            bindings: dict[str, Any] = {}
-            constraints: list[SelectionPredicate] = []
-            # A pipe source that never materialised (its service was
-            # abandoned under partial degradation) leaves this call with
-            # nothing to bind: keep the upstream combination as-is.
-            if any(
-                provider.kind is not ProviderKind.CONSTANT
-                and provider.source_alias not in composite.components
-                for provider in node.providers
-            ):
+            spec = self._service_call_spec(node, composite)
+            if spec is None:
                 out.append(composite)
                 continue
-            for provider in node.providers:
-                path_key = str(provider.path)
-                if provider.kind is ProviderKind.CONSTANT:
-                    assert provider.selection is not None
-                    value = self._resolve_constant(provider.selection)
-                    if provider.selection.comparator is Comparator.EQ:
-                        bindings[path_key] = value
-                    # Every constant provider is also a server-side
-                    # constraint: the EQ ones are satisfied by echo, but
-                    # including them makes the generator's rejection
-                    # sampling enforce the *joint* witness (one member
-                    # satisfying, e.g., both Country= and Date>).
-                    constraints.append(
-                        SelectionPredicate(
-                            provider.selection.attr,
-                            provider.selection.comparator,
-                            value,
-                        )
-                    )
-                    bindings.setdefault(path_key, None)
-                else:
-                    assert provider.source_alias is not None
-                    bindings[path_key] = self._source_value(
-                        composite, provider.source_alias, provider.source_path
-                    )
-            # Inputs constrained only by range predicates carry no single
-            # value; they are passed as None and the simulated service
-            # treats a None binding as "no preference" (no echo), leaving
-            # the server-side constraint filter to do the work.
-            for path in node.interface.input_paths():
-                bindings.setdefault(path, None)
-
+            bindings, constraints = spec
             tuples, failed = yield from self._fetch(
                 node, bindings, constraints, factor
             )
-            if failed and not tuples:
-                # Best-effort degradation: the branch is down, so the
-                # upstream combination flows on without this component.
-                out.append(composite)
-                continue
-            for tup in tuples:
-                if selections and not tuple_satisfies_selections(
-                    tup, alias, selections, self.inputs
-                ):
-                    continue
-                components = dict(composite.components)
-                components[alias] = tup
-                score = self.query.ranking.score_composite(components)
-                out.append(CompositeTuple(components, score))
+            self._compose_service_results(
+                node, composite, tuples, failed, selections, out
+            )
         return out
 
     def _fetch(

@@ -42,6 +42,11 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.core.optimizer import PlanCandidate
+from repro.engine.async_runner import (
+    BACKENDS,
+    AsyncExecutionContext,
+    AsyncPlanExecutor,
+)
 from repro.engine.executor import ExecutionResult, PlanExecutor
 from repro.errors import ExecutionError
 from repro.model.tuples import CompositeTuple, RankingFunction
@@ -79,6 +84,17 @@ class LiquidQuerySession:
         Extra keyword arguments for every executor this session builds
         (``retry``, ``degradation``, ``invocation_cache``, ``tracer``,
         ``invocation_cache_size``).
+    backend:
+        ``"virtual"`` (default) executes on the discrete-event simulator
+        — deterministic, step-resumable, the oracle.  ``"asyncio"`` runs
+        the same plan with genuinely concurrent service calls; results
+        are digest-identical (see :mod:`repro.engine.async_runner`), but
+        the step-generator twins are unavailable — concurrency replaces
+        cooperative stepping.
+    async_context:
+        Wall-clock knobs (and shared connection pools / single-flight
+        state) for the asyncio backend; a private default-configured
+        context is built when omitted.
     """
 
     candidate: PlanCandidate
@@ -87,6 +103,8 @@ class LiquidQuerySession:
     inputs: dict[str, Any]
     growth: int = 2
     executor_options: dict[str, Any] = field(default_factory=dict)
+    backend: str = "virtual"
+    async_context: AsyncExecutionContext | None = None
     _fetches: dict[str, int] = field(init=False)
     _ranking: RankingFunction = field(init=False)
     _last: ExecutionResult | None = field(init=False, default=None)
@@ -95,6 +113,12 @@ class LiquidQuerySession:
     def __post_init__(self) -> None:
         if self.growth < 2:
             raise ExecutionError("growth must be at least 2")
+        if self.backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.backend == "asyncio" and self.async_context is None:
+            self.async_context = AsyncExecutionContext()
         self._fetches = dict(self.candidate.fetch_vector())
         self._ranking = self.query.ranking
 
@@ -115,24 +139,68 @@ class LiquidQuerySession:
         executor.k = 10**9
         return executor
 
-    def execute_steps(self):
-        """Step generator for one (re-)execution; absorbs the result."""
-        result = yield from self._make_executor().steps()
+    def _make_async_executor(self) -> AsyncPlanExecutor:
+        executor = AsyncPlanExecutor(
+            plan=self.candidate.plan,
+            query=self.query,
+            pool=self.pool,
+            inputs=self.inputs,
+            fetches=self._fetches,
+            k=None,
+            context=self.async_context,
+            **self.executor_options,
+        )
+        executor.k = 10**9
+        return executor
+
+    def _absorb(self, result: ExecutionResult) -> ExecutionResult:
         self._raw = list(result.tuples)
         self._last = result
         return result
 
+    def execute_steps(self):
+        """Step generator for one (re-)execution; absorbs the result.
+
+        Virtual backend only: stepping pauses a query between round
+        trips, which is meaningless once round trips genuinely overlap.
+        """
+        if self.backend != "virtual":
+            raise ExecutionError(
+                "step generators require the virtual backend; the "
+                "asyncio backend interleaves via the event loop instead"
+            )
+        result = yield from self._make_executor().steps()
+        return self._absorb(result)
+
+    async def execute_async(self) -> ExecutionResult:
+        """Awaitable (re-)execution on the asyncio backend; absorbs the
+        result.  Usable from a running event loop regardless of the
+        session's default ``backend``."""
+        return self._absorb(await self._make_async_executor().execute())
+
     def _execute(self) -> ExecutionResult:
+        if self.backend == "asyncio":
+            return self._absorb(self._make_async_executor().run())
         return _drain(self.execute_steps())
 
     def run(self, k: int | None = None) -> list[CompositeTuple]:
         """Execute (or re-present) the current query; returns the top-k."""
+        if self.backend == "asyncio":
+            if self._last is None:
+                self._execute()
+            return self._present(k)
         return _drain(self.run_steps(k))
 
     def run_steps(self, k: int | None = None):
-        """Step-generator twin of :meth:`run`."""
+        """Step-generator twin of :meth:`run` (virtual backend only)."""
         if self._last is None:
             yield from self.execute_steps()
+        return self._present(k)
+
+    async def run_async(self, k: int | None = None) -> list[CompositeTuple]:
+        """Awaitable twin of :meth:`run` for a running event loop."""
+        if self._last is None:
+            await self.execute_async()
         return self._present(k)
 
     def _present(self, k: int | None) -> list[CompositeTuple]:
@@ -152,15 +220,32 @@ class LiquidQuerySession:
         "A plan execution can be continued, after an explicit user
         request, thereby producing more tuples."
         """
+        if self.backend == "asyncio":
+            before = self._grow_fetches()
+            self._execute()
+            return self._present_more(before, k)
         return _drain(self.more_steps(k))
 
     def more_steps(self, k: int | None = None):
-        """Step-generator twin of :meth:`more`."""
+        """Step-generator twin of :meth:`more` (virtual backend only)."""
+        before = self._grow_fetches()
+        yield from self.execute_steps()
+        return self._present_more(before, k)
+
+    async def more_async(self, k: int | None = None) -> list[CompositeTuple]:
+        """Awaitable twin of :meth:`more` for a running event loop."""
+        before = self._grow_fetches()
+        await self.execute_async()
+        return self._present_more(before, k)
+
+    def _grow_fetches(self) -> int:
+        """Grow every fetch factor; returns the pre-growth result count."""
         self._fetches = {
             alias: factor * self.growth for alias, factor in self._fetches.items()
         }
-        before = len(self._raw)
-        yield from self.execute_steps()
+        return len(self._raw)
+
+    def _present_more(self, before: int, k: int | None) -> list[CompositeTuple]:
         if len(self._raw) < before:  # pragma: no cover - defensive
             raise ExecutionError("result list shrank while fetching more")
         limit = self.query.k if k is None else k
@@ -194,14 +279,29 @@ class LiquidQuerySession:
         self, inputs: Mapping[str, Any], k: int | None = None
     ) -> list[CompositeTuple]:
         """Change the INPUT keywords and re-execute the same plan."""
+        if self.backend == "asyncio":
+            self._reset_inputs(inputs)
+            self._execute()
+            return self._present(k)
         return _drain(self.resubmit_steps(inputs, k))
 
     def resubmit_steps(self, inputs: Mapping[str, Any], k: int | None = None):
-        """Step-generator twin of :meth:`resubmit`."""
-        self.inputs = dict(inputs)
-        self._fetches = dict(self.candidate.fetch_vector())
+        """Step-generator twin of :meth:`resubmit` (virtual backend only)."""
+        self._reset_inputs(inputs)
         yield from self.execute_steps()
         return self._present(k)
+
+    async def resubmit_async(
+        self, inputs: Mapping[str, Any], k: int | None = None
+    ) -> list[CompositeTuple]:
+        """Awaitable twin of :meth:`resubmit` for a running event loop."""
+        self._reset_inputs(inputs)
+        await self.execute_async()
+        return self._present(k)
+
+    def _reset_inputs(self, inputs: Mapping[str, Any]) -> None:
+        self.inputs = dict(inputs)
+        self._fetches = dict(self.candidate.fetch_vector())
 
     # -- accounting -------------------------------------------------------------------
 

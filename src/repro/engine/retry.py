@@ -144,6 +144,7 @@ class Retrier:
         """
         attempt = 1
         while True:
+            logged_before = len(self.log) if self.log is not None else 0
             try:
                 return fn()
             except (ServiceTimeoutError, ServiceUnavailableError) as exc:
@@ -166,7 +167,28 @@ class Retrier:
                 ):
                     if wait and self.clock is not None:
                         self.clock.advance(wait)
-                if wait and self.log is not None and len(self.log):
-                    self.log.amend_last(backoff_wait=wait)
+                if wait and self.log is not None:
+                    self._amend_failed_attempt(logged_before, service, wait)
                 self.retries += 1
                 attempt += 1
+
+    def _amend_failed_attempt(
+        self, logged_before: int, service: str | None, wait: float
+    ) -> None:
+        """Amend the backoff wait onto the failed attempt's own record.
+
+        A fault can fire *before* the attempt appends its record (the
+        invocation machinery raised early), and with a shared log another
+        caller may have appended in between — blindly amending the last
+        record would then charge the wait to an unrelated call.  Only a
+        record this attempt appended, matching the failing service and a
+        failed outcome, is amended; otherwise the wait advances the clock
+        but is attributed to no call.
+        """
+        log = self.log
+        assert log is not None
+        for index in range(len(log.records) - 1, logged_before - 1, -1):
+            record = log.records[index]
+            if record.failed and (service is None or record.service == service):
+                log.amend_at(index, backoff_wait=wait)
+                return

@@ -17,9 +17,17 @@ regime the ROADMAP's north star calls for:
   (``more``/``rerank``/``resubmit``) routed through the same scheduler,
   optionally sharing one cross-query invocation cache;
 * :mod:`repro.serve.bench` — the shared-vs-isolated serving benchmark
-  behind ``repro serve-bench`` and ``BENCH_serving.json``.
+  behind ``repro serve-bench`` and ``BENCH_serving.json``;
+* :mod:`repro.serve.async_serve` — the same seeded workload served on
+  the asyncio real-execution backend (``serve-bench --backend asyncio``),
+  digest-comparable request by request with the virtual scheduler.
 """
 
+from repro.serve.async_serve import (
+    AsyncServeOutcome,
+    AsyncServeReport,
+    serve_workload_async,
+)
 from repro.serve.bench import result_digest, run_serving_benchmark, serve_workload
 from repro.serve.plancache import PlanCache, PlanCacheStats
 from repro.serve.scheduler import (
@@ -38,6 +46,9 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "AsyncServeOutcome",
+    "AsyncServeReport",
+    "serve_workload_async",
     "PlanCache",
     "PlanCacheStats",
     "QueryTemplate",

@@ -1,0 +1,204 @@
+"""Asyncio serving: the seeded workload on really concurrent execution.
+
+The virtual-clock :class:`~repro.serve.scheduler.ServeScheduler` steps
+many in-flight queries on one deterministic timeline — the oracle for
+admission, fairness, and rate-limit behaviour.  This module is its
+wall-clock counterpart: the *same* seeded workload
+(:func:`~repro.serve.workload.generate_workload`) is served on an
+asyncio event loop, each request executing through the
+:mod:`~repro.engine.async_runner` backend with genuinely overlapping
+service calls.
+
+Correspondence with the virtual scheduler:
+
+* arrivals are paced by the workload's virtual arrival times scaled by
+  ``time_scale`` (the same factor that scales service latencies);
+* interactions on one session are **chained in arrival order** — a
+  follow-up awaits its parent chain before executing, so every session
+  sees the identical interaction sequence the virtual scheduler would
+  deliver, and per-request result digests match the virtual run's;
+* a global admission semaphore bounds concurrently *executing* requests
+  (the analogue of ``ServeConfig.max_concurrency``); excess arrivals
+  queue — there is no rejection path, matching the benchmark's
+  effectively unbounded queue;
+* all sessions share one :class:`~repro.engine.async_runner.AsyncExecutionContext`,
+  making the per-service connection pools a server-wide bound and
+  coalescing concurrent identical invocations across queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engine.async_runner import AsyncExecutionContext
+from repro.engine.executor import InvocationCache
+from repro.model.tuples import CompositeTuple
+from repro.serve.bench import result_digest
+from repro.serve.plancache import PlanCache
+from repro.serve.sessions import SessionManager
+from repro.serve.workload import (
+    QueryTemplate,
+    Request,
+    WorkloadConfig,
+    default_templates,
+    generate_workload,
+)
+
+__all__ = ["AsyncServeOutcome", "AsyncServeReport", "serve_workload_async"]
+
+
+@dataclass
+class AsyncServeOutcome:
+    """Terminal state of one request served on the asyncio backend."""
+
+    request: Request
+    results: list[CompositeTuple] | None = None
+    #: Wall seconds from admission to completion (queueing excluded).
+    wall_latency: float = 0.0
+    error: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class AsyncServeReport:
+    """Outcomes plus wall-clock accounting of one async serving run."""
+
+    outcomes: list[AsyncServeOutcome] = field(default_factory=list)
+    #: Wall seconds from first arrival to last completion.
+    wall_time: float = 0.0
+
+    def completed(self) -> list[AsyncServeOutcome]:
+        return [o for o in self.outcomes if o.completed]
+
+    def digests(self) -> dict[int, str]:
+        """Per-request result digests — the equivalence witness against
+        the virtual scheduler's run of the same workload."""
+        return {
+            o.request.request_id: result_digest(o.results or ())
+            for o in self.completed()
+        }
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall second."""
+        done = len(self.completed())
+        return done / self.wall_time if self.wall_time > 0 else 0.0
+
+
+async def _serve_async(
+    workload: Sequence[Request],
+    sessions: SessionManager,
+    *,
+    max_concurrency: int,
+    time_scale: float,
+) -> AsyncServeReport:
+    admission = asyncio.Semaphore(max_concurrency)
+    # One chain per session: request_id for a run, its target for
+    # follow-ups.  Chaining serialises a session's interactions in
+    # arrival order — the order the virtual scheduler delivers them.
+    chains: dict[int, asyncio.Task] = {}
+    outcomes: list[AsyncServeOutcome] = []
+    started = time.perf_counter()
+
+    async def handle(
+        request: Request, predecessor: asyncio.Task | None
+    ) -> AsyncServeOutcome:
+        if predecessor is not None:
+            # The parent chain must settle first; its failure surfaces
+            # below as a missing session, not as our exception.
+            await asyncio.gather(predecessor, return_exceptions=True)
+        outcome = AsyncServeOutcome(request=request)
+        async with admission:
+            admitted = time.perf_counter()
+            try:
+                outcome.results = await sessions.perform_async(request)
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.wall_latency = time.perf_counter() - admitted
+        outcomes.append(outcome)
+        return outcome
+
+    tasks: list[asyncio.Task] = []
+    for request in sorted(workload, key=lambda r: (r.arrival, r.request_id)):
+        due = started + request.arrival * time_scale
+        delay = due - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        session_key = (
+            request.request_id if request.kind == "run" else request.target
+        )
+        predecessor = chains.get(session_key) if session_key is not None else None
+        task = asyncio.ensure_future(handle(request, predecessor))
+        if session_key is not None:
+            chains[session_key] = task
+        tasks.append(task)
+    try:
+        await asyncio.gather(*tasks)
+    except BaseException:  # pragma: no cover - defensive unwind
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+    return AsyncServeReport(
+        outcomes=sorted(outcomes, key=lambda o: o.request.request_id),
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def serve_workload_async(
+    *,
+    rate: float,
+    num_requests: int,
+    seed: int,
+    shared: bool,
+    skew: float = 1.3,
+    followup_fraction: float = 0.25,
+    max_concurrency: int = 4,
+    time_scale: float = 0.001,
+    max_connections: int = 8,
+    templates: Sequence[QueryTemplate] | None = None,
+    context: AsyncExecutionContext | None = None,
+) -> AsyncServeReport:
+    """Serve one seeded workload on the asyncio backend.
+
+    Mirrors :func:`~repro.serve.bench.serve_workload` (same workload
+    generator, same sharing switch) so the two runs are comparable
+    request by request via :meth:`AsyncServeReport.digests`.
+    """
+    templates = tuple(templates or default_templates())
+    workload = generate_workload(
+        templates,
+        WorkloadConfig(
+            num_requests=num_requests,
+            rate=rate,
+            skew=skew,
+            seed=seed,
+            followup_fraction=followup_fraction,
+        ),
+    )
+    if context is None:
+        context = AsyncExecutionContext(
+            time_scale=time_scale, default_connections=max_connections
+        )
+    sessions = SessionManager(
+        templates={template.name: template for template in templates},
+        data_seed=seed,
+        plan_cache=PlanCache() if shared else None,
+        invocation_cache=(InvocationCache(max_size=None) if shared else None),
+        backend="asyncio",
+        async_context=context,
+    )
+    return asyncio.run(
+        _serve_async(
+            workload,
+            sessions,
+            max_concurrency=max_concurrency,
+            time_scale=time_scale,
+        )
+    )

@@ -181,7 +181,19 @@ class ServeReport:
         return done / self.makespan if self.makespan > 0 else float(done)
 
     def latency_summary(self) -> dict[str, float]:
+        """Latency percentiles of **completed** requests only.
+
+        Failed requests are observed into the separate
+        ``serve.latency_failed`` histogram (see :meth:`failed_latency_summary`):
+        fail-fast errors would otherwise drag the percentiles of the
+        result-delivering path; rejected requests never execute and have
+        no service latency at all.
+        """
         return self.metrics.histogram("serve.latency").summary()
+
+    def failed_latency_summary(self) -> dict[str, float]:
+        """Latency percentiles of requests that errored mid-execution."""
+        return self.metrics.histogram("serve.latency_failed").summary()
 
     def summary(self) -> dict[str, Any]:
         """JSON-serialisable digest (what the benchmark report embeds)."""
@@ -192,6 +204,7 @@ class ServeReport:
             "throughput": self.throughput,
             "total_round_trips": self.total_round_trips,
             "latency": self.latency_summary(),
+            "latency_failed": self.failed_latency_summary(),
             "queue_wait": self.metrics.histogram("serve.queue_wait").summary(),
             "plan_cache": self.plan_cache_stats,
             "invocation_cache": self.invocation_cache_stats,
@@ -411,6 +424,13 @@ class ServeScheduler:
             outcome.status = "failed"
             outcome.error = job.error
             self.metrics.counter("serve.failed").inc()
+            # Failed requests get their own histogram: ``serve.latency``
+            # stays completed-only (see :meth:`ServeReport.latency_summary`)
+            # so percentiles are not skewed by fail-fast errors, while the
+            # time burned on failures stays observable.
+            self.metrics.histogram("serve.latency_failed").observe(
+                outcome.latency
+            )
         else:
             outcome.status = "completed"
             outcome.results = job.result
@@ -448,10 +468,22 @@ class ServeScheduler:
             self._schedule(now, "arrival", waiters.popleft())
 
     def _reject(self, request: Request, now: float) -> None:
+        # A parked follow-up rejected when its target fails (or at drain)
+        # has been waiting since it arrived — that wait is queue context,
+        # not free time, and dropping it would understate queueing under
+        # admission pressure.
+        queued_at = self._queued_at.pop(request.request_id, request.arrival)
         self._outcomes[request.request_id] = RequestOutcome(
-            request=request, status="rejected", finished_at=now
+            request=request,
+            status="rejected",
+            finished_at=now,
+            queue_wait=max(0.0, now - queued_at),
         )
         self.metrics.counter("serve.rejected").inc()
+        # Every terminal outcome counts toward its kind — completed,
+        # failed, *and* rejected — so per-kind totals reconcile with
+        # ``by_status()`` under admission pressure.
+        self.metrics.counter(f"serve.kind.{request.kind}").inc()
         # A rejected run can never serve its follow-ups.
         for parked in self._parked.pop(request.request_id, ()):
             self._reject(parked, now)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.engine.async_runner import BACKENDS, AsyncExecutionContext
 from repro.engine.executor import InvocationCache
 from repro.engine.liquid import LiquidQuerySession
 from repro.engine.retry import Degradation, RetryPolicy
@@ -64,6 +65,18 @@ class SessionManager:
         execution its private memo (isolated mode).
     retry / degradation / fault_model:
         Fault-tolerance posture applied uniformly to every session.
+    backend:
+        Execution backend for every session: ``"virtual"`` (default,
+        step-resumable, scheduled on the shared virtual timeline) or
+        ``"asyncio"`` (really concurrent service calls; driven through
+        :func:`~repro.serve.async_serve.serve_workload_async` instead of
+        the step scheduler).
+    async_context:
+        Shared wall-clock context for the asyncio backend — one context
+        across all sessions makes the per-service connection pools a
+        *server-wide* bound and coalesces concurrent identical
+        invocations across queries.  Defaults to a private context when
+        the backend is asyncio.
     """
 
     templates: Mapping[str, QueryTemplate]
@@ -74,9 +87,19 @@ class SessionManager:
     retry: RetryPolicy | None = None
     degradation: Degradation | str = Degradation.FAIL
     fault_model: FaultModel = field(default_factory=FaultModel)
+    backend: str = "virtual"
+    async_context: AsyncExecutionContext | None = None
     _registries: dict[str, ServiceRegistry] = field(default_factory=dict)
     _compiled: dict[str, CompiledQuery] = field(default_factory=dict)
     _sessions: dict[int, LiquidQuerySession] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.backend == "asyncio" and self.async_context is None:
+            self.async_context = AsyncExecutionContext()
 
     # -- plumbing ------------------------------------------------------------
 
@@ -139,6 +162,8 @@ class SessionManager:
             pool=pool,
             inputs=dict(request.inputs or {}),
             executor_options=self._executor_options(),
+            backend=self.backend,
+            async_context=self.async_context,
         )
         self._sessions[request.request_id] = session
         return session
@@ -159,6 +184,26 @@ class SessionManager:
         if request.kind == "resubmit":
             return session.resubmit_steps(dict(request.inputs or {}), request.k)
         raise ExecutionError(f"request kind {request.kind!r} has no steps")
+
+    async def perform_async(self, request: Request) -> list[CompositeTuple]:
+        """Execute one request to completion on the asyncio backend.
+
+        The coroutine counterpart of :meth:`stepper` + :meth:`rerank`:
+        ``run`` opens a session, follow-ups resolve their target; service
+        round trips overlap on the event loop instead of being stepped.
+        """
+        if request.kind == "run":
+            return await self.open(request).run_async(request.k)
+        if request.kind == "rerank":
+            return self.rerank(request)
+        session = self.session_for(self._target_of(request))
+        if request.kind == "more":
+            return await session.more_async(request.k)
+        if request.kind == "resubmit":
+            return await session.resubmit_async(
+                dict(request.inputs or {}), request.k
+            )
+        raise ExecutionError(f"cannot execute request kind {request.kind!r}")
 
     def rerank(self, request: Request) -> list[CompositeTuple]:
         """Apply a ``rerank`` follow-up — synchronous, no service calls."""

@@ -1,0 +1,111 @@
+"""S1 regression: backoff waits amend the *failed attempt's own* record.
+
+``Retrier.call`` used to amend the backoff wait onto whatever record
+happened to be last in the shared log.  Two ways that misattributes:
+
+* the fault fires *before* the attempt appends its record (the
+  invocation machinery raised early) — the wait landed on an unrelated
+  earlier call;
+* another caller appends to the shared log between the failed record
+  and the amendment — the wait landed on the interloper.
+
+The fix scans backwards only over records appended by this attempt,
+matching the failing service and a failed outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.events import CallLog, CallRecord, VirtualClock
+from repro.engine.retry import Retrier, RetryPolicy
+from repro.errors import RetryExhaustedError, ServiceUnavailableError
+
+#: Deterministic schedule: one retry after exactly 1.0 virtual seconds.
+POLICY = RetryPolicy(
+    max_attempts=2, base_backoff=1.0, backoff_multiplier=2.0, jitter_fraction=0.0
+)
+
+
+def _ok(service: str, at: float = 0.0) -> CallRecord:
+    return CallRecord(service, service, 0, at, 0.3, 5, outcome="ok")
+
+
+def _failed(service: str, at: float = 0.0) -> CallRecord:
+    return CallRecord(service, service, 0, at, 0.2, 0, outcome="unavailable")
+
+
+def _flaky(log: CallLog, *, appends, service: str = "svc"):
+    """A fetch that fails once (appending ``appends`` records first)."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] == 1:
+            for record in appends:
+                log.record(record)
+            raise ServiceUnavailableError("connection refused", service=service)
+        return "ok"
+
+    return fn
+
+
+def test_wait_not_amended_onto_unrelated_prior_record():
+    """Fault before the attempt logged anything: the wait is attributed
+    to no call — never to an earlier, unrelated, successful one."""
+    log = CallLog()
+    log.record(_ok("other"))
+    retrier = Retrier(policy=POLICY, clock=VirtualClock(), log=log)
+
+    assert retrier.call(_flaky(log, appends=())) == "ok"
+
+    assert retrier.retries == 1
+    assert log.records[0].backoff_wait == 0.0
+
+
+def test_wait_skips_interleaved_record_from_other_service():
+    """A concurrent caller's record lands after the failed one: the wait
+    still amends the failed record, not the interloper."""
+    log = CallLog()
+    retrier = Retrier(policy=POLICY, clock=VirtualClock(), log=log)
+    fn = _flaky(log, appends=(_failed("svc"), _ok("other", at=0.2)))
+
+    assert retrier.call(fn) == "ok"
+
+    failed, interloper = log.records[0], log.records[1]
+    assert failed.service == "svc" and failed.failed
+    assert failed.backoff_wait == pytest.approx(1.0)
+    assert interloper.backoff_wait == 0.0
+
+
+def test_wait_amends_own_failed_record_and_advances_clock():
+    """The common case keeps working: the failed attempt's record carries
+    the wait, and the wait advances the shared clock."""
+    log = CallLog()
+    clock = VirtualClock()
+    retrier = Retrier(policy=POLICY, clock=clock, log=log)
+
+    assert retrier.call(_flaky(log, appends=(_failed("svc"),))) == "ok"
+
+    assert log.records[0].backoff_wait == pytest.approx(1.0)
+    assert clock.now == pytest.approx(1.0)
+    assert retrier.retries == 1 and retrier.gave_up == 0
+
+
+def test_exhaustion_still_raises_with_attribution_intact():
+    log = CallLog()
+    log.record(_ok("other"))
+    retrier = Retrier(policy=POLICY, clock=VirtualClock(), log=log)
+
+    def always_down():
+        log.record(_failed("svc"))
+        raise ServiceUnavailableError("down", service="svc")
+
+    with pytest.raises(RetryExhaustedError):
+        retrier.call(always_down)
+
+    assert retrier.gave_up == 1
+    # First attempt's record got the wait; the prior OK record did not.
+    assert log.records[0].backoff_wait == 0.0
+    assert log.records[1].backoff_wait == pytest.approx(1.0)
+    assert log.records[2].backoff_wait == 0.0
