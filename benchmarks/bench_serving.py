@@ -112,12 +112,94 @@ def test_eserve_invocation_sharing_is_the_round_trip_saver():
 
 
 if __name__ == "__main__":  # pragma: no cover - standalone report shim
+    import argparse
     import json
     import pathlib
     import sys
 
+    parser = argparse.ArgumentParser(
+        description=(
+            "Serving benchmarks. Without --shards: the PR 4 shared-vs-"
+            "isolated comparison (BENCH_serving.json). With --shards: the "
+            "sharded-runtime shard-count sweep (BENCH_sharding.json)."
+        )
+    )
+    parser.add_argument(
+        "--shards",
+        help="comma-separated shard counts to sweep, e.g. 1,2,4,8",
+    )
+    parser.add_argument("--requests", type=int, default=100_000)
+    parser.add_argument("--rate", type=float, default=4.0)
+    parser.add_argument("--session-space", type=int, default=1_000_000)
+    parser.add_argument(
+        "--param-scale",
+        type=int,
+        default=2,
+        help=(
+            "multiply each template parameter universe (head options stay "
+            "most popular) so the shared cache's Zipf tail keeps issuing "
+            "real service traffic at scale"
+        ),
+    )
+    parser.add_argument(
+        "--no-steal", action="store_true", help="disable work stealing"
+    )
+    parser.add_argument(
+        "--smoke-gates",
+        action="store_true",
+        help=(
+            "enforce only the scale-independent gates (digest equality + "
+            "p95 monotonically improving) — for scaled-down CI runs where "
+            "the superlinear ratios have no room to develop"
+        ),
+    )
+    parser.add_argument("--output", help="override the output JSON path")
+    args = parser.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if args.shards:
+        from repro.serve import run_sharding_benchmark
+
+        shard_counts = tuple(
+            int(part) for part in args.shards.split(",") if part
+        )
+        payload = run_sharding_benchmark(
+            shard_counts=shard_counts,
+            num_requests=args.requests,
+            rate=args.rate,
+            seed=SEED,
+            session_space=args.session_space,
+            steal=not args.no_steal,
+            param_scale=args.param_scale,
+        )
+        out = pathlib.Path(args.output) if args.output else (
+            root / "BENCH_sharding.json"
+        )
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        for run in payload["runs"]:
+            print(
+                f"  {run['label']:<18} p95={run['latency_p95']:9.2f}  "
+                f"round_trips={run['total_round_trips']:8d}  "
+                f"steals={run['steals']:5d}  digest={run['digest'][:12]}"
+            )
+        for name, value in sorted(payload["ratios"].items()):
+            print(f"  ratio {name}: {value:.2f}x")
+        gates = dict(payload["gates"])
+        if args.smoke_gates:
+            gates = {
+                name: gates[name]
+                for name in ("digests_identical", "p95_improves_with_shards")
+                if name in gates
+            }
+        for name, passed in sorted(gates.items()):
+            print(f"gate {name}: {'PASS' if passed else 'FAIL'}")
+        sys.exit(0 if all(gates.values()) else 1)
+
     payload = collect_serving()
-    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    out = pathlib.Path(args.output) if args.output else (
+        root / "BENCH_serving.json"
+    )
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     gates = payload["gates"]

@@ -322,6 +322,48 @@ def build_parser() -> argparse.ArgumentParser:
         "0 disables rate limiting (default: 4)",
     )
     serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="serve on N scheduler shards (consistent-hash partitioned "
+        "sessions, merged deterministic timeline) instead of the "
+        "shared-vs-isolated comparison",
+    )
+    serve_cmd.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="work stealing between shards (default: on)",
+    )
+    serve_cmd.add_argument(
+        "--shared-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="one cross-shard invocation cache (default) vs. a private "
+        "cache per shard (--no-shared-cache)",
+    )
+    serve_cmd.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run each shard in a real worker process (combine with "
+        "--backend asyncio for wall-clock concurrency inside workers)",
+    )
+    serve_cmd.add_argument(
+        "--session-space",
+        type=int,
+        default=1_000_000,
+        help="size of the sparse session-id universe the ring hashes "
+        "(default: 1000000)",
+    )
+    serve_cmd.add_argument(
+        "--param-scale",
+        type=int,
+        default=1,
+        help="multiply each template parameter universe (head options "
+        "stay most popular) so large workloads keep a steady cache-miss "
+        "stream of real service traffic (default: 1)",
+    )
+    serve_cmd.add_argument(
         "--output",
         metavar="PATH",
         help="write the full benchmark report as JSON to PATH",
@@ -538,6 +580,13 @@ def _cmd_serve_bench(args) -> int:
         raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
     if not rates:
         raise SystemExit("--rates needs at least one rate")
+    if args.shards:
+        if args.backend == "asyncio" and not args.parallel:
+            raise SystemExit(
+                "--shards with --backend asyncio needs --parallel "
+                "(serial sharding runs on the virtual clock)"
+            )
+        return _serve_bench_sharded(args, rates)
     if args.backend == "asyncio":
         return _serve_bench_asyncio(args, rates)
     report = run_serving_benchmark(
@@ -580,6 +629,116 @@ def _cmd_serve_bench(args) -> int:
         gates["shared_never_more_round_trips"],
     )
     return 0 if all(hard_gates) else 1
+
+
+def _serve_bench_sharded(args, rates) -> int:
+    """Serve per rate on N shards; gate digests against 1-shard mode."""
+    from repro.serve import (
+        default_templates,
+        serve_workload_parallel,
+        serve_workload_sharded,
+    )
+
+    cache_mode = "shared" if args.shared_cache else "private"
+    all_identical = True
+    levels = []
+    print(
+        f"sharded serving: {args.requests} requests per rate, seed "
+        f"{args.seed}, {args.shards} shards, cache {cache_mode}, "
+        f"steal {'on' if args.steal else 'off'}"
+        + (f", parallel ({args.backend} workers)" if args.parallel else "")
+    )
+    common = dict(
+        num_requests=args.requests,
+        seed=args.seed,
+        skew=args.skew,
+        followup_fraction=args.followups,
+        max_concurrency=args.concurrency,
+        default_service_rate=args.service_rate or None,
+        session_space=args.session_space,
+        templates=default_templates(args.param_scale),
+    )
+    for rate in rates:
+        _, reference = serve_workload_sharded(
+            rate=rate, num_shards=1, cache_mode=cache_mode, steal=False,
+            **common,
+        )
+        level: dict[str, Any] = {"rate": rate, "num_shards": args.shards}
+        if args.parallel:
+            result = serve_workload_parallel(
+                rate=rate,
+                num_shards=args.shards,
+                backend=args.backend,
+                caches=cache_mode != "isolated",
+                time_scale=args.time_scale,
+                **common,
+            )
+            digests = result["digests"]
+            print(
+                f"rate {rate:g} req/s: {len(digests)} completed across "
+                f"{args.shards} workers, round trips "
+                f"{result['total_round_trips']}, p95 {result['latency_p95']:.2f}"
+            )
+            level.update(
+                parallel=True,
+                backend=args.backend,
+                total_round_trips=result["total_round_trips"],
+                latency_p95=result["latency_p95"],
+                by_status=result["by_status"],
+            )
+        else:
+            report, digests = serve_workload_sharded(
+                rate=rate, num_shards=args.shards, cache_mode=cache_mode,
+                steal=args.steal, **common,
+            )
+            latency = report.latency_summary()
+            steals = report.metrics.counters.get("serve.steals")
+            print(
+                f"rate {rate:g} req/s: {len(report.completed())} completed, "
+                f"round trips {report.total_round_trips}, "
+                f"p50 {latency.get('p50', 0.0):.2f}  "
+                f"p95 {latency.get('p95', 0.0):.2f}, "
+                f"steals {int(steals.value) if steals else 0}"
+            )
+            for stats in report.shard_stats or ():
+                line = (
+                    f"  shard {stats['shard']}: started {stats['started']:4d}  "
+                    f"completed {stats['completed']:4d}  "
+                    f"steals {stats['steals']:3d}  "
+                    f"max queue {stats['max_queue_depth']:4d}"
+                )
+                cache = stats.get("invocation_cache")
+                if cache:
+                    line += f"  cache hit rate {cache['hit_rate']:.1%}"
+                print(line)
+            level.update(
+                parallel=False,
+                total_round_trips=report.total_round_trips,
+                latency_p95=latency.get("p95", 0.0),
+                by_status=report.by_status(),
+                shards=report.shard_stats,
+            )
+        identical = digests == reference
+        all_identical = all_identical and identical
+        level["results_identical"] = identical
+        levels.append(level)
+        print(f"  digests identical to 1-shard mode: {identical}")
+    print(f"gate results_identical: {'PASS' if all_identical else 'FAIL'}")
+    if args.output:
+        payload = {
+            "benchmark": "serve-sharded",
+            "seed": args.seed,
+            "requests": args.requests,
+            "shards": args.shards,
+            "cache_mode": cache_mode,
+            "steal": args.steal,
+            "levels": levels,
+            "gates": {"results_identical": all_identical},
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    return 0 if all_identical else 1
 
 
 def _serve_bench_asyncio(args, rates) -> int:

@@ -28,27 +28,46 @@ from repro.serve.async_serve import (
     AsyncServeReport,
     serve_workload_async,
 )
-from repro.serve.bench import result_digest, run_serving_benchmark, serve_workload
+from repro.serve.bench import (
+    combined_digest,
+    result_digest,
+    run_serving_benchmark,
+    run_sharding_benchmark,
+    serve_workload,
+)
 from repro.serve.plancache import PlanCache, PlanCacheStats
 from repro.serve.scheduler import (
+    AdmissionController,
     RequestOutcome,
     ServeConfig,
     ServeReport,
     ServeScheduler,
+    SessionTable,
 )
 from repro.serve.sessions import SessionManager
+from repro.serve.sharding import (
+    HashRing,
+    ShardedInvocationCache,
+    ShardedServeScheduler,
+    partition_workload,
+    serve_workload_parallel,
+    serve_workload_sharded,
+)
 from repro.serve.workload import (
     QueryTemplate,
     Request,
     WorkloadConfig,
     default_templates,
     generate_workload,
+    session_key,
 )
 
 __all__ = [
+    "AdmissionController",
     "AsyncServeOutcome",
     "AsyncServeReport",
     "serve_workload_async",
+    "HashRing",
     "PlanCache",
     "PlanCacheStats",
     "QueryTemplate",
@@ -58,10 +77,19 @@ __all__ = [
     "ServeReport",
     "ServeScheduler",
     "SessionManager",
+    "SessionTable",
+    "ShardedInvocationCache",
+    "ShardedServeScheduler",
     "WorkloadConfig",
+    "combined_digest",
     "default_templates",
     "generate_workload",
+    "partition_workload",
     "result_digest",
     "run_serving_benchmark",
+    "run_sharding_benchmark",
     "serve_workload",
+    "serve_workload_parallel",
+    "serve_workload_sharded",
+    "session_key",
 ]

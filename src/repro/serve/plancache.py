@@ -19,6 +19,7 @@ the fetch vector before mutating it.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -53,6 +54,31 @@ class PlanCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        """Run-start baseline for :meth:`delta` (monotone counters only)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def delta(self, baseline: Mapping[str, float] | None) -> dict[str, float]:
+        """This run's traffic only, differenced against a run-start snapshot.
+
+        A cache shared across shards or successive serving runs
+        accumulates *lifetime* totals on one stats object — the single
+        source of truth.  Reports must not re-claim traffic that another
+        run (or an earlier run on the same cache) already reported, so
+        they snapshot at start and difference here; the hit rate is
+        recomputed from the differenced counters.
+        """
+        base_hits = int(baseline.get("hits", 0)) if baseline else 0
+        base_misses = int(baseline.get("misses", 0)) if baseline else 0
+        hits = self.hits - base_hits
+        misses = self.misses - base_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
         }
 
 

@@ -9,7 +9,9 @@ scheduler owns the interleaving:
 
 * **Admission control** — at most ``max_concurrency`` requests execute
   at once; excess arrivals wait in a bounded FIFO queue; a full queue
-  rejects the arrival (backpressure to the client).
+  rejects the arrival (backpressure to the client).  A process-global
+  :class:`AdmissionController` can additionally cap the *total* across
+  every scheduler shard of a sharded runtime.
 * **Per-service rate limits** — each interface has a token bucket on
   virtual time.  A paused query about to call interface ``S`` (the
   yielded :class:`~repro.engine.executor.StepEvent` names it) resumes
@@ -32,13 +34,23 @@ time, the job's next event lands at ``server_now + Δ`` — so concurrent
 queries overlap on the server clock exactly as independent clients
 would, while per-query accounting stays isolated.  Everything (arrival
 order, tie-breaks, token grants) is a pure function of the workload and
-data seeds: event-heap entries carry a monotone sequence number, so the
-interleaving is deterministic and seed-reproducible.
+data seeds: event-heap entries order by ``(time, shard index, sequence
+number)``, so the interleaving is deterministic and seed-reproducible —
+for one scheduler and for N shards merged onto one heap alike (see
+:mod:`repro.serve.sharding`).
 
 The scheduler never touches result contents: sharing caches changes
 *when* and *how many* round trips happen, never what a query returns —
 see DESIGN.md, "Why cross-query sharing is safe under the virtual
 clock".
+
+Sharding hooks: a standalone ``ServeScheduler`` owns all of its state.
+A sharded runtime constructs N of them over *shared* pieces — one
+:class:`SessionTable` (parking, serialization, outcomes), one
+:class:`AdmissionController`, one event heap, and an arrival ``router``
+that places (re-)arrivals on a session's home shard — while each shard
+keeps its own clock, admission queue, token buckets, and sequence
+counter.
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.engine.events import VirtualClock
 from repro.errors import ExecutionError, SearchComputingError
@@ -57,12 +69,23 @@ from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 from repro.serve.sessions import SessionManager
 from repro.serve.workload import Request
 
-__all__ = ["ServeConfig", "ServeScheduler", "ServeReport", "RequestOutcome"]
+__all__ = [
+    "AdmissionController",
+    "ServeConfig",
+    "ServeScheduler",
+    "ServeReport",
+    "SessionTable",
+    "RequestOutcome",
+]
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Scheduler knobs (admission, concurrency, backpressure)."""
+    """Scheduler knobs (admission, concurrency, backpressure).
+
+    In a sharded runtime these are **per-shard** bounds; the optional
+    process-global cap lives in :class:`AdmissionController`.
+    """
 
     max_concurrency: int = 4
     queue_limit: int = 64
@@ -86,6 +109,54 @@ class ServeConfig:
                 raise ExecutionError(f"service rate for {name!r} must be positive")
         if self.default_service_rate is not None and self.default_service_rate <= 0:
             raise ExecutionError("default_service_rate must be positive")
+
+
+class SessionTable:
+    """Session coordination state shared by every shard of one runtime.
+
+    Parking, per-session serialization, and outcomes are *global*
+    properties of the serving runtime — a follow-up must park until its
+    target completes even when the two execute on different shards, and
+    a stolen session must still never interleave with its own in-flight
+    interaction.  Pulling this state out of the scheduler is what makes
+    work stealing safe: whichever shard executes a request consults the
+    same table.
+    """
+
+    def __init__(self) -> None:
+        self.known_runs: set[int] = set()
+        self.parked: dict[int, list[Request]] = {}
+        self.busy_sessions: set[int] = set()
+        self.session_waiters: dict[int, deque[Request]] = {}
+        self.outcomes: dict[int, RequestOutcome] = {}
+
+
+class AdmissionController:
+    """Process-global cap on concurrently executing requests.
+
+    ``limit=None`` (the default for a standalone scheduler) admits
+    everything the per-shard bounds allow; a sharded runtime passes one
+    controller to all shards so total concurrency — not just per-shard
+    concurrency — stays bounded.
+    """
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ExecutionError("global admission limit must be positive")
+        self.limit = limit
+        self.active = 0
+        self.peak = 0
+
+    def try_acquire(self) -> bool:
+        if self.limit is not None and self.active >= self.limit:
+            return False
+        self.active += 1
+        if self.active > self.peak:
+            self.peak = self.active
+        return True
+
+    def release(self) -> None:
+        self.active -= 1
 
 
 @dataclass
@@ -147,6 +218,16 @@ class RequestOutcome:
     steps: int = 0
     results: list[CompositeTuple] | None = None
     error: str | None = None
+    #: Virtual time execution began (admission granted).
+    started_at: float = 0.0
+    #: Index of the shard that executed (or rejected) the request.
+    shard: int = 0
+    #: True when a work-stealing shard pulled this request from another
+    #: shard's admission queue.
+    stolen: bool = False
+    #: Result digest, populated instead of ``results`` when the
+    #: scheduler was built with ``digest_fn`` (bounded-memory serving).
+    digest: str | None = None
 
     @property
     def latency(self) -> float:
@@ -164,6 +245,13 @@ class ServeReport:
     metrics: MetricsRegistry
     plan_cache_stats: dict[str, float] | None
     invocation_cache_stats: dict[str, float] | None
+    #: Per-shard accounting (sharded runtimes only).
+    shard_stats: list[dict[str, Any]] | None = None
+    #: Number of scheduler shards that served the workload.
+    num_shards: int = 1
+    #: Peak process-global concurrency observed by the admission
+    #: controller.
+    admission_peak: int = 0
 
     def completed(self) -> list[RequestOutcome]:
         return [o for o in self.outcomes.values() if o.status == "completed"]
@@ -197,7 +285,7 @@ class ServeReport:
 
     def summary(self) -> dict[str, Any]:
         """JSON-serialisable digest (what the benchmark report embeds)."""
-        return {
+        payload: dict[str, Any] = {
             "requests": len(self.outcomes),
             "by_status": self.by_status(),
             "makespan": self.makespan,
@@ -209,10 +297,92 @@ class ServeReport:
             "plan_cache": self.plan_cache_stats,
             "invocation_cache": self.invocation_cache_stats,
         }
+        if self.num_shards > 1 or self.shard_stats is not None:
+            payload["num_shards"] = self.num_shards
+            payload["admission_peak"] = self.admission_peak
+            payload["shards"] = self.shard_stats
+        return payload
+
+
+def _stats_delta(
+    current: Mapping[str, float], baseline: Mapping[str, float] | None
+) -> dict[str, float]:
+    """Per-run view of cumulative cache counters.
+
+    Caches shared across schedulers (or serving runs) accumulate
+    *lifetime* totals; a report must attribute to its own run only the
+    traffic that happened during it — otherwise two runtimes sharing one
+    cache double-report each other's hits.  Level-style entries
+    (``entries``, ``hit_rate``) are reported as-is; monotone counters
+    are differenced against the run-start snapshot.
+    """
+    if baseline is None:
+        return dict(current)
+    delta: dict[str, float] = {}
+    for name, value in current.items():
+        if name in ("entries", "hit_rate"):
+            delta[name] = value
+        else:
+            delta[name] = value - baseline.get(name, 0)
+    hits = delta.get("hits", 0)
+    misses = delta.get("misses", 0)
+    if "hit_rate" in delta:
+        total = hits + misses
+        delta["hit_rate"] = hits / total if total else 0.0
+    return delta
+
+
+def snapshot_cache_stats(sessions: SessionManager) -> tuple[
+    dict[str, float] | None, dict[str, float] | None
+]:
+    """Run-start snapshot of the manager's plan/invocation cache counters."""
+    plan = (
+        sessions.plan_cache.stats.snapshot()
+        if sessions.plan_cache is not None
+        else None
+    )
+    invocation = (
+        {
+            "hits": sessions.invocation_cache.stats.hits,
+            "misses": sessions.invocation_cache.stats.misses,
+            "evictions": sessions.invocation_cache.stats.evictions,
+            "entries": len(sessions.invocation_cache),
+        }
+        if sessions.invocation_cache is not None
+        else None
+    )
+    return plan, invocation
+
+
+def build_cache_stats(
+    sessions: SessionManager,
+    plan_baseline: dict[str, float] | None,
+    invocation_baseline: dict[str, float] | None,
+) -> tuple[dict[str, float] | None, dict[str, float] | None]:
+    """Current cache stats as *this run's* deltas against the snapshots."""
+    plan = (
+        sessions.plan_cache.stats.delta(plan_baseline)
+        if sessions.plan_cache is not None
+        else None
+    )
+    _, invocation_now = snapshot_cache_stats(sessions)
+    invocation = (
+        _stats_delta(invocation_now, invocation_baseline)
+        if invocation_now is not None
+        else None
+    )
+    return plan, invocation
 
 
 class ServeScheduler:
-    """Discrete-event loop interleaving many liquid-query sessions."""
+    """Discrete-event loop interleaving many liquid-query sessions.
+
+    Standalone it is the complete single-timeline serving runtime of
+    PR 4.  With the sharding hooks (``shard_index``, shared ``table`` /
+    ``admission`` / ``events`` / ``router``) it is one shard of the
+    :class:`~repro.serve.sharding.ShardedServeScheduler`, which owns the
+    merged event loop.
+    """
 
     def __init__(
         self,
@@ -220,28 +390,61 @@ class ServeScheduler:
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: "Tracer | NullTracer | None" = None,
+        *,
+        shard_index: int = 0,
+        table: SessionTable | None = None,
+        admission: AdmissionController | None = None,
+        events: list | None = None,
+        router: "Callable[[Request, float], None] | None" = None,
+        digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
+        emit_shard_metrics: bool = False,
     ) -> None:
         self.sessions = sessions
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = coerce_tracer(tracer)
         self.clock = VirtualClock()
+        self.shard_index = shard_index
+        self.table = table if table is not None else SessionTable()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.digest_fn = digest_fn
+        self.emit_shard_metrics = emit_shard_metrics
+        self._router = router
         self._seq = itertools.count()
-        self._events: list[tuple[float, int, str, Any]] = []
+        #: (time, shard_index, seq, action, payload) — possibly shared
+        #: with sibling shards (the deterministic merged timeline).
+        self._events: list[tuple[float, int, int, str, Any]] = (
+            events if events is not None else []
+        )
         self._queue: deque[Request] = deque()
         self._queued_at: dict[int, float] = {}
-        self._parked: dict[int, list[Request]] = {}
-        self._busy_sessions: set[int] = set()
-        self._session_waiters: dict[int, deque[Request]] = {}
-        self._outcomes: dict[int, RequestOutcome] = {}
         self._buckets: dict[str, _TokenBucket] = {}
         self._active = 0
-        self._known_runs: set[int] = set()
 
     # -- event plumbing ------------------------------------------------------
 
     def _schedule(self, at: float, action: str, payload: Any) -> None:
-        heapq.heappush(self._events, (at, next(self._seq), action, payload))
+        heapq.heappush(
+            self._events, (at, self.shard_index, next(self._seq), action, payload)
+        )
+
+    def _route_arrival(self, request: Request, at: float) -> None:
+        """Schedule an (re-)arrival on the session's home shard."""
+        if self._router is not None:
+            self._router(request, at)
+        else:
+            self._schedule(at, "arrival", request)
+
+    def _shard_counter(self, name: str):
+        """Per-shard counter, or ``None`` when shard metrics are off."""
+        if not self.emit_shard_metrics:
+            return None
+        return self.metrics.counter(f"serve.shard.{self.shard_index}.{name}")
+
+    def _inc_shard(self, name: str) -> None:
+        counter = self._shard_counter(name)
+        if counter is not None:
+            counter.inc()
 
     def _bucket(self, interface: str) -> _TokenBucket | None:
         bucket = self._buckets.get(interface)
@@ -260,85 +463,88 @@ class ServeScheduler:
 
     def run(self, workload: Sequence[Request]) -> ServeReport:
         """Serve the workload to completion; returns the report."""
-        self._known_runs = {r.request_id for r in workload if r.kind == "run"}
+        self.table.known_runs = {r.request_id for r in workload if r.kind == "run"}
+        plan_base, invocation_base = snapshot_cache_stats(self.sessions)
         for request in sorted(
             workload, key=lambda r: (r.arrival, r.request_id)
         ):
             self._schedule(request.arrival, "arrival", request)
         while self._events:
-            at, _, action, payload = heapq.heappop(self._events)
+            at, _, _, action, payload = heapq.heappop(self._events)
             self.clock.advance_to(at)
-            if action == "arrival":
-                self._on_arrival(payload, at)
-            elif action == "resume":
-                self._on_resume(payload, at)
-            else:
-                self._on_finish(payload, at)
+            self.dispatch(action, payload, at)
         # Follow-ups still parked at drain time targeted a run that never
         # completed (rejected or failed): account them as rejected.
-        for parked in self._parked.values():
+        for parked in self.table.parked.values():
             for request in parked:
                 self._reject(request, self.clock.now)
-        self._parked.clear()
-        manager = self.sessions
-        return ServeReport(
-            outcomes=dict(sorted(self._outcomes.items())),
-            makespan=self.clock.now,
-            total_round_trips=manager.total_round_trips(),
-            metrics=self.metrics,
-            plan_cache_stats=(
-                manager.plan_cache.stats.as_dict()
-                if manager.plan_cache is not None
-                else None
-            ),
-            invocation_cache_stats=(
-                {
-                    "hits": manager.invocation_cache.stats.hits,
-                    "misses": manager.invocation_cache.stats.misses,
-                    "evictions": manager.invocation_cache.stats.evictions,
-                    "entries": len(manager.invocation_cache),
-                }
-                if manager.invocation_cache is not None
-                else None
-            ),
+        self.table.parked.clear()
+        plan_stats, invocation_stats = build_cache_stats(
+            self.sessions, plan_base, invocation_base
         )
+        return ServeReport(
+            outcomes=dict(sorted(self.table.outcomes.items())),
+            makespan=self.clock.now,
+            total_round_trips=self.sessions.total_round_trips(),
+            metrics=self.metrics,
+            plan_cache_stats=plan_stats,
+            invocation_cache_stats=invocation_stats,
+            admission_peak=self.admission.peak,
+        )
+
+    def dispatch(self, action: str, payload: Any, at: float) -> None:
+        """Process one popped event (the shard-level transition table)."""
+        if action == "arrival":
+            self._on_arrival(payload, at)
+        elif action == "resume":
+            self._on_resume(payload, at)
+        else:
+            self._on_finish(payload, at)
 
     # -- transitions ---------------------------------------------------------
 
     def _on_arrival(self, request: Request, now: float) -> None:
         if request.target is not None:
-            if request.target not in self._known_runs:
+            if request.target not in self.table.known_runs:
                 self._reject(request, now)
                 return
-            target = self._outcomes.get(request.target)
+            target = self.table.outcomes.get(request.target)
             if target is None or target.status == "running":
                 # Target still queued/executing: park until it finishes.
-                self._parked.setdefault(request.target, []).append(request)
+                self.table.parked.setdefault(request.target, []).append(request)
                 return
             if target.status != "completed":
                 self._reject(request, now)
                 return
-            if request.target in self._busy_sessions:
+            if request.target in self.table.busy_sessions:
                 # Another interaction holds the session: serialize.
                 # Waiters drain in arrival order — a workload property,
                 # identical across serving modes.
-                self._session_waiters.setdefault(
+                self.table.session_waiters.setdefault(
                     request.target, deque()
                 ).append(request)
                 return
-            self._busy_sessions.add(request.target)
-        if self._active < self.config.max_concurrency:
+            self.table.busy_sessions.add(request.target)
+        if self._active < self.config.max_concurrency and self.admission.try_acquire():
             self._start(request, now)
         elif len(self._queue) < self.config.queue_limit:
             self._queue.append(request)
             self._queued_at[request.request_id] = now
+            if self.emit_shard_metrics:
+                gauge = self.metrics.gauge(
+                    f"serve.shard.{self.shard_index}.max_queue_depth"
+                )
+                if len(self._queue) > gauge.value:
+                    gauge.set(len(self._queue))
         else:
             if request.target is not None:
                 self._release_session(request.target, now)
             self._reject(request, now)
 
     def _start(self, request: Request, now: float) -> None:
+        """Begin executing an admitted request (global slot already held)."""
         self._active += 1
+        self._inc_shard("started")
         queue_wait = now - self._queued_at.pop(request.request_id, now)
         if request.kind == "rerank":
             # CPU-only: re-scores the cached result list, zero service
@@ -354,7 +560,7 @@ class ServeScheduler:
                 job.result = self.sessions.rerank(request)
             except SearchComputingError as exc:
                 job.error = f"{type(exc).__name__}: {exc}"
-            self._queue_wait_of(request, queue_wait)
+            self._queue_wait_of(request, queue_wait, now)
             self._schedule(now, "finish", job)
             return
         try:
@@ -369,7 +575,7 @@ class ServeScheduler:
                 calls_before=0,
                 error=f"{type(exc).__name__}: {exc}",
             )
-            self._queue_wait_of(request, queue_wait)
+            self._queue_wait_of(request, queue_wait, now)
             self._schedule(now, "finish", job)
             return
         job = _Job(
@@ -379,13 +585,17 @@ class ServeScheduler:
             started_at=now,
             calls_before=pool.log.total_calls(),
         )
-        self._queue_wait_of(request, queue_wait)
+        self._queue_wait_of(request, queue_wait, now)
         self._schedule(now, "resume", job)
 
-    def _queue_wait_of(self, request: Request, wait: float) -> None:
+    def _queue_wait_of(self, request: Request, wait: float, now: float) -> None:
         self.metrics.histogram("serve.queue_wait").observe(wait)
-        self._outcomes[request.request_id] = RequestOutcome(
-            request=request, status="running", queue_wait=wait
+        self.table.outcomes[request.request_id] = RequestOutcome(
+            request=request,
+            status="running",
+            queue_wait=wait,
+            started_at=now,
+            shard=self.shard_index,
         )
 
     def _on_resume(self, job: _Job, now: float) -> None:
@@ -415,15 +625,18 @@ class ServeScheduler:
 
     def _on_finish(self, job: _Job, now: float) -> None:
         self._active -= 1
+        self.admission.release()
         request = job.request
-        outcome = self._outcomes[request.request_id]
+        outcome = self.table.outcomes[request.request_id]
         outcome.finished_at = now
         outcome.rate_wait = job.rate_wait
         outcome.steps = job.steps
+        outcome.shard = self.shard_index
         if job.error is not None:
             outcome.status = "failed"
             outcome.error = job.error
             self.metrics.counter("serve.failed").inc()
+            self._inc_shard("failed")
             # Failed requests get their own histogram: ``serve.latency``
             # stays completed-only (see :meth:`ServeReport.latency_summary`)
             # so percentiles are not skewed by fail-fast errors, while the
@@ -433,8 +646,14 @@ class ServeScheduler:
             )
         else:
             outcome.status = "completed"
-            outcome.results = job.result
+            if self.digest_fn is not None:
+                # Bounded-memory serving: keep the equality witness, drop
+                # the tuples (the session still holds its own copy).
+                outcome.digest = self.digest_fn(job.result or ())
+            else:
+                outcome.results = job.result
             self.metrics.counter("serve.completed").inc()
+            self._inc_shard("completed")
             self.metrics.histogram("serve.latency").observe(outcome.latency)
         if job.stepper is not None:
             pool = self.sessions.pool_for(request)
@@ -451,21 +670,25 @@ class ServeScheduler:
                 status=outcome.status,
                 round_trips=outcome.round_trips,
             )
-        # Wake follow-ups parked on this request.
-        for parked in self._parked.pop(request.request_id, ()):
-            self._schedule(now, "arrival", parked)
+        # Wake follow-ups parked on this request — on their home shard.
+        for parked in self.table.parked.pop(request.request_id, ()):
+            self._route_arrival(parked, now)
         # A finished interaction frees its session for the next waiter.
         if request.target is not None:
             self._release_session(request.target, now)
         # Grant freed slots to the admission queue (FIFO).
-        while self._queue and self._active < self.config.max_concurrency:
+        while (
+            self._queue
+            and self._active < self.config.max_concurrency
+            and self.admission.try_acquire()
+        ):
             self._start(self._queue.popleft(), now)
 
     def _release_session(self, root_id: int, now: float) -> None:
-        self._busy_sessions.discard(root_id)
-        waiters = self._session_waiters.get(root_id)
+        self.table.busy_sessions.discard(root_id)
+        waiters = self.table.session_waiters.get(root_id)
         if waiters:
-            self._schedule(now, "arrival", waiters.popleft())
+            self._route_arrival(waiters.popleft(), now)
 
     def _reject(self, request: Request, now: float) -> None:
         # A parked follow-up rejected when its target fails (or at drain)
@@ -473,17 +696,19 @@ class ServeScheduler:
         # not free time, and dropping it would understate queueing under
         # admission pressure.
         queued_at = self._queued_at.pop(request.request_id, request.arrival)
-        self._outcomes[request.request_id] = RequestOutcome(
+        self.table.outcomes[request.request_id] = RequestOutcome(
             request=request,
             status="rejected",
             finished_at=now,
             queue_wait=max(0.0, now - queued_at),
+            shard=self.shard_index,
         )
         self.metrics.counter("serve.rejected").inc()
+        self._inc_shard("rejected")
         # Every terminal outcome counts toward its kind — completed,
         # failed, *and* rejected — so per-kind totals reconcile with
         # ``by_status()`` under admission pressure.
         self.metrics.counter(f"serve.kind.{request.kind}").inc()
         # A rejected run can never serve its follow-ups.
-        for parked in self._parked.pop(request.request_id, ()):
+        for parked in self.table.parked.pop(request.request_id, ()):
             self._reject(parked, now)

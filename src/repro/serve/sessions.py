@@ -25,7 +25,7 @@ call order (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.core.optimizer import Optimizer, OptimizerConfig
 from repro.engine.async_runner import BACKENDS, AsyncExecutionContext
@@ -63,6 +63,12 @@ class SessionManager:
     invocation_cache:
         Shared cross-query invocation memo; ``None`` gives every
         execution its private memo (isolated mode).
+    invocation_cache_selector:
+        Optional per-request override: a callable mapping a request to
+        the invocation cache its session should use (or ``None`` for a
+        private memo).  A sharded runtime in *private-cache* mode routes
+        each session to its home shard's cache this way; when set it
+        takes precedence over ``invocation_cache``.
     retry / degradation / fault_model:
         Fault-tolerance posture applied uniformly to every session.
     backend:
@@ -84,6 +90,9 @@ class SessionManager:
     optimizer_config: OptimizerConfig = field(default_factory=OptimizerConfig)
     plan_cache: PlanCache | None = None
     invocation_cache: InvocationCache | None = None
+    invocation_cache_selector: (
+        "Callable[[Request], InvocationCache | None] | None"
+    ) = None
     retry: RetryPolicy | None = None
     degradation: Degradation | str = Degradation.FAIL
     fault_model: FaultModel = field(default_factory=FaultModel)
@@ -135,13 +144,17 @@ class SessionManager:
             raise OptimizationError("no feasible plan found")
         return outcome.best
 
-    def _executor_options(self) -> dict[str, Any]:
+    def _executor_options(self, request: Request) -> dict[str, Any]:
         options: dict[str, Any] = {
             "retry": self.retry,
             "degradation": self.degradation,
         }
-        if self.invocation_cache is not None:
-            options["invocation_cache"] = self.invocation_cache
+        if self.invocation_cache_selector is not None:
+            cache = self.invocation_cache_selector(request)
+        else:
+            cache = self.invocation_cache
+        if cache is not None:
+            options["invocation_cache"] = cache
         return options
 
     # -- request entry points ------------------------------------------------
@@ -161,7 +174,7 @@ class SessionManager:
             query=compiled,
             pool=pool,
             inputs=dict(request.inputs or {}),
-            executor_options=self._executor_options(),
+            executor_options=self._executor_options(request),
             backend=self.backend,
             async_context=self.async_context,
         )

@@ -1,0 +1,765 @@
+"""Sharded serving: N scheduler shards over one deterministic timeline.
+
+One :class:`~repro.serve.scheduler.ServeScheduler` loop is the PR 4
+runtime; this module scales it out.  Sessions are partitioned across
+``N`` shards by a **consistent-hash ring** on session id
+(:class:`HashRing`), each shard running its own discrete-event loop —
+its own virtual clock, admission queue, concurrency bound, and token
+buckets — while four pieces stay process-global:
+
+* the :class:`~repro.serve.scheduler.SessionTable` (parking,
+  per-session serialization, outcomes): a follow-up parks until its
+  target finishes even across shards, and arrival-order waiter grants
+  are a property of the runtime, not of any one shard;
+* the :class:`~repro.serve.scheduler.AdmissionController`, optionally
+  capping *total* in-flight requests across all shards — a slot freed
+  on one shard is re-granted across **every** shard's queue by the
+  merged loop's grant pass, so liveness never depends on stealing;
+* the shared :class:`~repro.serve.plancache.PlanCache`;
+* the cross-shard :class:`ShardedInvocationCache` — one LRU-bounded
+  memo, global hit/miss counters as the single source of truth plus
+  per-shard attribution views that reconcile exactly to the totals.
+
+**Deterministic timeline merge.**  All shards push onto *one* event
+heap whose entries order by ``(time, shard index, sequence)``; the
+merged loop pops globally, advances only the owning shard's clock, and
+dispatches on that shard.  The interleaving is therefore a pure
+function of the workload — replaying a seed gives the identical merged
+report — and with ``N=1`` the loop is instruction-for-instruction the
+plain scheduler's.  Result *digests* are identical across shard counts
+for a stronger reason: per-session interaction order equals arrival
+order in every mode (global session table), and the simulated substrate
+derives results from ``(data seed, interface, bindings)`` alone, so
+*when* and *where* a request executes can never change *what* it
+returns (DESIGN.md, "Sharded serving").
+
+**Work stealing.**  After every dispatched event the merged loop runs a
+steal pass: any shard with a free execution slot and an empty local
+queue pulls the oldest queued request from the most-loaded shard's
+queue and starts it immediately.  Stealing whole *parked sessions* is
+safe because session gating happened at arrival on the home shard — a
+queued request already holds its session's busy flag (follow-ups) or
+owns a fresh session nobody else may touch (runs), so a stolen session
+can never interleave with its own in-flight interaction.  Thief and
+victim selection is deterministic (shard-index order, longest queue
+first), preserving replayability.
+
+**Parallel path.**  :func:`serve_workload_parallel` runs the ring's
+shard subsets in real worker processes (virtual backend per worker, or
+the PR 5 asyncio backend) — subsets are self-contained because a
+follow-up shares its target's session id and therefore its home shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from bisect import bisect_right
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.executor import InvocationCache, InvocationCacheStats
+from repro.errors import ExecutionError
+from repro.model.tuples import CompositeTuple
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+from repro.serve.plancache import PlanCache
+from repro.serve.scheduler import (
+    AdmissionController,
+    ServeConfig,
+    ServeReport,
+    ServeScheduler,
+    SessionTable,
+    build_cache_stats,
+    snapshot_cache_stats,
+)
+from repro.serve.sessions import SessionManager
+from repro.serve.workload import (
+    QueryTemplate,
+    Request,
+    WorkloadConfig,
+    default_templates,
+    generate_workload,
+    session_key,
+)
+
+__all__ = [
+    "HashRing",
+    "ShardedInvocationCache",
+    "ShardedServeScheduler",
+    "serve_workload_sharded",
+    "serve_workload_parallel",
+    "partition_workload",
+]
+
+
+# -- consistent hashing -------------------------------------------------------
+
+
+class HashRing:
+    """Consistent-hash ring mapping session ids to shard indices.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring (blake2b of
+    ``"shard:vnode"``); a session id hashes to a point and belongs to
+    the first shard point at or after it (wrapping).  Because a shard's
+    points are a function of its index alone, growing the ring from
+    ``N`` to ``N+1`` shards leaves every existing point in place — only
+    keys landing in the arcs claimed by the new shard's points move,
+    ~``1/(N+1)`` of the keyspace, instead of the wholesale reshuffle a
+    modulo partition would cause.  256 vnodes keep per-shard load within
+    ~±10% of the mean up to 16 shards (the property tests pin this).
+    """
+
+    def __init__(self, num_shards: int, *, vnodes: int = 256) -> None:
+        if num_shards <= 0:
+            raise ExecutionError("num_shards must be positive")
+        if vnodes <= 0:
+            raise ExecutionError("vnodes must be positive")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                points.append((self._point(f"shard:{shard}:vnode:{vnode}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    @staticmethod
+    def _point(label: str) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(label.encode(), digest_size=8).digest(), "big"
+        )
+
+    def shard_for(self, session_id: int) -> int:
+        """The shard owning ``session_id`` (deterministic, stable)."""
+        point = self._point(f"session:{session_id}")
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def shard_of(self, request: Request) -> int:
+        return self.shard_for(session_key(request))
+
+
+# -- shared invocation cache with per-shard attribution -----------------------
+
+
+class ShardedInvocationCache(InvocationCache):
+    """One cross-shard invocation memo with per-shard attribution views.
+
+    The inherited ``stats`` remain the **single source of truth**: every
+    lookup is counted exactly once there, whichever shard (or
+    single-flight-coalesced waiter) issued it.  ``shard_stats`` only
+    *attributes* each of those counts to the shard whose event was being
+    dispatched (``current_shard``, set by the merged loop before every
+    dispatch), so the per-shard views always sum to the global totals —
+    the reconciliation the regression tests pin down.
+
+    Coalescing: the merged loop dispatches one event at a time, so a
+    *completed* fetch of a key serves every later lookup — one put, many
+    hits, and each lookup counted exactly once (never double: the global
+    counters increment in :meth:`InvocationCache.get` alone, the shard
+    views merely attribute those same increments).  Because execution is
+    chunk-granular, a second session may begin fetching a key whose
+    multi-chunk fetch is still in flight; both are honest misses and the
+    later ``put`` idempotently overwrites with the identical value (the
+    substrate is deterministic per key).  The asyncio parallel path
+    closes even that window via
+    :class:`~repro.engine.async_runner.AsyncExecutionContext`'s real
+    single-flight coalescing.
+    """
+
+    def __init__(self, num_shards: int, max_size: int | None = 1024) -> None:
+        super().__init__(max_size=max_size)
+        self.shard_stats = [InvocationCacheStats() for _ in range(num_shards)]
+        self.current_shard = 0
+
+    def get(
+        self, key: tuple, stats: InvocationCacheStats | None = None
+    ) -> tuple[list, bool] | None:
+        entry = super().get(key, stats)
+        view = self.shard_stats[self.current_shard]
+        if entry is not None:
+            view.hits += 1
+        else:
+            view.misses += 1
+        return entry
+
+    def put(
+        self,
+        key: tuple,
+        value: tuple[list, bool],
+        stats: InvocationCacheStats | None = None,
+    ) -> None:
+        before = self.stats.evictions
+        super().put(key, value, stats)
+        self.shard_stats[self.current_shard].evictions += (
+            self.stats.evictions - before
+        )
+
+
+# -- the sharded scheduler ----------------------------------------------------
+
+
+class ShardedServeScheduler:
+    """N per-session-partitioned scheduler shards on one merged timeline."""
+
+    def __init__(
+        self,
+        sessions: SessionManager,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        *,
+        num_shards: int,
+        ring: HashRing | None = None,
+        steal: bool = True,
+        global_concurrency: int | None = None,
+        digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
+    ) -> None:
+        self.sessions = sessions
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.ring = ring if ring is not None else HashRing(num_shards)
+        self.steal = steal
+        self.table = SessionTable()
+        self.admission = AdmissionController(global_concurrency)
+        #: The merged timeline: (time, shard_index, seq, action, payload).
+        self._events: list[tuple[float, int, int, str, Any]] = []
+        self.shards = [
+            ServeScheduler(
+                sessions,
+                self.config,
+                self.metrics,
+                tracer,
+                shard_index=index,
+                table=self.table,
+                admission=self.admission,
+                events=self._events,
+                router=self._route,
+                digest_fn=digest_fn,
+                emit_shard_metrics=True,
+            )
+            for index in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def _route(self, request: Request, at: float) -> None:
+        """Schedule an arrival on the session's home shard."""
+        self.shards[self.ring.shard_of(request)]._schedule(at, "arrival", request)
+
+    def _set_cache_shard(self, index: int) -> None:
+        cache = self.sessions.invocation_cache
+        if isinstance(cache, ShardedInvocationCache):
+            cache.current_shard = index
+
+    def run(self, workload: Sequence[Request]) -> ServeReport:
+        """Serve the workload across all shards; returns the merged report."""
+        self.table.known_runs = {r.request_id for r in workload if r.kind == "run"}
+        plan_base, invocation_base = snapshot_cache_stats(self.sessions)
+        for request in sorted(workload, key=lambda r: (r.arrival, r.request_id)):
+            self._route(request, request.arrival)
+        while self._events:
+            at, shard_index, _, action, payload = heapq.heappop(self._events)
+            shard = self.shards[shard_index]
+            shard.clock.advance_to(at)
+            self._set_cache_shard(shard_index)
+            shard.dispatch(action, payload, at)
+            if self.admission.limit is not None:
+                self._grant_pass(at)
+            if self.steal:
+                self._steal_pass(at)
+        for shard in self.shards:
+            if shard._queue:
+                raise ExecutionError(
+                    f"shard {shard.shard_index} drained with "
+                    f"{len(shard._queue)} requests still queued — "
+                    "admission grant pass failed to wake them"
+                )
+        makespan = max(shard.clock.now for shard in self.shards)
+        # Follow-ups still parked at drain time targeted a run that never
+        # completed: reject them on their home shard.
+        for parked in self.table.parked.values():
+            for request in parked:
+                self.shards[self.ring.shard_of(request)]._reject(request, makespan)
+        self.table.parked.clear()
+        missing = [
+            request.request_id
+            for request in workload
+            if request.request_id not in self.table.outcomes
+        ]
+        if missing:
+            raise ExecutionError(
+                f"{len(missing)} workload requests drained without an "
+                f"outcome (first: {missing[:5]}) — stranded in the runtime"
+            )
+        plan_stats, invocation_stats = build_cache_stats(
+            self.sessions, plan_base, invocation_base
+        )
+        return ServeReport(
+            outcomes=dict(sorted(self.table.outcomes.items())),
+            makespan=makespan,
+            total_round_trips=self.sessions.total_round_trips(),
+            metrics=self.metrics,
+            plan_cache_stats=plan_stats,
+            invocation_cache_stats=invocation_stats,
+            shard_stats=self._shard_stats(),
+            num_shards=self.num_shards,
+            admission_peak=self.admission.peak,
+        )
+
+    # -- admission granting --------------------------------------------------
+
+    def _grant_pass(self, now: float) -> None:
+        """Grant freed global slots to *any* shard's queue, FIFO per shard.
+
+        A shard's ``_on_finish`` drains only its own queue, which is
+        complete for per-shard bounds: a request queues on shard ``i``
+        because ``i`` was at ``max_concurrency``, and only a finish on
+        ``i`` can free that.  Under a *global* admission cap the freeing
+        finish can happen on another shard, so the merged loop must
+        re-run the grant over every shard after each event — otherwise
+        requests queued at the global cap strand forever (work stealing
+        is an optimisation, not a liveness guarantee: thieves require an
+        empty local queue).  Runs in shard-index order, so grants stay
+        deterministic; with one shard it is a no-op after the shard's
+        own drain, preserving instruction-for-instruction equality.
+        """
+        for shard in self.shards:
+            while (
+                shard._queue
+                and shard._active < self.config.max_concurrency
+                and self.admission.try_acquire()
+            ):
+                # Remaining heap events are all >= now, so jumping the
+                # shard's clock forward cannot reorder anything.
+                shard.clock.advance_to(now)
+                self._set_cache_shard(shard.shard_index)
+                shard._start(shard._queue.popleft(), now)
+
+    # -- work stealing -------------------------------------------------------
+
+    def _steal_pass(self, now: float) -> None:
+        """Let idle-capacity shards drain the most-loaded shard's queue.
+
+        Runs after every dispatched event, so a shard going idle (its
+        last finish) steals at the exact virtual instant the plain
+        runtime would have started the victim's request locally — no
+        polling events needed.  Deterministic: thieves iterate in shard
+        index order; the victim is the longest queue (lowest index on
+        ties).  A steal only happens when the thief can *start* the
+        request immediately — moving queued work between queues would
+        churn accounting without reducing latency.
+        """
+        while True:
+            stolen_any = False
+            for thief in self.shards:
+                if thief._queue or thief._active >= self.config.max_concurrency:
+                    continue
+                victim = max(
+                    (s for s in self.shards if s is not thief and s._queue),
+                    key=lambda s: (len(s._queue), -s.shard_index),
+                    default=None,
+                )
+                if victim is None:
+                    continue
+                if self._steal_one(thief, victim, now):
+                    stolen_any = True
+            if not stolen_any:
+                return
+
+    def _steal_one(
+        self, thief: ServeScheduler, victim: ServeScheduler, now: float
+    ) -> bool:
+        if not self.admission.try_acquire():
+            return False
+        request = victim._queue.popleft()  # FIFO head: the oldest wait
+        thief._queued_at[request.request_id] = victim._queued_at.pop(
+            request.request_id, now
+        )
+        # Remaining heap events are all >= now, so jumping the thief's
+        # clock forward cannot reorder anything already scheduled.
+        thief.clock.advance_to(now)
+        self._set_cache_shard(thief.shard_index)
+        # _start expects the caller to hold the global admission slot
+        # (acquired above) and claims the thief-local slot itself.
+        thief._start(request, now)
+        self.table.outcomes[request.request_id].stolen = True
+        self.metrics.counter("serve.steals").inc()
+        self.metrics.counter(f"serve.shard.{thief.shard_index}.steals").inc()
+        self.metrics.counter(
+            f"serve.shard.{victim.shard_index}.stolen_from"
+        ).inc()
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    def _shard_stats(self) -> list[dict[str, Any]]:
+        cache = self.sessions.invocation_cache
+        stats: list[dict[str, Any]] = []
+        for shard in self.shards:
+            index = shard.shard_index
+
+            def count(name: str) -> int:
+                counter = self.metrics.counters.get(
+                    f"serve.shard.{index}.{name}"
+                )
+                return int(counter.value) if counter is not None else 0
+
+            entry: dict[str, Any] = {
+                "shard": index,
+                "started": count("started"),
+                "completed": count("completed"),
+                "failed": count("failed"),
+                "rejected": count("rejected"),
+                "steals": count("steals"),
+                "stolen_from": count("stolen_from"),
+                "max_queue_depth": int(
+                    self.metrics.gauges.get(
+                        f"serve.shard.{index}.max_queue_depth",
+                    ).value
+                    if f"serve.shard.{index}.max_queue_depth" in self.metrics.gauges
+                    else 0
+                ),
+                "makespan": shard.clock.now,
+            }
+            if isinstance(cache, ShardedInvocationCache):
+                view = cache.shard_stats[index]
+                entry["invocation_cache"] = {
+                    "hits": view.hits,
+                    "misses": view.misses,
+                    "hit_rate": view.hit_rate,
+                }
+            stats.append(entry)
+        return stats
+
+
+# -- workload partitioning & serving entry points -----------------------------
+
+
+def partition_workload(
+    workload: Sequence[Request], ring: HashRing
+) -> list[list[Request]]:
+    """Split a workload into per-shard subsets by home shard.
+
+    Subsets are self-contained: a follow-up carries its target's session
+    id, so the whole interaction chain of a session lands on one shard —
+    which is what lets the parallel path run each subset in isolation.
+    """
+    subsets: list[list[Request]] = [[] for _ in range(ring.num_shards)]
+    for request in workload:
+        subsets[ring.shard_of(request)].append(request)
+    return subsets
+
+
+def _build_manager(
+    templates: Sequence[QueryTemplate],
+    *,
+    seed: int,
+    cache_mode: str,
+    num_shards: int,
+    ring: HashRing,
+    cache_size: int | None,
+    backend: str = "virtual",
+) -> SessionManager:
+    if cache_mode not in ("shared", "private", "isolated"):
+        raise ExecutionError(
+            f"unknown cache_mode {cache_mode!r}; "
+            "expected shared, private, or isolated"
+        )
+    manager = SessionManager(
+        templates={template.name: template for template in templates},
+        data_seed=seed,
+        backend=backend,
+    )
+    if cache_mode == "isolated":
+        return manager
+    manager.plan_cache = PlanCache()
+    if cache_mode == "shared":
+        manager.invocation_cache = ShardedInvocationCache(
+            num_shards, max_size=cache_size
+        )
+    else:  # private: one cache per shard, routed by the session's home
+        per_shard = [InvocationCache(max_size=cache_size) for _ in range(num_shards)]
+        manager.invocation_cache_selector = (
+            lambda request: per_shard[ring.shard_of(request)]
+        )
+    return manager
+
+
+def serve_workload_sharded(
+    *,
+    rate: float,
+    num_requests: int,
+    seed: int,
+    num_shards: int,
+    cache_mode: str = "shared",
+    steal: bool = True,
+    skew: float = 1.3,
+    followup_fraction: float = 0.25,
+    max_concurrency: int = 4,
+    queue_limit: int = 1_000_000,
+    default_service_rate: float | None = 4.0,
+    session_space: int = 1_000_000,
+    cache_size: int | None = None,
+    global_concurrency: int | None = None,
+    templates: Sequence[QueryTemplate] | None = None,
+    workload: Sequence[Request] | None = None,
+    digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
+) -> tuple[ServeReport, dict[int, str]]:
+    """Serve one seeded workload on ``num_shards`` shards.
+
+    Returns the merged report and per-request result digests (the
+    equality witness across shard counts and cache modes).  With
+    ``digest_fn`` set (the benchmark does this) outcomes carry digests
+    instead of materialised result lists, keeping 100k-request runs
+    memory-bounded; otherwise digests are computed here from the
+    results.  ``max_concurrency``/``queue_limit`` are per-shard, so the
+    execution capacity scales with the shard count — that is the scaling
+    being measured.
+    """
+    from repro.serve.bench import result_digest
+
+    templates = tuple(templates or default_templates())
+    if workload is None:
+        workload = generate_workload(
+            templates,
+            WorkloadConfig(
+                num_requests=num_requests,
+                rate=rate,
+                skew=skew,
+                seed=seed,
+                followup_fraction=followup_fraction,
+                session_space=max(session_space, num_requests),
+            ),
+        )
+    ring = HashRing(num_shards)
+    sessions = _build_manager(
+        templates,
+        seed=seed,
+        cache_mode=cache_mode,
+        num_shards=num_shards,
+        ring=ring,
+        cache_size=cache_size,
+    )
+    scheduler = ShardedServeScheduler(
+        sessions,
+        ServeConfig(
+            max_concurrency=max_concurrency,
+            queue_limit=queue_limit,
+            default_service_rate=default_service_rate,
+        ),
+        num_shards=num_shards,
+        ring=ring,
+        steal=steal,
+        global_concurrency=global_concurrency,
+        digest_fn=digest_fn,
+    )
+    report = scheduler.run(workload)
+    digests: dict[int, str] = {}
+    for outcome in report.completed():
+        if outcome.digest is not None:
+            digests[outcome.request.request_id] = outcome.digest
+        else:
+            digests[outcome.request.request_id] = result_digest(
+                outcome.results or ()
+            )
+    return report, digests
+
+
+# -- parallel path: shard subsets in worker processes -------------------------
+
+
+def _parallel_worker(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Serve one shard's subset in a worker process.
+
+    Each worker owns a full private runtime (its own SessionManager and
+    caches — cross-shard cache sharing needs shared memory the parallel
+    path deliberately avoids), so results still match every serial mode:
+    the substrate is deterministic per ``(data seed, interface,
+    bindings)`` regardless of which process fetches.
+    """
+    from repro.serve.bench import result_digest
+
+    subset: Sequence[Request] = payload["subset"]
+    templates: Sequence[QueryTemplate] = payload["templates"]
+    seed: int = payload["seed"]
+    backend: str = payload["backend"]
+    manager = SessionManager(
+        templates={template.name: template for template in templates},
+        data_seed=seed,
+        plan_cache=PlanCache() if payload["caches"] else None,
+        invocation_cache=(
+            InvocationCache(max_size=payload["cache_size"])
+            if payload["caches"]
+            else None
+        ),
+        backend=backend,
+    )
+    if backend == "asyncio":
+        import asyncio
+
+        from repro.serve.async_serve import _serve_async
+
+        report = asyncio.run(
+            _serve_async(
+                subset,
+                manager,
+                max_concurrency=payload["max_concurrency"],
+                time_scale=payload["time_scale"],
+            )
+        )
+        return {
+            "shard": payload["shard"],
+            "backend": backend,
+            "outcomes": [
+                {
+                    "request_id": o.request.request_id,
+                    "status": "completed" if o.completed else "failed",
+                    "digest": (
+                        result_digest(o.results or ()) if o.completed else None
+                    ),
+                    "latency": o.wall_latency,
+                    "error": o.error,
+                }
+                for o in report.outcomes
+            ],
+            "makespan": report.wall_time,
+            "round_trips": manager.total_round_trips(),
+        }
+    scheduler = ServeScheduler(
+        manager,
+        ServeConfig(
+            max_concurrency=payload["max_concurrency"],
+            queue_limit=payload["queue_limit"],
+            default_service_rate=payload["default_service_rate"],
+        ),
+        digest_fn=result_digest,
+    )
+    report = scheduler.run(subset)
+    return {
+        "shard": payload["shard"],
+        "backend": backend,
+        "outcomes": [
+            {
+                "request_id": o.request.request_id,
+                "status": o.status,
+                "digest": o.digest,
+                "latency": o.latency if o.status == "completed" else 0.0,
+                "error": o.error,
+            }
+            for o in report.outcomes.values()
+        ],
+        "makespan": report.makespan,
+        "round_trips": report.total_round_trips,
+    }
+
+
+def serve_workload_parallel(
+    *,
+    rate: float,
+    num_requests: int,
+    seed: int,
+    num_shards: int,
+    backend: str = "virtual",
+    caches: bool = True,
+    skew: float = 1.3,
+    followup_fraction: float = 0.25,
+    max_concurrency: int = 4,
+    queue_limit: int = 1_000_000,
+    default_service_rate: float | None = 4.0,
+    session_space: int = 1_000_000,
+    cache_size: int | None = None,
+    time_scale: float = 0.001,
+    templates: Sequence[QueryTemplate] | None = None,
+    workload: Sequence[Request] | None = None,
+) -> dict[str, Any]:
+    """Serve the workload with one real worker process per shard.
+
+    The ring partitions the workload into self-contained subsets; each
+    worker serves its subset on a private runtime (virtual scheduler or
+    the asyncio backend), and the parent merges digests and accounting.
+    Digest-equivalent to the serial sharded runtime in ``private`` cache
+    mode — the parallel analogue of the determinism argument.  Templates
+    must be picklable (the built-ins are).
+    """
+    import multiprocessing
+
+    if backend not in ("virtual", "asyncio"):
+        raise ExecutionError(f"unknown parallel backend {backend!r}")
+    templates = tuple(templates or default_templates())
+    if workload is None:
+        workload = generate_workload(
+            templates,
+            WorkloadConfig(
+                num_requests=num_requests,
+                rate=rate,
+                skew=skew,
+                seed=seed,
+                followup_fraction=followup_fraction,
+                session_space=max(session_space, num_requests),
+            ),
+        )
+    ring = HashRing(num_shards)
+    subsets = partition_workload(workload, ring)
+    payloads = [
+        {
+            "shard": index,
+            "subset": subset,
+            "templates": templates,
+            "seed": seed,
+            "backend": backend,
+            "caches": caches,
+            "cache_size": cache_size,
+            "max_concurrency": max_concurrency,
+            "queue_limit": queue_limit,
+            "default_service_rate": default_service_rate,
+            "time_scale": time_scale,
+        }
+        for index, subset in enumerate(subsets)
+    ]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=num_shards) as pool:
+        worker_reports = pool.map(_parallel_worker, payloads)
+    digests: dict[int, str] = {}
+    by_status: dict[str, int] = {}
+    latencies: list[float] = []
+    for worker in worker_reports:
+        for outcome in worker["outcomes"]:
+            by_status[outcome["status"]] = by_status.get(outcome["status"], 0) + 1
+            if outcome["status"] == "completed":
+                digests[outcome["request_id"]] = outcome["digest"]
+                latencies.append(outcome["latency"])
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "backend": backend,
+        "num_shards": num_shards,
+        "digests": digests,
+        "by_status": by_status,
+        "makespan": max((w["makespan"] for w in worker_reports), default=0.0),
+        "total_round_trips": sum(w["round_trips"] for w in worker_reports),
+        "latency_p50": pct(0.50),
+        "latency_p95": pct(0.95),
+        "shards": [
+            {
+                "shard": w["shard"],
+                "requests": len(w["outcomes"]),
+                "makespan": w["makespan"],
+                "round_trips": w["round_trips"],
+            }
+            for w in worker_reports
+        ],
+    }

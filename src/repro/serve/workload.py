@@ -25,7 +25,9 @@ Section 3.2 flows through the scheduler alongside fresh queries.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ExecutionError
@@ -42,26 +44,41 @@ __all__ = [
     "WorkloadConfig",
     "default_templates",
     "generate_workload",
+    "session_key",
 ]
+
+
+@lru_cache(maxsize=1024)
+def _zipf_cdf(n: int, skew: float) -> tuple[float, ...]:
+    """Cumulative Zipf weights for ``n`` options at exponent ``skew``.
+
+    Accumulated left-to-right exactly like the historical per-draw scan,
+    so memoisation changes no draw: the running sums are bit-identical to
+    ``sum(weights[:i+1])``.
+    """
+    acc = 0.0
+    cdf: list[float] = []
+    for i in range(n):
+        acc += 1.0 / (i + 1) ** skew
+        cdf.append(acc)
+    return tuple(cdf)
 
 
 def zipf_index(rng: random.Random, n: int, skew: float) -> int:
     """Draw an index in ``[0, n)`` with probability ∝ ``1/(i+1)**skew``.
 
     ``skew=0`` is uniform; larger values concentrate mass on the first
-    few options (the "popular keywords" of the workload).
+    few options (the "popular keywords" of the workload).  The weight
+    CDF is memoised per ``(n, skew)`` and searched with :func:`bisect`,
+    so drawing is O(log n) instead of rebuilding an O(n) weight vector
+    per draw — at 100k-request workload generation the rebuild was the
+    dominant cost.
     """
     if n <= 0:
         raise ExecutionError("cannot draw from an empty option list")
-    weights = [1.0 / (i + 1) ** skew for i in range(n)]
-    total = sum(weights)
-    point = rng.random() * total
-    acc = 0.0
-    for index, weight in enumerate(weights):
-        acc += weight
-        if point < acc:
-            return index
-    return n - 1  # pragma: no cover - float-edge fallback
+    cdf = _zipf_cdf(n, float(skew))
+    point = rng.random() * cdf[-1]
+    return min(bisect_right(cdf, point), n - 1)
 
 
 @dataclass(frozen=True)
@@ -106,6 +123,24 @@ class Request:
     weights: Mapping[str, float] | None = None
     target: int | None = None
     k: int | None = None
+    #: Stable session identity drawn from the workload's (sparse) session
+    #: id space — what the sharding ring hashes.  ``None`` (hand-built
+    #: requests) falls back to ``target``/``request_id``.
+    session_id: int | None = None
+
+
+def session_key(request: Request) -> int:
+    """The session identity a request belongs to (the sharding key).
+
+    A ``run`` opens its own session; follow-ups belong to their target's.
+    Workload-generated requests carry an explicit sparse ``session_id``;
+    hand-built ones fall back to the request/target id.
+    """
+    if request.session_id is not None:
+        return request.session_id
+    if request.target is not None:
+        return request.target
+    return request.request_id
 
 
 @dataclass(frozen=True)
@@ -121,6 +156,10 @@ class WorkloadConfig:
     followup_mix: Mapping[str, float] = field(
         default_factory=lambda: {"more": 0.4, "rerank": 0.35, "resubmit": 0.25}
     )
+    #: Size of the sparse session-id universe run requests draw their
+    #: :attr:`Request.session_id` from (the space the sharding ring
+    #: hashes — ~1M ids at production scale).
+    session_space: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.num_requests <= 0:
@@ -129,9 +168,38 @@ class WorkloadConfig:
             raise ExecutionError("arrival rate must be positive")
         if not 0.0 <= self.followup_fraction < 1.0:
             raise ExecutionError("followup_fraction must be in [0, 1)")
+        if self.session_space < self.num_requests:
+            raise ExecutionError(
+                "session_space must be at least num_requests "
+                "(every run needs a distinct session id)"
+            )
 
 
-def default_templates() -> tuple[QueryTemplate, ...]:
+def _scaled_options(options: Sequence[Any], scale: int) -> list[Any]:
+    """Extend a most-popular-first option list to ``scale ×`` its length.
+
+    The base options keep their head positions (their Zipf popularity
+    only grows relative to the appended tail), so a scaled workload
+    still concentrates mass on the same popular bindings while adding a
+    long tail of fresh ones.  Generated values follow the base value's
+    shape — ``prefix#n`` strings get new suffixes, numbers extend the
+    numeric range — and the simulated substrate derives data from the
+    binding value alone, so any generated value is servable.
+    """
+    extended = list(options)
+    head = extended[0]
+    for j in range(len(extended) * (scale - 1)):
+        if isinstance(head, float):
+            extended.append(round(float(head) + (j + 1) * 0.25, 2))
+        elif isinstance(head, int) and not isinstance(head, bool):
+            extended.append(int(head) + j + 1)
+        else:
+            prefix = str(head).split("#")[0]
+            extended.append(f"{prefix}#x{j}")
+    return extended
+
+
+def default_templates(param_scale: int = 1) -> tuple[QueryTemplate, ...]:
     """The two built-in templates over the chapter's example schemas.
 
     Parameter universes are deliberately small and head-heavy: under the
@@ -139,8 +207,19 @@ def default_templates() -> tuple[QueryTemplate, ...]:
     ``Movie1`` or the same (topic, city, date) for the conference trip,
     so concurrent queries issue *identical* service invocations — the
     sharing opportunity the serving runtime exploits.
+
+    ``param_scale`` multiplies every parameter universe (base options
+    keep their head positions; see :func:`_scaled_options`).  At
+    population scale — the sharding sweep's 100k requests over ~1M
+    sessions — the unscaled universes degenerate: ~100 distinct binding
+    combos all go resident in the shared cache, every request completes
+    in zero virtual time, and there is no load left for shards to
+    absorb.  Scaling keeps the Zipf head hot while the tail sustains a
+    steady miss stream of real service traffic.
     """
-    return (
+    if param_scale < 1:
+        raise ExecutionError("param_scale must be at least 1")
+    templates = (
         QueryTemplate(
             name="movie-night",
             schema="movie",
@@ -176,6 +255,22 @@ def default_templates() -> tuple[QueryTemplate, ...]:
             ),
         ),
     )
+    if param_scale == 1:
+        return templates
+    return tuple(
+        QueryTemplate(
+            name=template.name,
+            schema=template.schema,
+            query_text=template.query_text,
+            registry_factory=template.registry_factory,
+            parameter_space={
+                name: _scaled_options(options, param_scale)
+                for name, options in template.parameter_space.items()
+            },
+            rerank_weights=template.rerank_weights,
+        )
+        for template in templates
+    )
 
 
 def generate_workload(
@@ -195,6 +290,19 @@ def generate_workload(
     if len(by_name) != len(templates):
         raise ExecutionError("template names must be unique")
     rng = random.Random(config.seed)
+    # Session ids come from a *separate* seeded stream so the arrival /
+    # parameter draws stay bit-identical to workloads generated before
+    # sharding existed (same main-rng consumption).
+    sid_rng = random.Random((config.seed << 1) ^ 0x5E5510)
+    used_sids: set[int] = set()
+
+    def next_session_id() -> int:
+        while True:
+            sid = sid_rng.randrange(config.session_space)
+            if sid not in used_sids:
+                used_sids.add(sid)
+                return sid
+
     kinds = sorted(config.followup_mix)
     kind_weights = [config.followup_mix[kind] for kind in kinds]
     now = 0.0
@@ -220,6 +328,7 @@ def generate_workload(
                     arrival=now,
                     weights=dict(weights),
                     target=target.request_id,
+                    session_id=target.session_id,
                 )
             elif kind == "resubmit":
                 request = Request(
@@ -230,6 +339,7 @@ def generate_workload(
                     arrival=now,
                     inputs=template.sample_inputs(rng, config.skew),
                     target=target.request_id,
+                    session_id=target.session_id,
                 )
             else:
                 request = Request(
@@ -239,6 +349,7 @@ def generate_workload(
                     schema=template.schema,
                     arrival=now,
                     target=target.request_id,
+                    session_id=target.session_id,
                 )
         else:
             template = templates[zipf_index(rng, len(templates), config.skew)]
@@ -249,6 +360,7 @@ def generate_workload(
                 schema=template.schema,
                 arrival=now,
                 inputs=template.sample_inputs(rng, config.skew),
+                session_id=next_session_id(),
             )
             runs.append(request)
         requests.append(request)
