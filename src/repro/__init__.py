@@ -17,7 +17,11 @@ Subpackages:
   and the query-explain surface.
 * :mod:`repro.serve` -- multi-query serving runtime: workload
   generation, cooperative scheduling, plan cache, cross-query sharing.
-* :mod:`repro.services` -- simulated service substrate and example schemas.
+* :mod:`repro.durability` -- checkpoint/resume for sessions and the
+  serving schedulers, plus the crash-injection harness; the
+  record/replay cassette adapter lives in :mod:`repro.services.recorded`.
+* :mod:`repro.services` -- simulated service substrate, example
+  schemas, and the heterogeneous scenario packs.
 * :mod:`repro.baselines` -- exhaustive, WSMS, and naive planners.
 * :mod:`repro.stats` -- selectivity and cardinality estimation.
 """
@@ -53,6 +57,12 @@ from repro.obs import (
     build_explain,
     snapshot_run,
     write_trace,
+)
+from repro.durability import (
+    CheckpointStore,
+    checkpoint_session,
+    restore_session,
+    serve_workload_durable,
 )
 from repro.query.compile import CompiledQuery, compile_query
 from repro.query.parser import parse_query
@@ -102,6 +112,10 @@ __all__ = [
     "WorkloadConfig",
     "generate_workload",
     "run_serving_benchmark",
+    "CheckpointStore",
+    "checkpoint_session",
+    "restore_session",
+    "serve_workload_durable",
     "Tracer",
     "NULL_TRACER",
     "MetricsRegistry",

@@ -25,7 +25,17 @@ Commands:
   isolated, or per-request results diverging), so CI can gate on it.
   ``--backend asyncio`` serves the same workload on the asyncio
   real-execution backend and gates per-request digests against the
-  virtual scheduler's.
+  virtual scheduler's.  ``--scenario`` swaps the workload for a
+  heterogeneous scenario pack; ``--checkpoint-every``/``--resume``
+  turn the run into a durable serve with periodic checkpoints.
+* ``scenarios`` — list the built-in scenario packs (schema, query,
+  parameter universes) accepted by ``serve-bench --scenario``.
+* ``checkpoint`` — run a query (optionally stopping mid-plan after
+  ``--steps`` scheduler steps) and write the session to a checkpoint
+  store.
+* ``resume``    — restore a checkpointed session, finish any suspended
+  interaction, and print the results; ``--list`` shows what a store
+  holds.
 
 ``run`` exits 0 on success and, by default, also when execution
 *degraded* (some services stayed down and results are best-effort
@@ -33,8 +43,9 @@ partial).  ``--strict`` turns degradation into exit code 3 with the
 failed aliases on stderr — for scripts that must not mistake partial
 answers for complete ones.
 
-Built-in schemas: ``movie`` (the running example) and ``conference``
-(Figs. 2/3).  Custom queries are accepted with ``--query``; INPUT
+Built-in schemas: ``movie`` (the running example), ``conference``
+(Figs. 2/3), and the scenario-pack schemas ``travel``, ``shopping``,
+and ``scholar``.  Custom queries are accepted with ``--query``; INPUT
 bindings with repeated ``--input NAME=VALUE`` flags (values are parsed as
 Python literals when possible, else kept as strings).
 """
@@ -69,6 +80,7 @@ from repro.services.marts import (
     conference_trip_registry,
     movie_night_registry,
 )
+from repro.services.scenarios import SCENARIOS
 from repro.services.simulated import FaultModel, ServicePool
 
 __all__ = ["main", "build_parser"]
@@ -77,6 +89,16 @@ _SCHEMAS = {
     "movie": (movie_night_registry, RUNNING_EXAMPLE_QUERY, RUNNING_EXAMPLE_INPUTS),
     "conference": (conference_trip_registry, CONFERENCE_QUERY, CONFERENCE_INPUTS),
 }
+# The scenario packs expose themselves as schemas too, so plan/run/
+# explain/checkpoint work against the serving workloads' registries.
+_SCHEMAS.update(
+    (pack.schema, (pack.registry_factory, pack.query_text, pack.default_inputs))
+    for pack in SCENARIOS.values()
+)
+
+# Mirrors repro.serve.workload.scenario_names() without importing the
+# serving stack at parse time.
+_SCENARIO_CHOICES = ("default", "all", *sorted(SCENARIOS))
 
 
 def _parse_value(text: str) -> Any:
@@ -364,11 +386,112 @@ def build_parser() -> argparse.ArgumentParser:
         "stream of real service traffic (default: 1)",
     )
     serve_cmd.add_argument(
+        "--scenario",
+        choices=_SCENARIO_CHOICES,
+        default="default",
+        help="workload scenario: the chapter's two example schemas "
+        "(default), one named pack, or 'all' five schemas mixed into "
+        "one arrival stream (see `repro scenarios`)",
+    )
+    serve_cmd.add_argument(
+        "--plan-cache-size",
+        type=int,
+        metavar="N",
+        help="LRU bound on the shared plan cache (default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--gates",
+        choices=("hard", "all"),
+        default="hard",
+        help="which benchmark gates make the exit code nonzero: the "
+        "correctness gates only (hard: identical results, sharing never "
+        "costs round trips) or every reported gate including the "
+        "performance ones (all)",
+    )
+    serve_cmd.add_argument(
         "--output",
         metavar="PATH",
         help="write the full benchmark report as JSON to PATH",
     )
+    durability = serve_cmd.add_argument_group("durability")
+    durability.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve durably, checkpointing every N terminal requests "
+        "(0 disables; needs --checkpoint-dir and a single rate)",
+    )
+    durability.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint store directory for durable serving",
+    )
+    durability.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir "
+        "(serves the whole workload from scratch when none exists)",
+    )
     _add_backend(serve_cmd)
+
+    scenarios_cmd = commands.add_parser(
+        "scenarios",
+        help="list the scenario packs accepted by serve-bench --scenario",
+    )
+    scenarios_cmd.add_argument(
+        "--registry",
+        action="store_true",
+        help="also print each pack's full schema catalogue",
+    )
+
+    checkpoint_cmd = commands.add_parser(
+        "checkpoint",
+        help="run a query (optionally stopping mid-plan) and checkpoint "
+        "the session",
+    )
+    _add_common(checkpoint_cmd)
+    checkpoint_cmd.add_argument(
+        "--seed", type=int, default=2009, help="simulator seed"
+    )
+    checkpoint_cmd.add_argument(
+        "--k", type=int, default=None, help="top-k combinations to request"
+    )
+    checkpoint_cmd.add_argument(
+        "--steps",
+        type=int,
+        metavar="N",
+        help="advance the run only N scheduler steps, then checkpoint "
+        "the suspended mid-plan state (default: run to completion)",
+    )
+    checkpoint_cmd.add_argument(
+        "--dir", required=True, help="checkpoint store directory"
+    )
+    checkpoint_cmd.add_argument(
+        "--key", default="session", help="checkpoint key (default: session)"
+    )
+
+    resume_cmd = commands.add_parser(
+        "resume",
+        help="restore a checkpointed session and finish the run",
+    )
+    resume_cmd.add_argument(
+        "--dir", required=True, help="checkpoint store directory"
+    )
+    resume_cmd.add_argument(
+        "--key",
+        help="checkpoint key to restore (default: the newest in the store)",
+    )
+    resume_cmd.add_argument(
+        "--list",
+        action="store_true",
+        help="list the store's checkpoints instead of restoring",
+    )
+    resume_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the replay witness checks (trust the checkpoint)",
+    )
     return parser
 
 
@@ -481,6 +604,29 @@ def _execute(args, registry, compiled, inputs, best, tracer=NULL_TRACER):
     return 0, result
 
 
+_LABEL_KEYS = (
+    "Title", "Name", "HName", "CName", "Airline",
+    "EName", "PName", "PTitle", "AName", "VName", "Reviewer",
+)
+
+
+def _print_combos(tuples) -> None:
+    for rank, combo in enumerate(tuples, start=1):
+        parts = []
+        for alias in sorted(combo.aliases):
+            values = combo.component(alias).values
+            label = next(
+                (
+                    str(values[key])
+                    for key in _LABEL_KEYS
+                    if values.get(key) is not None
+                ),
+                "?",
+            )
+            parts.append(f"{alias}={label}")
+        print(f"  {rank:2d}. score={combo.score:.3f}  " + "  ".join(parts))
+
+
 def _cmd_run(args) -> int:
     tracer = Tracer() if args.trace else NULL_TRACER
     registry, compiled, inputs, _, outcome = _optimize(args, tracer)
@@ -511,20 +657,7 @@ def _cmd_run(args) -> int:
             "WARNING: results are incomplete — services down for aliases "
             + ", ".join(result.failed_aliases)
         )
-    for rank, combo in enumerate(result.tuples, start=1):
-        parts = []
-        for alias in sorted(combo.aliases):
-            values = combo.component(alias).values
-            label = next(
-                (
-                    str(values[key])
-                    for key in ("Title", "Name", "HName", "CName", "Airline")
-                    if values.get(key) is not None
-                ),
-                "?",
-            )
-            parts.append(f"{alias}={label}")
-        print(f"  {rank:2d}. score={combo.score:.3f}  " + "  ".join(parts))
+    _print_combos(result.tuples)
     if args.trace:
         if args.trace == "-":
             write_trace(tracer.spans, sys.stdout, fmt=args.trace_format)
@@ -571,6 +704,7 @@ def _cmd_explain(args) -> int:
 
 def _cmd_serve_bench(args) -> int:
     from repro.serve import run_serving_benchmark
+    from repro.serve.workload import scenario_templates
 
     try:
         rates = tuple(
@@ -580,6 +714,8 @@ def _cmd_serve_bench(args) -> int:
         raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
     if not rates:
         raise SystemExit("--rates needs at least one rate")
+    if args.checkpoint_every or args.resume:
+        return _serve_bench_durable(args, rates)
     if args.shards:
         if args.backend == "asyncio" and not args.parallel:
             raise SystemExit(
@@ -597,10 +733,13 @@ def _cmd_serve_bench(args) -> int:
         followup_fraction=args.followups,
         max_concurrency=args.concurrency,
         default_service_rate=args.service_rate or None,
+        plan_cache_size=args.plan_cache_size,
+        templates=scenario_templates(args.scenario, args.param_scale),
     )
     print(
         f"serving benchmark: {args.requests} requests per level, "
-        f"seed {args.seed}, concurrency {args.concurrency}"
+        f"seed {args.seed}, concurrency {args.concurrency}, "
+        f"scenario {args.scenario}"
     )
     for level in report["levels"]:
         isolated, shared = level["isolated"], level["shared"]
@@ -624,20 +763,24 @@ def _cmd_serve_bench(args) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
         print(f"report -> {args.output}")
-    hard_gates = (
-        gates["results_identical"],
-        gates["shared_never_more_round_trips"],
-    )
-    return 0 if all(hard_gates) else 1
+    hard = ("results_identical", "shared_never_more_round_trips")
+    requested = gates if args.gates == "all" else {
+        name: gates[name] for name in hard
+    }
+    failed = sorted(name for name, passed in requested.items() if not passed)
+    if failed:
+        print(
+            f"gate failure ({args.gates}): " + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _serve_bench_sharded(args, rates) -> int:
     """Serve per rate on N shards; gate digests against 1-shard mode."""
-    from repro.serve import (
-        default_templates,
-        serve_workload_parallel,
-        serve_workload_sharded,
-    )
+    from repro.serve import serve_workload_parallel, serve_workload_sharded
+    from repro.serve.workload import scenario_templates
 
     cache_mode = "shared" if args.shared_cache else "private"
     all_identical = True
@@ -645,7 +788,7 @@ def _serve_bench_sharded(args, rates) -> int:
     print(
         f"sharded serving: {args.requests} requests per rate, seed "
         f"{args.seed}, {args.shards} shards, cache {cache_mode}, "
-        f"steal {'on' if args.steal else 'off'}"
+        f"steal {'on' if args.steal else 'off'}, scenario {args.scenario}"
         + (f", parallel ({args.backend} workers)" if args.parallel else "")
     )
     common = dict(
@@ -656,12 +799,12 @@ def _serve_bench_sharded(args, rates) -> int:
         max_concurrency=args.concurrency,
         default_service_rate=args.service_rate or None,
         session_space=args.session_space,
-        templates=default_templates(args.param_scale),
+        templates=scenario_templates(args.scenario, args.param_scale),
     )
     for rate in rates:
         _, reference = serve_workload_sharded(
             rate=rate, num_shards=1, cache_mode=cache_mode, steal=False,
-            **common,
+            plan_cache_size=args.plan_cache_size, **common,
         )
         level: dict[str, Any] = {"rate": rate, "num_shards": args.shards}
         if args.parallel:
@@ -689,7 +832,8 @@ def _serve_bench_sharded(args, rates) -> int:
         else:
             report, digests = serve_workload_sharded(
                 rate=rate, num_shards=args.shards, cache_mode=cache_mode,
-                steal=args.steal, **common,
+                steal=args.steal, plan_cache_size=args.plan_cache_size,
+                **common,
             )
             latency = report.latency_summary()
             steals = report.metrics.counters.get("serve.steals")
@@ -732,6 +876,7 @@ def _serve_bench_sharded(args, rates) -> int:
             "shards": args.shards,
             "cache_mode": cache_mode,
             "steal": args.steal,
+            "scenario": args.scenario,
             "levels": levels,
             "gates": {"results_identical": all_identical},
         }
@@ -746,13 +891,16 @@ def _serve_bench_asyncio(args, rates) -> int:
     gate each request's result digest against the virtual scheduler's."""
     from repro.serve import serve_workload
     from repro.serve.async_serve import serve_workload_async
+    from repro.serve.workload import scenario_templates
 
     levels = []
     all_identical = True
     print(
         f"async serving: {args.requests} requests per rate, seed {args.seed}, "
-        f"concurrency {args.concurrency}, time scale {args.time_scale:g}"
+        f"concurrency {args.concurrency}, time scale {args.time_scale:g}, "
+        f"scenario {args.scenario}"
     )
+    templates = scenario_templates(args.scenario, args.param_scale)
     for rate in rates:
         kwargs = dict(
             rate=rate,
@@ -762,6 +910,7 @@ def _serve_bench_asyncio(args, rates) -> int:
             skew=args.skew,
             followup_fraction=args.followups,
             max_concurrency=args.concurrency,
+            templates=templates,
         )
         _, virtual_digests = serve_workload(**kwargs)
         report = serve_workload_async(
@@ -810,6 +959,234 @@ def _serve_bench_asyncio(args, rates) -> int:
     return 0 if all_identical else 1
 
 
+def _serve_bench_durable(args, rates) -> int:
+    """Durable serving: periodic checkpoints, optional resume."""
+    from repro.durability import serve_workload_durable
+    from repro.serve.bench import combined_digest
+    from repro.serve.workload import scenario_templates
+
+    if len(rates) != 1:
+        raise SystemExit(
+            "durable serving (--checkpoint-every/--resume) takes exactly "
+            "one --rates value"
+        )
+    if not args.checkpoint_dir:
+        raise SystemExit("--checkpoint-every/--resume need --checkpoint-dir")
+    if args.backend == "asyncio" or args.parallel:
+        raise SystemExit(
+            "durable serving runs in-process on the virtual backend "
+            "(drop --backend asyncio / --parallel)"
+        )
+    rate = rates[0]
+    shards = args.shards or 1
+    report, digests, info = serve_workload_durable(
+        rate=rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        scenario=args.scenario,
+        num_shards=shards,
+        shared=args.shared_cache,
+        skew=args.skew,
+        followup_fraction=args.followups,
+        max_concurrency=args.concurrency,
+        default_service_rate=args.service_rate or None,
+        session_space=args.session_space,
+        plan_cache_size=args.plan_cache_size,
+        templates=scenario_templates(args.scenario, args.param_scale),
+    )
+    digest = combined_digest(digests)
+    print(
+        f"durable serving: {args.requests} requests at rate {rate:g}, "
+        f"seed {args.seed}, scenario {args.scenario}, {shards} shard(s)"
+    )
+    if args.resume:
+        if info["resumed"]:
+            print(
+                f"  resumed from {info['resume_key']}: "
+                f"{info['pre_terminal']} already terminal, "
+                f"{info['restored_sessions']} sessions restored, "
+                f"{info['served']} served now"
+            )
+        else:
+            print("  no checkpoint found — served from scratch")
+    print(
+        f"  checkpoints: {info['checkpoints_written']} written "
+        f"(every {args.checkpoint_every or 'n/a'} terminals) "
+        f"-> {args.checkpoint_dir}"
+    )
+    by_status = report.by_status()
+    print(
+        f"  completed {len(digests)}, statuses {by_status}, "
+        f"combined digest {digest[:16]}"
+    )
+    if args.output:
+        payload = {
+            "benchmark": "serve-durable",
+            "seed": args.seed,
+            "requests": args.requests,
+            "rate": rate,
+            "scenario": args.scenario,
+            "shards": shards,
+            "checkpoint_every": args.checkpoint_every,
+            "resume": args.resume,
+            "by_status": by_status,
+            "combined_digest": digest,
+            "info": info,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    # Failed or rejected requests surface as a nonzero exit so scripted
+    # crash/resume drills can gate on the CLI.
+    failures = by_status.get("failed", 0) + by_status.get("rejected", 0)
+    return 0 if failures == 0 else 1
+
+
+def _cmd_scenarios(args) -> int:
+    print(
+        "scenario packs (serve-bench --scenario NAME; 'default' is the "
+        "chapter's two schemas, 'all' mixes everything):"
+    )
+    for name in sorted(SCENARIOS):
+        pack = SCENARIOS[name]
+        print(f"\n{name}: {pack.description}")
+        print(f"  schema:  {pack.schema}")
+        print(f"  query:   {pack.query_text}")
+        print(
+            "  inputs:  "
+            + ", ".join(
+                f"{key}={value!r}"
+                for key, value in sorted(pack.default_inputs.items())
+            )
+        )
+        space = {
+            key: len(values) for key, values in pack.parameter_space.items()
+        }
+        print(
+            f"  workload: parameter universe {space}, "
+            f"{len(pack.rerank_weights)} rerank presets"
+        )
+        if args.registry:
+            print()
+            print(pack.registry_factory().describe())
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.durability import CheckpointStore
+    from repro.engine.liquid import LiquidQuerySession
+
+    registry, compiled, inputs, query_text, outcome = _optimize(args)
+    pool = ServicePool(registry, global_seed=args.seed)
+    session = LiquidQuerySession(
+        candidate=outcome.best,
+        query=compiled,
+        pool=pool,
+        inputs=dict(inputs),
+    )
+    if args.steps is not None:
+        stepper = session.run_steps(args.k)
+        taken = 0
+        try:
+            for _ in range(args.steps):
+                next(stepper)
+                taken += 1
+        except StopIteration:
+            pass
+    else:
+        session.run(args.k)
+    payload = session.checkpoint(
+        schema=args.schema, query_text=query_text, metric=args.metric
+    )
+    store = CheckpointStore(args.dir)
+    path = store.save(args.key, payload)
+    print(f"checkpoint {args.key!r} -> {path}")
+    print(
+        f"  schema {args.schema}, clock {pool.clock.now:.2f}, "
+        f"{pool.log.total_calls()} service calls"
+    )
+    inflight = session.inflight_interaction
+    if inflight is not None:
+        print(
+            f"  mid-plan: {inflight['kind']!r} suspended after "
+            f"{taken} of --steps {args.steps} scheduler steps"
+        )
+    else:
+        print(
+            f"  quiescent: {len(session.interaction_journal)} completed "
+            "interaction(s)"
+        )
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.durability import CheckpointStore, restore_session
+    from repro.serve.bench import result_digest
+
+    store = CheckpointStore(args.dir)
+    if args.list:
+        keys = store.keys()
+        if not keys:
+            print(f"no checkpoints in {args.dir}")
+            return 0
+        for key in keys:
+            payload = store.load(key)
+            if payload.get("kind") == "serve":
+                print(
+                    f"{key}: serving checkpoint, "
+                    f"{len(payload.get('outcomes', {}))} terminal requests, "
+                    f"{len(payload.get('sessions', {}))} live sessions"
+                )
+            else:
+                print(
+                    f"{key}: session checkpoint, schema "
+                    f"{payload.get('schema')!r}, version "
+                    f"{payload.get('version')}"
+                )
+        return 0
+    key = args.key or store.latest()
+    if key is None:
+        print(f"error: no checkpoints in {args.dir}", file=sys.stderr)
+        return 2
+    payload = store.load(key)
+    if payload.get("kind") == "serve":
+        print(
+            f"{key} is a serving checkpoint "
+            f"({len(payload.get('outcomes', {}))} terminal requests); "
+            "resume it with: repro serve-bench --resume --checkpoint-dir "
+            f"{args.dir} ..."
+        )
+        return 2
+    session = restore_session(payload, verify=not args.no_verify)
+    if session.pending_stepper is not None:
+        stepper = session.pending_stepper
+        steps = 0
+        try:
+            while True:
+                next(stepper)
+                steps += 1
+        except StopIteration as stop:
+            results = stop.value
+        print(f"resumed {key!r} mid-plan: {steps} further scheduler steps")
+    else:
+        results = session.run()
+        print(f"resumed {key!r} at a quiescent interaction boundary")
+    pool = session.pool
+    print(
+        f"  schema {payload.get('schema')!r}, clock {pool.clock.now:.2f}, "
+        f"{pool.log.total_calls()} service calls"
+    )
+    print(
+        f"  {len(results)} combinations, "
+        f"digest {result_digest(results)[:16]}"
+    )
+    _print_combos(results)
+    return 0
+
+
 def _cmd_topologies(args) -> int:
     _, compiled, _, _ = _load(args)
     total = 0
@@ -835,6 +1212,9 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "topologies": _cmd_topologies,
         "serve-bench": _cmd_serve_bench,
+        "scenarios": _cmd_scenarios,
+        "checkpoint": _cmd_checkpoint,
+        "resume": _cmd_resume,
     }
     try:
         return handlers[args.command](args)

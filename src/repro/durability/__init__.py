@@ -1,0 +1,52 @@
+"""Durability subsystem: checkpoints, crash recovery, record/replay.
+
+Liquid-query sessions are long-lived — a user asks for *more*, reranks,
+resubmits, over minutes or days — so the serving runtime must survive a
+crash without losing them.  This package provides:
+
+* :mod:`repro.durability.checkpoint` — versioned, seed-stable session
+  checkpoints (replay-based: the journal of interactions is stored, the
+  execution state is recomputed deterministically on restore) and the
+  atomic, content-hashed :class:`CheckpointStore`;
+* :mod:`repro.durability.serve` — scheduler-level periodic
+  checkpointing for :class:`~repro.serve.scheduler.ServeScheduler` /
+  :class:`~repro.serve.sharding.ShardedServeScheduler`, plus the resume
+  path that reloads sessions and serves the remaining workload;
+* :mod:`repro.durability.crash` — a crash-injection harness: run a
+  serving worker in a subprocess, SIGKILL it mid-run, resume from the
+  surviving checkpoint, and gate digest equality against an
+  uninterrupted run.
+
+The record/replay service adapter lives with the other service layers
+as :mod:`repro.services.recorded`.
+"""
+
+from repro.durability.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    REGISTRY_FACTORIES,
+    checkpoint_session,
+    register_migration,
+    register_registry_factory,
+    restore_session,
+)
+from repro.durability.serve import (
+    ServeCheckpointer,
+    resume_state_from,
+    serve_workload_durable,
+)
+from repro.durability.crash import run_crash_resume
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "REGISTRY_FACTORIES",
+    "ServeCheckpointer",
+    "checkpoint_session",
+    "register_migration",
+    "register_registry_factory",
+    "restore_session",
+    "resume_state_from",
+    "run_crash_resume",
+    "serve_workload_durable",
+]

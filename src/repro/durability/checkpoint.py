@@ -1,0 +1,620 @@
+"""Session checkpoints: versioned, seed-stable serialization by replay.
+
+A :class:`~repro.engine.liquid.LiquidQuerySession` cannot be pickled
+mid-plan: its execution state lives in a suspended step generator.  But
+it does not need to be.  The simulated substrate derives *every* source
+of nondeterminism — tuple data, latency draws, fault draws, retry
+jitter, availability gates — from seeds and binding values alone, so a
+session is fully determined by
+
+* its **construction recipe** (schema, query text, optimizer metric,
+  data seed, fault model, retry policy, growth factor, backend), and
+* its **interaction journal** (the ordered ``run``/``more``/``rerank``/
+  ``resubmit`` calls it has served, plus the in-flight interaction's
+  step count).
+
+A checkpoint stores exactly that, and restore *replays* it: rebuild the
+session from the recipe, re-drive every journaled interaction, then
+advance the in-flight stepper to its recorded step.  Chunk cursors,
+retry attempt counters, backoff waits, RNG states, and the virtual-clock
+offset all reappear bit-for-bit because they were never stored — they
+are recomputed by the same deterministic machinery that produced them.
+
+What is deliberately **not** captured: shared cross-query caches (their
+content belongs to the serving runtime, and a cache hit advances no
+clock — replaying one would corrupt the timeline), tracers, and asyncio
+wall-clock context.  Callers reattach those at restore.
+
+**Witnesses.**  Each checkpoint records integrity witnesses — plan
+signature and render hash, result digest, fetch vector, ranking
+weights, and (for exactly replayable sessions: virtual backend, private
+invocation cache) the clock offset, call count, and a call-log digest.
+Restore verifies them and raises
+:class:`~repro.errors.CheckpointIntegrityError` on divergence, so a
+stale registry or a changed seed fails loudly instead of silently
+serving different data.
+
+**Store.**  :class:`CheckpointStore` is an atomic file backend: write
+to a temp file, fsync, ``os.replace`` — a crash mid-write leaves the
+previous checkpoint intact, never a torn one.  Payloads carry a schema
+``version`` and a content hash; :func:`register_migration` installs
+hooks that upgrade older payloads on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.core.cost import DEFAULT_METRICS
+from repro.core.optimizer import Optimizer, OptimizerConfig, plan_signature
+from repro.engine.liquid import LiquidQuerySession
+from repro.engine.retry import Degradation, RetryPolicy
+from repro.errors import (
+    CheckpointError,
+    CheckpointIntegrityError,
+    SearchComputingError,
+)
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.services.marts import conference_trip_registry, movie_night_registry
+from repro.services.scenarios import SCENARIOS
+from repro.services.simulated import (
+    FaultModel,
+    FaultProfile,
+    LatencyModel,
+    ServicePool,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "REGISTRY_FACTORIES",
+    "checkpoint_session",
+    "decode_value",
+    "encode_value",
+    "register_migration",
+    "register_registry_factory",
+    "restore_session",
+]
+
+#: Current checkpoint payload schema version.
+CHECKPOINT_VERSION = 1
+
+#: Registries resolvable by schema name at restore time.
+REGISTRY_FACTORIES: dict[str, Callable[[], Any]] = {
+    "movie": movie_night_registry,
+    "conference": conference_trip_registry,
+    **{pack.schema: pack.registry_factory for pack in SCENARIOS.values()},
+}
+
+#: Payload migrations: version N -> callable upgrading an N payload to N+1.
+_MIGRATIONS: dict[int, Callable[[dict], dict]] = {}
+
+
+def register_registry_factory(schema: str, factory: Callable[[], Any]) -> None:
+    """Make a registry resolvable by schema name at restore time."""
+    REGISTRY_FACTORIES[schema] = factory
+
+
+def register_migration(from_version: int, migrate: Callable[[dict], dict]) -> None:
+    """Install a payload migration hook (``from_version`` → next).
+
+    On load, a payload older than :data:`CHECKPOINT_VERSION` is passed
+    through the chain of migrations until current; a gap in the chain
+    raises :class:`~repro.errors.CheckpointError`.
+    """
+    _MIGRATIONS[from_version] = migrate
+
+
+def _migrate(payload: dict) -> dict:
+    version = payload.get("version")
+    if not isinstance(version, int):
+        raise CheckpointError("checkpoint payload has no integer 'version'")
+    while version < CHECKPOINT_VERSION:
+        migrate = _MIGRATIONS.get(version)
+        if migrate is None:
+            raise CheckpointError(
+                f"no migration registered from checkpoint version {version}"
+            )
+        payload = migrate(payload)
+        new_version = payload.get("version")
+        if not isinstance(new_version, int) or new_version <= version:
+            raise CheckpointError(
+                f"migration from version {version} did not advance the payload"
+            )
+        version = new_version
+    if version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version} is newer than this build "
+            f"({CHECKPOINT_VERSION})"
+        )
+    return payload
+
+
+# -- value codec ---------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-encode a binding/tuple value, preserving tuple-ness.
+
+    Frozen tuple values (:func:`repro.model.tuples.freeze_value` turns
+    repeating groups into nested tuples) round-trip through a tagged
+    form; scalars pass through untouched.
+    """
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [encode_value(v) for v in value]}
+    if isinstance(value, Mapping):
+        return {"__map__": [[k, encode_value(v)] for k, v in value.items()]}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(decode_value(v) for v in value["__tuple__"])
+        if "__list__" in value:
+            return [decode_value(v) for v in value["__list__"]]
+        if "__map__" in value:
+            return {k: decode_value(v) for k, v in value["__map__"]}
+    return value
+
+
+def _encode_mapping(mapping: Mapping[str, Any] | None) -> dict | None:
+    if mapping is None:
+        return None
+    return {key: encode_value(value) for key, value in mapping.items()}
+
+
+def _decode_mapping(mapping: Mapping[str, Any] | None) -> dict | None:
+    if mapping is None:
+        return None
+    return {key: decode_value(value) for key, value in mapping.items()}
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# -- store ---------------------------------------------------------------------
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+_SUFFIX = ".ckpt.json"
+
+
+@dataclass
+class CheckpointStore:
+    """Atomic, content-hashed file store for checkpoint payloads.
+
+    One file per key under ``root``.  Writes go to a temp file in the
+    same directory and are published with ``os.replace`` after fsync, so
+    a reader (or a crash) never observes a torn checkpoint — at worst
+    the previous one.  ``load`` verifies the content hash and applies
+    registered migrations.
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise CheckpointError(f"invalid checkpoint key {key!r}")
+        return self.root / f"{key}{_SUFFIX}"
+
+    def save(self, key: str, payload: dict) -> Path:
+        path = self.path_for(key)
+        record = {"checksum": content_hash(payload), "payload": payload}
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        data = json.dumps(record, sort_keys=True, indent=1)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def load(self, key: str) -> dict:
+        path = self.path_for(key)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint {key!r} in {self.root}")
+        with open(path, encoding="utf-8") as handle:
+            try:
+                record = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CheckpointIntegrityError(
+                    f"checkpoint {key!r} is not valid JSON: {exc}"
+                ) from exc
+        payload = record.get("payload")
+        checksum = record.get("checksum")
+        if payload is None or checksum is None:
+            raise CheckpointIntegrityError(
+                f"checkpoint {key!r} is missing payload or checksum"
+            )
+        if content_hash(payload) != checksum:
+            raise CheckpointIntegrityError(
+                f"checkpoint {key!r} failed its content-hash check"
+            )
+        return _migrate(payload)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        found = []
+        for path in self.root.iterdir():
+            if path.name.endswith(_SUFFIX) and not path.name.startswith("."):
+                key = path.name[: -len(_SUFFIX)]
+                if key.startswith(prefix):
+                    found.append(key)
+        return sorted(found)
+
+    def latest(self, prefix: str = "") -> str | None:
+        """Highest-sorting key with the prefix (keys embed a sequence)."""
+        keys = self.keys(prefix)
+        return keys[-1] if keys else None
+
+    def delete(self, key: str) -> None:
+        path = self.path_for(key)
+        if path.exists():
+            path.unlink()
+
+
+# -- checkpoint / restore ------------------------------------------------------
+
+
+def _result_digest(tuples) -> str:
+    from repro.serve.bench import result_digest
+
+    return result_digest(tuples)
+
+
+def _log_digest(records) -> str:
+    joined = "\n".join(repr(record) for record in records)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def _encode_profile(profile: FaultProfile) -> dict:
+    return {
+        "failure_rate": profile.failure_rate,
+        "timeout_rate": profile.timeout_rate,
+        "slow_factor": profile.slow_factor,
+        "outage": profile.outage,
+    }
+
+
+def _decode_profile(data: Mapping[str, Any]) -> FaultProfile:
+    return FaultProfile(
+        failure_rate=data["failure_rate"],
+        timeout_rate=data["timeout_rate"],
+        slow_factor=data["slow_factor"],
+        outage=data["outage"],
+    )
+
+
+def _encode_fault_model(model: FaultModel) -> dict:
+    return {
+        "default": _encode_profile(model.default),
+        "per_interface": {
+            name: _encode_profile(profile)
+            for name, profile in sorted(model.per_interface.items())
+        },
+    }
+
+
+def _decode_fault_model(data: Mapping[str, Any]) -> FaultModel:
+    return FaultModel(
+        default=_decode_profile(data["default"]),
+        per_interface={
+            name: _decode_profile(profile)
+            for name, profile in data["per_interface"].items()
+        },
+    )
+
+
+def _encode_retry(policy: RetryPolicy | None) -> dict | None:
+    if policy is None:
+        return None
+    return {
+        "max_attempts": policy.max_attempts,
+        "base_backoff": policy.base_backoff,
+        "backoff_multiplier": policy.backoff_multiplier,
+        "jitter_fraction": policy.jitter_fraction,
+        "call_timeout": policy.call_timeout,
+    }
+
+
+def _decode_retry(data: Mapping[str, Any] | None) -> RetryPolicy | None:
+    if data is None:
+        return None
+    return RetryPolicy(
+        max_attempts=data["max_attempts"],
+        base_backoff=data["base_backoff"],
+        backoff_multiplier=data["backoff_multiplier"],
+        jitter_fraction=data["jitter_fraction"],
+        call_timeout=data["call_timeout"],
+    )
+
+
+def _metric_name(metric) -> str:
+    name = getattr(metric, "name", None)
+    if name not in DEFAULT_METRICS:
+        raise CheckpointError(
+            f"optimizer metric {metric!r} is not one of the named metrics; "
+            "checkpoints can only record metrics from DEFAULT_METRICS"
+        )
+    return name
+
+
+def _encode_entry(entry: Mapping[str, Any]) -> dict:
+    encoded: dict[str, Any] = {
+        "kind": entry["kind"],
+        "k": entry.get("k"),
+        "steps": entry.get("steps", 0),
+        "failed": bool(entry.get("failed", False)),
+    }
+    if "inputs" in entry:
+        encoded["inputs"] = _encode_mapping(entry["inputs"])
+    if "weights" in entry:
+        encoded["weights"] = _encode_mapping(entry["weights"])
+    return encoded
+
+
+def checkpoint_session(
+    session: LiquidQuerySession,
+    *,
+    schema: str,
+    query_text: str,
+    template: str | None = None,
+    metric: str = "execution-time",
+) -> dict:
+    """Serialize a session into a versioned, replayable payload.
+
+    ``schema`` must resolve through :data:`REGISTRY_FACTORIES` (or a
+    registry must be passed to :func:`restore_session` explicitly);
+    ``query_text`` is the session's original query string (a compiled
+    query keeps no source text); ``metric`` names the optimizer metric
+    the plan was derived with.
+    """
+    if metric not in DEFAULT_METRICS:
+        raise CheckpointError(
+            f"unknown metric {metric!r}; expected one of {sorted(DEFAULT_METRICS)}"
+        )
+    pool = session.pool
+    options = session.executor_options
+    shared_cache = options.get("invocation_cache") is not None
+    exact = session.backend == "virtual" and not shared_cache
+    signature = plan_signature(session.query, metric=DEFAULT_METRICS[metric])
+    witness = {
+        "plan_signature": repr(signature),
+        "plan_render": hashlib.sha256(
+            session.candidate.render().encode("utf-8")
+        ).hexdigest(),
+        "fetch_vector": dict(session.candidate.fetch_vector()),
+        "fetches": dict(session.fetch_factors),
+        "ranking": dict(session._ranking.weights),
+        "result_digest": _result_digest(session._raw),
+        "result_count": session.result_count,
+        "exact": exact,
+        "clock": pool.clock.now if exact else None,
+        "total_calls": pool.log.total_calls() if exact else None,
+        "log_digest": _log_digest(pool.log.records) if exact else None,
+    }
+    retry = options.get("retry")
+    degradation = options.get("degradation")
+    payload: dict[str, Any] = {
+        "version": CHECKPOINT_VERSION,
+        "kind": "liquid-session",
+        "schema": schema,
+        "template": template,
+        "query_text": query_text,
+        "metric": metric,
+        "backend": session.backend,
+        "growth": session.growth,
+        "data_seed": pool.global_seed,
+        "latency_jitter": pool.latency_model.jitter_fraction,
+        "fault_model": _encode_fault_model(pool.fault_model),
+        "retry": _encode_retry(retry),
+        "degradation": (
+            Degradation.coerce(degradation).value if degradation is not None else None
+        ),
+        "invocation_cache_size": options.get("invocation_cache_size"),
+        "shared_cache": shared_cache,
+        "inputs": _encode_mapping(session.initial_inputs),
+        "journal": [_encode_entry(entry) for entry in session.interaction_journal],
+        "inflight": (
+            _encode_entry(session.inflight_interaction)
+            if session.inflight_interaction is not None
+            else None
+        ),
+        "witness": witness,
+    }
+    return payload
+
+
+def _replay_entry(session: LiquidQuerySession, entry: Mapping[str, Any]) -> None:
+    kind = entry["kind"]
+    k = entry.get("k")
+    try:
+        if kind == "run":
+            session.run(k)
+        elif kind == "more":
+            session.more(k)
+        elif kind == "rerank":
+            session.rerank(_decode_mapping(entry["weights"]), k)
+        elif kind == "resubmit":
+            session.resubmit(_decode_mapping(entry["inputs"]), k)
+        else:
+            raise CheckpointError(f"unknown journal entry kind {kind!r}")
+    except SearchComputingError:
+        if not entry.get("failed"):
+            raise
+        return
+    if entry.get("failed"):
+        raise CheckpointIntegrityError(
+            f"journaled {kind!r} interaction failed originally but "
+            "succeeded on replay — the substrate diverged"
+        )
+
+
+def _start_inflight(session: LiquidQuerySession, entry: Mapping[str, Any]):
+    kind = entry["kind"]
+    k = entry.get("k")
+    if kind == "run":
+        return session.run_steps(k)
+    if kind == "more":
+        return session.more_steps(k)
+    if kind == "resubmit":
+        return session.resubmit_steps(_decode_mapping(entry["inputs"]), k)
+    raise CheckpointError(f"cannot resume an in-flight {kind!r} interaction")
+
+
+def restore_session(
+    payload: dict,
+    *,
+    registry=None,
+    optimizer_config: OptimizerConfig | None = None,
+    candidate=None,
+    invocation_cache=None,
+    tracer=None,
+    verify: bool = True,
+) -> LiquidQuerySession:
+    """Rebuild a session from a checkpoint payload by journal replay.
+
+    The restored session is returned with
+    :attr:`~repro.engine.liquid.LiquidQuerySession.pending_stepper` set
+    to the re-suspended mid-interaction step generator when the
+    checkpoint captured one (``None`` otherwise).
+
+    ``registry``/``optimizer_config``/``candidate`` override the recipe
+    (e.g. a custom registry not in :data:`REGISTRY_FACTORIES`);
+    ``invocation_cache``/``tracer`` reattach the shared state that
+    checkpoints deliberately do not capture.  With ``verify`` (default)
+    the replayed state is checked against the recorded witnesses.
+    """
+    payload = _migrate(dict(payload))
+    if payload.get("kind") != "liquid-session":
+        raise CheckpointError(
+            f"payload kind {payload.get('kind')!r} is not a session checkpoint"
+        )
+    schema = payload["schema"]
+    if registry is None:
+        factory = REGISTRY_FACTORIES.get(schema)
+        if factory is None:
+            raise CheckpointError(
+                f"no registry factory for schema {schema!r}; pass registry= "
+                "or register one via register_registry_factory"
+            )
+        registry = factory()
+    compiled = compile_query(parse_query(payload["query_text"]), registry)
+    metric = DEFAULT_METRICS[payload["metric"]]
+    if optimizer_config is None:
+        optimizer_config = OptimizerConfig(metric=metric)
+    if candidate is None:
+        candidate = Optimizer(compiled, optimizer_config).optimize().best
+    if candidate is None:
+        raise CheckpointError("re-optimization produced no plan candidate")
+    witness = payload.get("witness") or {}
+    if verify and witness:
+        signature = plan_signature(compiled, metric=metric)
+        if repr(signature) != witness["plan_signature"]:
+            raise CheckpointIntegrityError(
+                "plan signature mismatch: the registry or query no longer "
+                "matches the checkpointed session"
+            )
+        render_hash = hashlib.sha256(candidate.render().encode("utf-8")).hexdigest()
+        if render_hash != witness["plan_render"]:
+            raise CheckpointIntegrityError(
+                "re-optimized plan differs from the checkpointed plan "
+                "(optimizer config mismatch?)"
+            )
+        if dict(candidate.fetch_vector()) != witness["fetch_vector"]:
+            raise CheckpointIntegrityError(
+                "re-optimized fetch vector differs from the checkpointed one"
+            )
+    pool = ServicePool(
+        registry,
+        global_seed=payload["data_seed"],
+        latency_model=LatencyModel(jitter_fraction=payload["latency_jitter"]),
+        fault_model=_decode_fault_model(payload["fault_model"]),
+    )
+    executor_options: dict[str, Any] = {}
+    retry = _decode_retry(payload.get("retry"))
+    if retry is not None:
+        executor_options["retry"] = retry
+    if payload.get("degradation") is not None:
+        executor_options["degradation"] = Degradation(payload["degradation"])
+    if payload.get("invocation_cache_size") is not None:
+        executor_options["invocation_cache_size"] = payload["invocation_cache_size"]
+    if invocation_cache is not None:
+        executor_options["invocation_cache"] = invocation_cache
+    if tracer is not None:
+        executor_options["tracer"] = tracer
+    session = LiquidQuerySession(
+        candidate=candidate,
+        query=compiled,
+        pool=pool,
+        inputs=_decode_mapping(payload["inputs"]),
+        growth=payload["growth"],
+        executor_options=executor_options,
+        backend=payload["backend"],
+    )
+    for entry in payload["journal"]:
+        _replay_entry(session, entry)
+    stepper = None
+    inflight = payload.get("inflight")
+    if inflight is not None:
+        stepper = _start_inflight(session, inflight)
+        for _ in range(int(inflight.get("steps", 0))):
+            try:
+                next(stepper)
+            except StopIteration:
+                # The replay had fewer steps than the original consumed
+                # (possible only for non-exact sessions, where a shared
+                # cache absorbed round trips) — the interaction simply
+                # completed; nothing is left in flight.
+                stepper = None
+                break
+    session.pending_stepper = stepper
+    if verify and witness:
+        _verify_replay(session, witness)
+    return session
+
+
+def _verify_replay(session: LiquidQuerySession, witness: Mapping[str, Any]) -> None:
+    problems: list[str] = []
+    if _result_digest(session._raw) != witness["result_digest"]:
+        problems.append("result digest")
+    if dict(session.fetch_factors) != witness["fetches"]:
+        problems.append("fetch factors")
+    if dict(session._ranking.weights) != witness["ranking"]:
+        problems.append("ranking weights")
+    if witness.get("exact"):
+        pool = session.pool
+        if pool.clock.now != witness["clock"]:
+            problems.append(
+                f"virtual clock ({pool.clock.now} != {witness['clock']})"
+            )
+        if pool.log.total_calls() != witness["total_calls"]:
+            problems.append(
+                f"call count ({pool.log.total_calls()} != {witness['total_calls']})"
+            )
+        if _log_digest(pool.log.records) != witness["log_digest"]:
+            problems.append("call-log digest")
+    if problems:
+        raise CheckpointIntegrityError(
+            "replayed session diverged from checkpoint witnesses: "
+            + ", ".join(problems)
+        )

@@ -34,6 +34,19 @@ interactive behaviour stays byte-identical.
 :class:`~repro.engine.executor.PlanExecutor` the session builds — the
 hook for retry policies, degradation modes, a shared cross-query
 invocation cache, or a tracer.
+
+**Interaction journal.**  Every interaction (``run`` / ``more`` /
+``rerank`` / ``resubmit``, on either backend) is recorded in an
+append-only journal of ``{kind, args, steps, failed}`` entries, and the
+interaction currently executing — if any — is exposed as
+:attr:`inflight_interaction` with the number of step-generator yields it
+has consumed so far.  Because the simulated substrate derives *all*
+nondeterminism (data, latencies, fault draws, retry jitter) from seeds
+and bindings, a fresh session replaying the journal reconstructs the
+exact mid-plan state — chunk cursors, retry counters, virtual-clock
+offset and all.  That replay is the durability subsystem's restore path
+(:mod:`repro.durability.checkpoint`); :meth:`checkpoint` and
+:meth:`restore` are thin wrappers over it.
 """
 
 from __future__ import annotations
@@ -109,6 +122,13 @@ class LiquidQuerySession:
     _ranking: RankingFunction = field(init=False)
     _last: ExecutionResult | None = field(init=False, default=None)
     _raw: list[CompositeTuple] = field(init=False, default_factory=list)
+    _initial_inputs: dict[str, Any] = field(init=False)
+    _journal: list[dict[str, Any]] = field(init=False, default_factory=list)
+    _inflight: dict[str, Any] | None = field(init=False, default=None)
+    #: Set by :func:`repro.durability.checkpoint.restore_session` when the
+    #: checkpoint captured a mid-interaction stepper: the re-suspended
+    #: generator, ready to be driven to completion.
+    pending_stepper: Any = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.growth < 2:
@@ -121,6 +141,112 @@ class LiquidQuerySession:
             self.async_context = AsyncExecutionContext()
         self._fetches = dict(self.candidate.fetch_vector())
         self._ranking = self.query.ranking
+        self._initial_inputs = dict(self.inputs)
+
+    # -- interaction journal --------------------------------------------------
+
+    def _journaled_steps(self, entry: dict[str, Any], gen):
+        """Wrap an interaction's step generator with journal bookkeeping.
+
+        ``entry["steps"]`` counts the yields already consumed, so a
+        checkpoint taken while the wrapper is suspended knows exactly how
+        far to re-drive the interaction on restore.  A failing
+        interaction is journaled with ``failed=True`` (its replay raises
+        the same error); an *abandoned* one (``close()``) is not
+        journaled at all — it never completed and absorbed no results.
+        """
+        entry.setdefault("steps", 0)
+        entry["failed"] = False
+        self._inflight = entry
+        while True:
+            try:
+                step = next(gen)
+            except StopIteration as stop:
+                self._inflight = None
+                self._journal.append(entry)
+                return stop.value
+            except BaseException:
+                entry["failed"] = True
+                self._inflight = None
+                self._journal.append(entry)
+                raise
+            entry["steps"] += 1
+            try:
+                yield step
+            except GeneratorExit:
+                self._inflight = None
+                gen.close()
+                raise
+
+    def _journaled_call(self, entry: dict[str, Any], fn):
+        """Journal a non-stepping interaction (asyncio execute, rerank)."""
+        entry["steps"] = 0
+        entry["failed"] = False
+        self._inflight = entry
+        try:
+            result = fn()
+        except BaseException:
+            entry["failed"] = True
+            self._inflight = None
+            self._journal.append(entry)
+            raise
+        self._inflight = None
+        self._journal.append(entry)
+        return result
+
+    @property
+    def interaction_journal(self) -> tuple[dict[str, Any], ...]:
+        """Completed interactions, oldest first (entries are copies)."""
+        return tuple(dict(entry) for entry in self._journal)
+
+    @property
+    def inflight_interaction(self) -> dict[str, Any] | None:
+        """The interaction currently executing, or ``None`` (a copy)."""
+        return dict(self._inflight) if self._inflight is not None else None
+
+    @property
+    def initial_inputs(self) -> dict[str, Any]:
+        """The INPUT bindings the session was constructed with."""
+        return dict(self._initial_inputs)
+
+    def checkpoint(
+        self,
+        *,
+        schema: str,
+        query_text: str,
+        template: str | None = None,
+        metric: str = "execution-time",
+    ) -> dict:
+        """Serialize this session's state as a versioned checkpoint payload.
+
+        ``schema`` names the registry (resolvable via
+        :data:`repro.durability.checkpoint.REGISTRY_FACTORIES`) and
+        ``query_text`` is the original query string (a compiled query
+        keeps no source text), so the restore path can rebuild pool and
+        plan.  See :func:`repro.durability.checkpoint.checkpoint_session`.
+        """
+        from repro.durability.checkpoint import checkpoint_session
+
+        return checkpoint_session(
+            self,
+            schema=schema,
+            query_text=query_text,
+            template=template,
+            metric=metric,
+        )
+
+    @classmethod
+    def restore(cls, payload: dict, **options) -> "LiquidQuerySession":
+        """Rebuild a session from a checkpoint payload by journal replay.
+
+        Returns the restored session; a mid-interaction stepper — when
+        the checkpoint captured one — is re-suspended at the same step
+        and available as ``restored.pending_stepper`` (see
+        :func:`repro.durability.checkpoint.restore_session`).
+        """
+        from repro.durability.checkpoint import restore_session
+
+        return restore_session(payload, **options)
 
     # -- execution ------------------------------------------------------------
 
@@ -183,25 +309,52 @@ class LiquidQuerySession:
             return self._absorb(self._make_async_executor().run())
         return _drain(self.execute_steps())
 
+    async def _journaled_await(self, entry: dict[str, Any], thunk):
+        """Async twin of :meth:`_journaled_call` (``thunk`` is awaited)."""
+        entry["steps"] = 0
+        entry["failed"] = False
+        self._inflight = entry
+        try:
+            result = await thunk()
+        except BaseException:
+            entry["failed"] = True
+            self._inflight = None
+            self._journal.append(entry)
+            raise
+        self._inflight = None
+        self._journal.append(entry)
+        return result
+
     def run(self, k: int | None = None) -> list[CompositeTuple]:
         """Execute (or re-present) the current query; returns the top-k."""
         if self.backend == "asyncio":
-            if self._last is None:
-                self._execute()
-            return self._present(k)
+
+            def go() -> list[CompositeTuple]:
+                if self._last is None:
+                    self._execute()
+                return self._present(k)
+
+            return self._journaled_call({"kind": "run", "k": k}, go)
         return _drain(self.run_steps(k))
 
     def run_steps(self, k: int | None = None):
         """Step-generator twin of :meth:`run` (virtual backend only)."""
+        return self._journaled_steps({"kind": "run", "k": k}, self._run_steps_impl(k))
+
+    def _run_steps_impl(self, k: int | None):
         if self._last is None:
             yield from self.execute_steps()
         return self._present(k)
 
     async def run_async(self, k: int | None = None) -> list[CompositeTuple]:
         """Awaitable twin of :meth:`run` for a running event loop."""
-        if self._last is None:
-            await self.execute_async()
-        return self._present(k)
+
+        async def go() -> list[CompositeTuple]:
+            if self._last is None:
+                await self.execute_async()
+            return self._present(k)
+
+        return await self._journaled_await({"kind": "run", "k": k}, go)
 
     def _present(self, k: int | None) -> list[CompositeTuple]:
         limit = self.query.k if k is None else k
@@ -221,22 +374,35 @@ class LiquidQuerySession:
         request, thereby producing more tuples."
         """
         if self.backend == "asyncio":
-            before = self._grow_fetches()
-            self._execute()
-            return self._present_more(before, k)
+
+            def go() -> list[CompositeTuple]:
+                before = self._grow_fetches()
+                self._execute()
+                return self._present_more(before, k)
+
+            return self._journaled_call({"kind": "more", "k": k}, go)
         return _drain(self.more_steps(k))
 
     def more_steps(self, k: int | None = None):
         """Step-generator twin of :meth:`more` (virtual backend only)."""
+        return self._journaled_steps(
+            {"kind": "more", "k": k}, self._more_steps_impl(k)
+        )
+
+    def _more_steps_impl(self, k: int | None):
         before = self._grow_fetches()
         yield from self.execute_steps()
         return self._present_more(before, k)
 
     async def more_async(self, k: int | None = None) -> list[CompositeTuple]:
         """Awaitable twin of :meth:`more` for a running event loop."""
-        before = self._grow_fetches()
-        await self.execute_async()
-        return self._present_more(before, k)
+
+        async def go() -> list[CompositeTuple]:
+            before = self._grow_fetches()
+            await self.execute_async()
+            return self._present_more(before, k)
+
+        return await self._journaled_await({"kind": "more", "k": k}, go)
 
     def _grow_fetches(self) -> int:
         """Grow every fetch factor; returns the pre-growth result count."""
@@ -265,28 +431,46 @@ class LiquidQuerySession:
         for alias in weights:
             if alias not in self.query.aliases:
                 raise ExecutionError(f"unknown alias {alias!r} in ranking weights")
-        calls_before = self.pool.log.total_calls()
-        self._ranking = RankingFunction(dict(weights))
-        if self._last is None:
-            self._execute()
-            calls_before = None  # first run necessarily calls services
-        result = self._present(k)
-        if calls_before is not None:
-            assert self.pool.log.total_calls() == calls_before
-        return result
+
+        def go() -> list[CompositeTuple]:
+            calls_before = self.pool.log.total_calls()
+            self._ranking = RankingFunction(dict(weights))
+            if self._last is None:
+                self._execute()
+                calls_before = None  # first run necessarily calls services
+            result = self._present(k)
+            if calls_before is not None:
+                assert self.pool.log.total_calls() == calls_before
+            return result
+
+        return self._journaled_call(
+            {"kind": "rerank", "weights": dict(weights), "k": k}, go
+        )
 
     def resubmit(
         self, inputs: Mapping[str, Any], k: int | None = None
     ) -> list[CompositeTuple]:
         """Change the INPUT keywords and re-execute the same plan."""
         if self.backend == "asyncio":
-            self._reset_inputs(inputs)
-            self._execute()
-            return self._present(k)
+
+            def go() -> list[CompositeTuple]:
+                self._reset_inputs(inputs)
+                self._execute()
+                return self._present(k)
+
+            return self._journaled_call(
+                {"kind": "resubmit", "inputs": dict(inputs), "k": k}, go
+            )
         return _drain(self.resubmit_steps(inputs, k))
 
     def resubmit_steps(self, inputs: Mapping[str, Any], k: int | None = None):
         """Step-generator twin of :meth:`resubmit` (virtual backend only)."""
+        return self._journaled_steps(
+            {"kind": "resubmit", "inputs": dict(inputs), "k": k},
+            self._resubmit_steps_impl(inputs, k),
+        )
+
+    def _resubmit_steps_impl(self, inputs: Mapping[str, Any], k: int | None):
         self._reset_inputs(inputs)
         yield from self.execute_steps()
         return self._present(k)
@@ -295,9 +479,15 @@ class LiquidQuerySession:
         self, inputs: Mapping[str, Any], k: int | None = None
     ) -> list[CompositeTuple]:
         """Awaitable twin of :meth:`resubmit` for a running event loop."""
-        self._reset_inputs(inputs)
-        await self.execute_async()
-        return self._present(k)
+
+        async def go() -> list[CompositeTuple]:
+            self._reset_inputs(inputs)
+            await self.execute_async()
+            return self._present(k)
+
+        return await self._journaled_await(
+            {"kind": "resubmit", "inputs": dict(inputs), "k": k}, go
+        )
 
     def _reset_inputs(self, inputs: Mapping[str, Any]) -> None:
         self.inputs = dict(inputs)

@@ -148,3 +148,26 @@ class RetryExhaustedError(ServiceInvocationError):
         super().__init__(message)
         self.service = service
         self.attempts = attempts
+
+
+class CheckpointError(SearchComputingError):
+    """A durability checkpoint could not be written, read, or restored."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpoint failed verification.
+
+    Raised when the stored content hash does not match the payload (the
+    file was truncated or tampered with), or when the state rebuilt by
+    journal replay diverges from the witnesses recorded at checkpoint
+    time (plan signature, result digest, clock offset, call log).
+    """
+
+
+class CassetteError(SearchComputingError):
+    """A record/replay cassette is missing, exhausted, or malformed.
+
+    Raised when replay is asked for an invocation the cassette never
+    recorded, for more chunks than the recording fetched, or when the
+    cassette file fails its integrity check.
+    """

@@ -59,6 +59,8 @@ from repro.serve.workload import (
     WorkloadConfig,
     default_templates,
     generate_workload,
+    scenario_names,
+    scenario_templates,
     session_key,
 )
 
@@ -88,6 +90,8 @@ __all__ = [
     "result_digest",
     "run_serving_benchmark",
     "run_sharding_benchmark",
+    "scenario_names",
+    "scenario_templates",
     "serve_workload",
     "serve_workload_parallel",
     "serve_workload_sharded",

@@ -81,6 +81,7 @@ def serve_workload(
     max_concurrency: int = 4,
     queue_limit: int = 10_000,
     default_service_rate: float | None = 4.0,
+    plan_cache_size: int | None = None,
     templates: Sequence[QueryTemplate] | None = None,
 ) -> tuple[ServeReport, dict[int, str]]:
     """Serve one seeded workload; returns the report and per-request digests.
@@ -103,7 +104,7 @@ def serve_workload(
     sessions = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
-        plan_cache=PlanCache() if shared else None,
+        plan_cache=PlanCache(max_size=plan_cache_size) if shared else None,
         invocation_cache=(
             InvocationCache(max_size=None) if shared else None
         ),
@@ -155,6 +156,7 @@ def run_serving_benchmark(
     followup_fraction: float = 0.25,
     max_concurrency: int = 4,
     default_service_rate: float | None = 4.0,
+    plan_cache_size: int | None = None,
     templates: Sequence[QueryTemplate] | None = None,
 ) -> dict[str, Any]:
     """The full shared-vs-isolated comparison across load levels."""
@@ -176,6 +178,7 @@ def run_serving_benchmark(
                 followup_fraction=followup_fraction,
                 max_concurrency=max_concurrency,
                 default_service_rate=default_service_rate,
+                plan_cache_size=plan_cache_size,
                 templates=templates,
             )
             per_mode[mode] = report

@@ -15,13 +15,22 @@ in, so callers scope keys by schema name (see
 :meth:`PlanCache.key_for`).  Cached candidates are shared by reference:
 plans and annotations are read-only to the executor, and sessions copy
 the fetch vector before mutating it.
+
+The cache is LRU-bounded (``max_size``; ``None`` keeps it unbounded, the
+historical default): a long-lived server exposed to an open-ended
+population of query shapes must not grow a plan per shape forever.
+Eviction order is recency of *use*, so the hot templates of a skewed
+workload stay resident; evictions are counted in the stats.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
 
 from repro.core.optimizer import (
     Optimizer,
@@ -43,6 +52,7 @@ class PlanCacheStats:
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -53,12 +63,17 @@ class PlanCacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
     def snapshot(self) -> dict[str, float]:
         """Run-start baseline for :meth:`delta` (monotone counters only)."""
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def delta(self, baseline: Mapping[str, float] | None) -> dict[str, float]:
         """This run's traffic only, differenced against a run-start snapshot.
@@ -72,22 +87,36 @@ class PlanCacheStats:
         """
         base_hits = int(baseline.get("hits", 0)) if baseline else 0
         base_misses = int(baseline.get("misses", 0)) if baseline else 0
+        base_evictions = int(baseline.get("evictions", 0)) if baseline else 0
         hits = self.hits - base_hits
         misses = self.misses - base_misses
         total = hits + misses
         return {
             "hits": hits,
             "misses": misses,
+            "evictions": self.evictions - base_evictions,
             "hit_rate": hits / total if total else 0.0,
         }
 
 
 @dataclass
 class PlanCache:
-    """Normalised-signature → optimized-plan memo for a serving runtime."""
+    """Normalised-signature → optimized-plan memo for a serving runtime.
 
+    ``max_size`` bounds the number of resident plans with LRU eviction
+    (both hits and fresh inserts refresh recency); ``None`` is
+    unbounded.
+    """
+
+    max_size: int | None = None
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
-    _plans: dict[tuple, PlanCandidate] = field(default_factory=dict, repr=False)
+    _plans: "OrderedDict[tuple, PlanCandidate]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_size is not None and self.max_size <= 0:
+            raise ExecutionError("plan cache max_size must be positive")
 
     @staticmethod
     def key_for(
@@ -108,12 +137,16 @@ class PlanCache:
         candidate = self._plans.get(key)
         if candidate is not None:
             self.stats.hits += 1
+            self._plans.move_to_end(key)
             return candidate
         self.stats.misses += 1
         outcome = Optimizer(query, config).optimize()
         if outcome.best is None:
             raise OptimizationError("no feasible plan found")
         self._plans[key] = outcome.best
+        if self.max_size is not None and len(self._plans) > self.max_size:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
         return outcome.best
 
     def clear(self) -> None:

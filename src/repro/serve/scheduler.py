@@ -398,6 +398,7 @@ class ServeScheduler:
         router: "Callable[[Request, float], None] | None" = None,
         digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
         emit_shard_metrics: bool = False,
+        checkpointer: Any = None,
     ) -> None:
         self.sessions = sessions
         self.config = config or ServeConfig()
@@ -408,6 +409,10 @@ class ServeScheduler:
         self.table = table if table is not None else SessionTable()
         self.admission = admission if admission is not None else AdmissionController()
         self.digest_fn = digest_fn
+        #: Periodic durability hook (``repro.durability.serve.ServeCheckpointer``):
+        #: notified after every terminal outcome; writes a checkpoint each
+        #: N-th one.  ``None`` (the default) costs nothing.
+        self.checkpointer = checkpointer
         self.emit_shard_metrics = emit_shard_metrics
         self._router = router
         self._seq = itertools.count()
@@ -463,7 +468,10 @@ class ServeScheduler:
 
     def run(self, workload: Sequence[Request]) -> ServeReport:
         """Serve the workload to completion; returns the report."""
-        self.table.known_runs = {r.request_id for r in workload if r.kind == "run"}
+        # Union, not assignment: a durability resume pre-seeds the table
+        # with pre-crash completed runs so surviving follow-ups can still
+        # find their targets.
+        self.table.known_runs |= {r.request_id for r in workload if r.kind == "run"}
         plan_base, invocation_base = snapshot_cache_stats(self.sessions)
         for request in sorted(
             workload, key=lambda r: (r.arrival, r.request_id)
@@ -683,6 +691,8 @@ class ServeScheduler:
             and self.admission.try_acquire()
         ):
             self._start(self._queue.popleft(), now)
+        if self.checkpointer is not None:
+            self.checkpointer.on_terminal(self, outcome)
 
     def _release_session(self, root_id: int, now: float) -> None:
         self.table.busy_sessions.discard(root_id)

@@ -101,6 +101,7 @@ class SessionManager:
     _registries: dict[str, ServiceRegistry] = field(default_factory=dict)
     _compiled: dict[str, CompiledQuery] = field(default_factory=dict)
     _sessions: dict[int, LiquidQuerySession] = field(default_factory=dict)
+    _session_templates: dict[int, QueryTemplate] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -179,7 +180,30 @@ class SessionManager:
             async_context=self.async_context,
         )
         self._sessions[request.request_id] = session
+        self._session_templates[request.request_id] = template
         return session
+
+    def adopt(
+        self,
+        request_id: int,
+        session: LiquidQuerySession,
+        template: QueryTemplate,
+    ) -> None:
+        """Register an externally restored session under ``request_id``.
+
+        The durability resume path rebuilds sessions from checkpoints and
+        hands them back here so follow-up requests resolve their targets
+        exactly as if the original ``run`` had executed in this process.
+        """
+        self._sessions[request_id] = session
+        self._session_templates[request_id] = template
+
+    def template_of(self, request_id: int) -> QueryTemplate:
+        """The template whose ``run`` request opened this session."""
+        template = self._session_templates.get(request_id)
+        if template is None:
+            raise ExecutionError(f"no session for request {request_id}")
+        return template
 
     def session_for(self, request_id: int) -> LiquidQuerySession:
         session = self._sessions.get(request_id)

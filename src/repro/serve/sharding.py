@@ -217,13 +217,17 @@ class ShardedServeScheduler:
         steal: bool = True,
         global_concurrency: int | None = None,
         digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
+        table: SessionTable | None = None,
+        checkpointer: Any = None,
     ) -> None:
         self.sessions = sessions
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.ring = ring if ring is not None else HashRing(num_shards)
         self.steal = steal
-        self.table = SessionTable()
+        # A durability resume passes a pre-seeded table (pre-crash
+        # outcomes + known runs); fresh runs build their own.
+        self.table = table if table is not None else SessionTable()
         self.admission = AdmissionController(global_concurrency)
         #: The merged timeline: (time, shard_index, seq, action, payload).
         self._events: list[tuple[float, int, int, str, Any]] = []
@@ -240,6 +244,7 @@ class ShardedServeScheduler:
                 router=self._route,
                 digest_fn=digest_fn,
                 emit_shard_metrics=True,
+                checkpointer=checkpointer,
             )
             for index in range(num_shards)
         ]
@@ -259,7 +264,9 @@ class ShardedServeScheduler:
 
     def run(self, workload: Sequence[Request]) -> ServeReport:
         """Serve the workload across all shards; returns the merged report."""
-        self.table.known_runs = {r.request_id for r in workload if r.kind == "run"}
+        # Union (see ServeScheduler.run): a durability resume pre-seeds
+        # pre-crash completed runs into the table.
+        self.table.known_runs |= {r.request_id for r in workload if r.kind == "run"}
         plan_base, invocation_base = snapshot_cache_stats(self.sessions)
         for request in sorted(workload, key=lambda r: (r.arrival, r.request_id)):
             self._route(request, request.arrival)
@@ -464,6 +471,7 @@ def _build_manager(
     num_shards: int,
     ring: HashRing,
     cache_size: int | None,
+    plan_cache_size: int | None = None,
     backend: str = "virtual",
 ) -> SessionManager:
     if cache_mode not in ("shared", "private", "isolated"):
@@ -478,7 +486,7 @@ def _build_manager(
     )
     if cache_mode == "isolated":
         return manager
-    manager.plan_cache = PlanCache()
+    manager.plan_cache = PlanCache(max_size=plan_cache_size)
     if cache_mode == "shared":
         manager.invocation_cache = ShardedInvocationCache(
             num_shards, max_size=cache_size
@@ -506,6 +514,7 @@ def serve_workload_sharded(
     default_service_rate: float | None = 4.0,
     session_space: int = 1_000_000,
     cache_size: int | None = None,
+    plan_cache_size: int | None = None,
     global_concurrency: int | None = None,
     templates: Sequence[QueryTemplate] | None = None,
     workload: Sequence[Request] | None = None,
@@ -545,6 +554,7 @@ def serve_workload_sharded(
         num_shards=num_shards,
         ring=ring,
         cache_size=cache_size,
+        plan_cache_size=plan_cache_size,
     )
     scheduler = ShardedServeScheduler(
         sessions,

@@ -37,6 +37,7 @@ from repro.services.marts import (
     conference_trip_registry,
     movie_night_registry,
 )
+from repro.services.scenarios import SCENARIOS, ScenarioPack, scenario_pack
 
 __all__ = [
     "QueryTemplate",
@@ -44,6 +45,8 @@ __all__ = [
     "WorkloadConfig",
     "default_templates",
     "generate_workload",
+    "scenario_names",
+    "scenario_templates",
     "session_key",
 ]
 
@@ -271,6 +274,64 @@ def default_templates(param_scale: int = 1) -> tuple[QueryTemplate, ...]:
         )
         for template in templates
     )
+
+
+def _scale_template(template: QueryTemplate, param_scale: int) -> QueryTemplate:
+    if param_scale == 1:
+        return template
+    return QueryTemplate(
+        name=template.name,
+        schema=template.schema,
+        query_text=template.query_text,
+        registry_factory=template.registry_factory,
+        parameter_space={
+            name: _scaled_options(options, param_scale)
+            for name, options in template.parameter_space.items()
+        },
+        rerank_weights=template.rerank_weights,
+    )
+
+
+def _pack_template(pack: ScenarioPack) -> QueryTemplate:
+    """Build a workload template from a scenario pack's plain data."""
+    return QueryTemplate(
+        name=pack.name,
+        schema=pack.schema,
+        query_text=pack.query_text,
+        registry_factory=pack.registry_factory,
+        parameter_space=pack.parameter_space,
+        rerank_weights=pack.rerank_weights,
+    )
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Valid ``scenario`` arguments for :func:`scenario_templates`."""
+    return ("default", "all", *sorted(SCENARIOS))
+
+
+def scenario_templates(
+    scenario: str = "default", param_scale: int = 1
+) -> tuple[QueryTemplate, ...]:
+    """Workload templates for a named scenario selection.
+
+    ``"default"`` is the chapter's two example schemas
+    (:func:`default_templates`); a pack name from
+    :data:`repro.services.scenarios.SCENARIOS` serves that pack alone;
+    ``"all"`` mixes the defaults with every pack — five heterogeneous
+    schemas in one arrival stream.  ``param_scale`` widens every
+    parameter universe exactly as in :func:`default_templates`.
+    """
+    if param_scale < 1:
+        raise ExecutionError("param_scale must be at least 1")
+    if scenario == "default":
+        return default_templates(param_scale)
+    if scenario == "all":
+        packs = tuple(
+            _scale_template(_pack_template(SCENARIOS[name]), param_scale)
+            for name in sorted(SCENARIOS)
+        )
+        return default_templates(param_scale) + packs
+    return (_scale_template(_pack_template(scenario_pack(scenario)), param_scale),)
 
 
 def generate_workload(

@@ -9,6 +9,20 @@ from repro.services.marts import (
     conference_trip_registry,
     movie_night_registry,
 )
+from repro.services.recorded import (
+    Cassette,
+    RecordedPool,
+    RecordedService,
+    ReplayInvocation,
+)
+from repro.services.scenarios import (
+    SCENARIOS,
+    ScenarioPack,
+    scenario_pack,
+    scholar_registry,
+    shopping_registry,
+    travel_registry,
+)
 from repro.services.simulated import (
     NO_FAULTS,
     FaultModel,
@@ -36,4 +50,14 @@ __all__ = [
     "ServicePool",
     "SimulatedInvocation",
     "SimulatedService",
+    "Cassette",
+    "RecordedPool",
+    "RecordedService",
+    "ReplayInvocation",
+    "SCENARIOS",
+    "ScenarioPack",
+    "scenario_pack",
+    "scholar_registry",
+    "shopping_registry",
+    "travel_registry",
 ]

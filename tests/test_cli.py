@@ -132,6 +132,107 @@ class TestServeBench:
         with pytest.raises(SystemExit):
             main(["serve-bench", "--rates", "fast"])
 
+    def test_scenario_and_plan_cache_flags(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "serve-bench",
+            "--requests", "12",
+            "--rates", "2.0",
+            "--scenario", "travel",
+            "--plan-cache-size", "4",
+            "--gates", "all",
+        )
+        assert code == 0
+        assert "scenario travel" in out
+
+    def test_requested_gate_failure_is_nonzero(self, capsys):
+        # At this tiny seeded scale the soft p95 gate deterministically
+        # fails: the default (hard gates only) run exits 0, but asking
+        # for all gates turns the same run into a nonzero exit.
+        argv = [
+            "serve-bench",
+            "--requests", "8",
+            "--rates", "1.0",
+            "--scenario", "travel",
+        ]
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "shared_improves_p95_latency: FAIL" in out
+        code = main(argv + ["--gates", "all"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "shared_improves_p95_latency" in captured.err
+
+    def test_durable_serve_and_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "serve-bench",
+            "--requests", "20",
+            "--rates", "3.0",
+            "--checkpoint-every", "5",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "durable serving" in out
+        digest = next(
+            line for line in out.splitlines() if "combined digest" in line
+        )
+        code, out = run_cli(capsys, *argv, "--resume")
+        assert code == 0
+        assert "resumed from" in out
+        assert digest in out  # resume reproduces the digest exactly
+
+    def test_durable_serve_needs_dir_and_single_rate(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--checkpoint-every", "5"])
+        with pytest.raises(SystemExit):
+            main([
+                "serve-bench", "--checkpoint-every", "5",
+                "--checkpoint-dir", "/tmp/x", "--rates", "1.0,2.0",
+            ])
+
+
+class TestScenarios:
+    def test_lists_all_packs(self, capsys):
+        code, out = run_cli(capsys, "scenarios")
+        assert code == 0
+        for name in ("travel", "shopping", "scholar"):
+            assert name in out
+        assert "serve-bench --scenario" in out
+
+
+class TestCheckpointResume:
+    def test_midplan_checkpoint_then_resume(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "checkpoint",
+            "--schema", "shopping",
+            "--steps", "3",
+            "--dir", str(tmp_path),
+            "--key", "demo",
+        )
+        assert code == 0
+        assert "mid-plan" in out
+        code, out = run_cli(capsys, "resume", "--dir", str(tmp_path))
+        assert code == 0
+        assert "resumed 'demo' mid-plan" in out
+        assert "combinations" in out
+
+    def test_quiescent_checkpoint_and_listing(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "checkpoint", "--dir", str(tmp_path), "--key", "full"
+        )
+        assert code == 0
+        assert "quiescent" in out
+        code, out = run_cli(capsys, "resume", "--dir", str(tmp_path), "--list")
+        assert code == 0
+        assert "full: session checkpoint" in out
+
+    def test_resume_empty_store_fails(self, capsys, tmp_path):
+        code = main(["resume", "--dir", str(tmp_path)])
+        assert code == 2
+
 
 class TestTopologies:
     def test_running_example_lists_four(self, capsys):

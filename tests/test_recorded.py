@@ -1,0 +1,146 @@
+"""Record/replay cassette adapter: deterministic service playback.
+
+A cassette captures (interface, bindings) → chunk responses once, then
+replays forever with the recorded latency and cost.  The claims:
+
+* record mode is pass-through: running against a :class:`RecordedPool`
+  in record mode is byte-identical to running against the live
+  simulated pool (results, clock, call log);
+* replay mode reproduces the recorded run exactly — including retries
+  and backoff waits under fault injection — provided the replay pool
+  carries the same ``global_seed`` (retry jitter derives from it);
+* replays are idempotent (a second replay equals the first), and the
+  saved cassette file round-trips with checksum integrity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.engine.executor import execute_plan
+from repro.engine.retry import RetryPolicy
+from repro.errors import CassetteError
+from repro.query.compile import compile_query
+from repro.query.parser import parse_query
+from repro.serve.bench import result_digest
+from repro.services.marts import (
+    RUNNING_EXAMPLE_INPUTS,
+    RUNNING_EXAMPLE_QUERY,
+    movie_night_registry,
+)
+from repro.services.recorded import Cassette, RecordedPool
+from repro.services.simulated import FaultModel, ServicePool
+
+SEED = 2009
+RETRY = RetryPolicy(max_attempts=4, base_backoff=0.2)
+FAULTS = dict(failure_rate=0.15)
+
+
+def _plan():
+    registry = movie_night_registry()
+    compiled = compile_query(parse_query(RUNNING_EXAMPLE_QUERY), registry)
+    best = Optimizer(compiled, OptimizerConfig()).optimize().best
+    return registry, compiled, best
+
+
+def _run(pool, compiled, best):
+    return execute_plan(
+        best.plan,
+        compiled,
+        pool,
+        dict(RUNNING_EXAMPLE_INPUTS),
+        best.fetch_vector(),
+        retry=RETRY,
+    )
+
+
+def _log_signature(pool):
+    return tuple(
+        (r.service, r.alias, r.chunk_index, r.latency, r.tuples, r.outcome,
+         r.attempt, r.backoff_wait, r.started_at)
+        for r in pool.log.records
+    )
+
+
+@pytest.fixture()
+def recorded():
+    """One faulty run recorded to a cassette, with its live twin."""
+    registry, compiled, best = _plan()
+    fault_model = FaultModel.uniform(**FAULTS)
+
+    live_pool = ServicePool(registry, global_seed=SEED, fault_model=fault_model)
+    live = _run(live_pool, compiled, best)
+
+    cassette = Cassette()
+    record_pool = RecordedPool(
+        registry, cassette, mode="record",
+        global_seed=SEED, fault_model=fault_model,
+    )
+    record = _run(record_pool, compiled, best)
+    return registry, compiled, best, cassette, live, live_pool, record, record_pool
+
+
+def test_record_mode_is_passthrough(recorded):
+    _, _, _, cassette, live, live_pool, record, record_pool = recorded
+    assert result_digest(record.tuples) == result_digest(live.tuples)
+    assert record_pool.clock.now == live_pool.clock.now
+    assert _log_signature(record_pool) == _log_signature(live_pool)
+    assert cassette.recordings, "nothing was captured"
+
+
+def test_replay_reproduces_recording_exactly(recorded):
+    registry, compiled, best, cassette, live, live_pool, _, _ = recorded
+    for _ in range(2):  # replays are idempotent
+        replay_pool = RecordedPool(
+            registry, cassette, mode="replay", global_seed=SEED
+        )
+        replay = _run(replay_pool, compiled, best)
+        assert result_digest(replay.tuples) == result_digest(live.tuples)
+        assert replay_pool.clock.now == live_pool.clock.now
+        assert _log_signature(replay_pool) == _log_signature(live_pool)
+        # Fault injection really exercised the retry path on replay.
+        assert any(r.attempt > 1 for r in replay_pool.log.records)
+
+
+def test_cassette_file_roundtrip(recorded, tmp_path):
+    registry, compiled, best, cassette, live, _, _, _ = recorded
+    path = tmp_path / "movie.cassette.json"
+    cassette.save(path)
+    loaded = Cassette.load(path)
+    replay_pool = RecordedPool(registry, loaded, mode="replay", global_seed=SEED)
+    replay = _run(replay_pool, compiled, best)
+    assert result_digest(replay.tuples) == result_digest(live.tuples)
+
+
+def test_cassette_rejects_tampering(recorded, tmp_path):
+    _, _, _, cassette, _, _, _, _ = recorded
+    path = tmp_path / "movie.cassette.json"
+    cassette.save(path)
+    record = json.loads(path.read_text())
+    key = next(iter(record["payload"]["recordings"]))
+    record["payload"]["recordings"][key] = []
+    path.write_text(json.dumps(record))
+    with pytest.raises(CassetteError):
+        Cassette.load(path)
+
+
+def test_replay_unknown_bindings_raises(recorded):
+    registry, compiled, best, cassette, _, _, _, _ = recorded
+    replay_pool = RecordedPool(registry, cassette, mode="replay", global_seed=SEED)
+    service = replay_pool.service("Movie1")
+    with pytest.raises(CassetteError):
+        service.invoke(
+            {"Genres": "genre#999", "Country": "country#9", "MaxDate": "2009-01-01"},
+            clock=replay_pool.clock,
+            log=replay_pool.log,
+            alias="M",
+        ).next_chunk()
+
+
+def test_record_mode_requires_inner_pool():
+    registry, _, _ = _plan()
+    with pytest.raises(CassetteError):
+        RecordedPool(registry, Cassette(), mode="rewind")

@@ -181,6 +181,43 @@ def test_plan_cache_hits_after_first_search(movie_query):
     assert len(cache) == 1
 
 
+def test_plan_cache_lru_eviction(movie_query, conference_query):
+    from repro.core.optimizer import OptimizerConfig
+
+    cache = PlanCache(max_size=1)
+    config = OptimizerConfig()
+    movie_plan = cache.plan("movie", movie_query, config)
+    cache.plan("conference", conference_query, config)  # evicts movie
+    assert len(cache) == 1
+    assert cache.stats.evictions == 1
+    # The movie plan was evicted: asking again is a fresh search (a miss).
+    again = cache.plan("movie", movie_query, config)
+    assert cache.stats.misses == 3
+    assert again is not movie_plan
+
+
+def test_plan_cache_lru_recency_of_use(movie_query, conference_query):
+    from repro.core.optimizer import OptimizerConfig
+
+    cache = PlanCache(max_size=2)
+    config = OptimizerConfig()
+    movie_plan = cache.plan("movie", movie_query, config)
+    cache.plan("conference", conference_query, config)
+    # Touch movie so conference is the LRU entry, then overflow.
+    cache.plan("movie", movie_query, config)
+    cache.plan("other-schema", movie_query, config)
+    assert cache.stats.evictions == 1
+    assert cache.plan("movie", movie_query, config) is movie_plan
+    assert cache.stats.hits == 2  # the touch and the final lookup
+    # Eviction delta shows up in differenced stats too.
+    assert cache.stats.delta(None)["evictions"] == 1
+
+
+def test_plan_cache_rejects_nonpositive_bound():
+    with pytest.raises(ExecutionError):
+        PlanCache(max_size=0)
+
+
 # ---------------------------------------------------------------------------
 # Scheduler behaviour (hand-built request streams)
 # ---------------------------------------------------------------------------
