@@ -66,8 +66,10 @@ from repro.engine.executor import execute_plan
 from repro.engine.retry import RetryPolicy
 from repro.errors import RetryExhaustedError, SearchComputingError
 from repro.obs.explain import build_explain
-from repro.obs.export import TRACE_FORMATS, write_trace
+from repro.obs.export import TRACE_FORMATS, write_prometheus, write_trace
 from repro.obs.metrics import snapshot_run
+from repro.obs.serving import DEFAULT_SLO_THRESHOLDS as _DEFAULT_SLO
+from repro.obs.serving import SloTracker, serving_metrics_summary
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.compile import compile_query
 from repro.query.feasibility import enumerate_binding_choices
@@ -413,6 +415,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full benchmark report as JSON to PATH",
     )
+    observability = serve_cmd.add_argument_group("observability")
+    observability.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record request span trees and write the trace to PATH "
+        "('-' for stdout); needs a single --rates value",
+    )
+    observability.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace encoding: one span per line (jsonl) or Chrome "
+        "trace_event JSON loadable in Perfetto, one swimlane per shard "
+        "(default: jsonl)",
+    )
+    observability.add_argument(
+        "--metrics",
+        choices=("json",),
+        help="print the serving metrics snapshot (counters, gauges, "
+        "latency histograms, SLO) as JSON on stdout",
+    )
+    observability.add_argument(
+        "--metrics-output",
+        metavar="PATH",
+        help="write the metrics snapshot JSON to PATH (readable by "
+        "`repro serve-report --metrics PATH`)",
+    )
+    observability.add_argument(
+        "--prom",
+        metavar="PATH",
+        help="write the metrics in Prometheus text exposition format "
+        "to PATH",
+    )
+    observability.add_argument(
+        "--slo-thresholds",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated latency SLO thresholds in virtual seconds "
+        f"(default: {','.join(f'{t:g}' for t in _DEFAULT_SLO)})",
+    )
     durability = serve_cmd.add_argument_group("durability")
     durability.add_argument(
         "--checkpoint-every",
@@ -491,6 +533,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the replay witness checks (trust the checkpoint)",
+    )
+
+    serve_report_cmd = commands.add_parser(
+        "serve-report",
+        help="summarise a serving trace: outcome mix, latency quantiles, "
+        "request-time attribution, per-shard balance, SLO violations",
+    )
+    serve_report_cmd.add_argument(
+        "--trace",
+        required=True,
+        metavar="PATH",
+        help="JSONL span trace written by `serve-bench --trace PATH`",
+    )
+    serve_report_cmd.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="metrics snapshot JSON written by `serve-bench "
+        "--metrics-output PATH` (adds cache hit rates, queue peaks, SLO)",
+    )
+    serve_report_cmd.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many templates to rank by total request time (default: 5)",
     )
     return parser
 
@@ -702,6 +768,66 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _obs_requested(args) -> bool:
+    """Did any serve-bench observability flag ask for telemetry output?"""
+    return bool(
+        args.trace or args.metrics or args.metrics_output or args.prom
+    )
+
+
+def _build_slo(args) -> "SloTracker":
+    if args.slo_thresholds is None:
+        return SloTracker()
+    try:
+        thresholds = tuple(
+            float(token)
+            for token in args.slo_thresholds.split(",")
+            if token.strip()
+        )
+    except ValueError:
+        raise SystemExit(
+            "--slo-thresholds needs comma-separated numbers, got "
+            f"{args.slo_thresholds!r}"
+        )
+    if not thresholds:
+        raise SystemExit("--slo-thresholds needs at least one threshold")
+    return SloTracker(thresholds=thresholds)
+
+
+def _write_obs_artifacts(
+    args, tracer, metrics, slo, *, serving=None, label="serve"
+) -> None:
+    """Emit the requested --trace/--metrics/--prom artifacts."""
+    if args.trace:
+        if args.trace == "-":
+            write_trace(
+                tracer.spans, sys.stdout, fmt=args.trace_format, label=label
+            )
+        else:
+            write_trace(
+                tracer.spans, args.trace, fmt=args.trace_format, label=label
+            )
+            print(
+                f"trace: {len(tracer.spans)} spans -> {args.trace} "
+                f"({args.trace_format})"
+            )
+    if args.metrics or args.metrics_output:
+        payload: dict[str, Any] = {"metrics": metrics.snapshot()}
+        if slo is not None:
+            payload["slo"] = slo.snapshot()
+        if serving is not None:
+            payload["serving"] = serving
+        if args.metrics == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.metrics_output:
+            with open(args.metrics_output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"metrics -> {args.metrics_output}")
+    if args.prom:
+        write_prometheus(metrics, args.prom, slo=slo)
+        print(f"prometheus -> {args.prom}")
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.serve import run_serving_benchmark
     from repro.serve.workload import scenario_templates
@@ -714,6 +840,12 @@ def _cmd_serve_bench(args) -> int:
         raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
     if not rates:
         raise SystemExit("--rates needs at least one rate")
+    observed = _obs_requested(args)
+    if observed and len(rates) != 1:
+        raise SystemExit(
+            "--trace/--metrics/--prom take exactly one --rates value "
+            "(one run, one trace)"
+        )
     if args.checkpoint_every or args.resume:
         return _serve_bench_durable(args, rates)
     if args.shards:
@@ -722,9 +854,18 @@ def _cmd_serve_bench(args) -> int:
                 "--shards with --backend asyncio needs --parallel "
                 "(serial sharding runs on the virtual clock)"
             )
+        if observed and args.parallel:
+            raise SystemExit(
+                "--trace/--metrics/--prom need the in-process runtime "
+                "(drop --parallel)"
+            )
+        if observed:
+            return _serve_bench_observed(args, rates[0])
         return _serve_bench_sharded(args, rates)
     if args.backend == "asyncio":
         return _serve_bench_asyncio(args, rates)
+    if observed:
+        return _serve_bench_observed(args, rates[0])
     report = run_serving_benchmark(
         load_levels=rates,
         num_requests=args.requests,
@@ -886,13 +1027,119 @@ def _serve_bench_sharded(args, rates) -> int:
     return 0 if all_identical else 1
 
 
+def _serve_bench_observed(args, rate) -> int:
+    """One traced serving run (plain or sharded) on the virtual clock.
+
+    The same seeded workload is served twice: once bare, once with the
+    tracer/SLO/metrics sampling on.  The two runs' per-request digests
+    must be byte-identical — telemetry may never perturb results — and
+    that gate guards the artifacts this path writes.
+    """
+    from repro.serve import serve_workload, serve_workload_sharded
+    from repro.serve.bench import combined_digest, result_digest
+    from repro.serve.workload import scenario_templates
+
+    templates = scenario_templates(args.scenario, args.param_scale)
+    shards = args.shards or 0
+
+    def run_once(tracer=None, slo=None, sample_metrics=False):
+        if shards:
+            return serve_workload_sharded(
+                rate=rate,
+                num_requests=args.requests,
+                seed=args.seed,
+                num_shards=shards,
+                cache_mode="shared" if args.shared_cache else "private",
+                steal=args.steal,
+                skew=args.skew,
+                followup_fraction=args.followups,
+                max_concurrency=args.concurrency,
+                default_service_rate=args.service_rate or None,
+                session_space=args.session_space,
+                plan_cache_size=args.plan_cache_size,
+                templates=templates,
+                digest_fn=result_digest,
+                tracer=tracer,
+                slo=slo,
+                sample_metrics=sample_metrics,
+            )
+        return serve_workload(
+            rate=rate,
+            num_requests=args.requests,
+            seed=args.seed,
+            shared=args.shared_cache,
+            skew=args.skew,
+            followup_fraction=args.followups,
+            max_concurrency=args.concurrency,
+            default_service_rate=args.service_rate or None,
+            plan_cache_size=args.plan_cache_size,
+            templates=templates,
+            tracer=tracer,
+            slo=slo,
+            sample_metrics=sample_metrics,
+        )
+
+    print(
+        f"observed serving: {args.requests} requests at rate {rate:g}, "
+        f"seed {args.seed}, scenario {args.scenario}, "
+        f"{shards or 1} shard(s)"
+    )
+    _, baseline_digests = run_once()
+    tracer = Tracer()
+    slo = _build_slo(args)
+    report, digests = run_once(tracer=tracer, slo=slo, sample_metrics=True)
+    identical = digests == baseline_digests
+    latency = report.latency_summary()
+    print(
+        f"  {len(report.completed())} completed, "
+        f"round trips {report.total_round_trips}, "
+        f"p50 {latency.get('p50', 0.0):.2f}  p95 {latency.get('p95', 0.0):.2f}"
+    )
+    slo_state = slo.snapshot()
+    violation_bits = ", ".join(
+        f">{key}s {entry['fraction']:.1%}"
+        for key, entry in slo_state["violations"].items()
+    )
+    print(f"  slo: {slo_state['count']} observed; violations {violation_bits}")
+    print(
+        "gate trace_noninterference: "
+        + ("PASS" if identical else "FAIL")
+        + " (digests identical with tracing on)"
+    )
+    serving = serving_metrics_summary(report)
+    _write_obs_artifacts(args, tracer, report.metrics, slo, serving=serving)
+    if args.output:
+        payload = {
+            "benchmark": "serve-observed",
+            "seed": args.seed,
+            "requests": args.requests,
+            "rate": rate,
+            "scenario": args.scenario,
+            "shards": shards or 1,
+            "spans": len(tracer.spans),
+            "combined_digest": combined_digest(digests),
+            "serving_metrics": serving,
+            "slo": slo_state,
+            "gates": {"trace_noninterference": identical},
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    return 0 if identical else 1
+
+
 def _serve_bench_asyncio(args, rates) -> int:
     """Serve the seeded workload on the asyncio backend, per rate, and
     gate each request's result digest against the virtual scheduler's."""
+    from repro.obs.metrics import MetricsRegistry
     from repro.serve import serve_workload
     from repro.serve.async_serve import serve_workload_async
     from repro.serve.workload import scenario_templates
 
+    observed = _obs_requested(args)
+    tracer = Tracer() if observed else None
+    obs_metrics = MetricsRegistry() if observed else None
+    slo = _build_slo(args) if observed else None
     levels = []
     all_identical = True
     print(
@@ -917,6 +1164,10 @@ def _serve_bench_asyncio(args, rates) -> int:
             **kwargs,
             time_scale=args.time_scale,
             max_connections=args.max_connections,
+            tracer=tracer,
+            metrics=obs_metrics,
+            slo=slo,
+            trace_engine=observed,
         )
         async_digests = report.digests()
         identical = virtual_digests == async_digests
@@ -943,6 +1194,8 @@ def _serve_bench_asyncio(args, rates) -> int:
             }
         )
     print(f"gate results_identical: {'PASS' if all_identical else 'FAIL'}")
+    if observed:
+        _write_obs_artifacts(args, tracer, obs_metrics, slo, label="serve-async")
     if args.output:
         payload = {
             "benchmark": "serving-asyncio",
@@ -979,6 +1232,9 @@ def _serve_bench_durable(args, rates) -> int:
         )
     rate = rates[0]
     shards = args.shards or 1
+    observed = _obs_requested(args)
+    tracer = Tracer() if observed else None
+    slo = _build_slo(args) if observed else None
     report, digests, info = serve_workload_durable(
         rate=rate,
         num_requests=args.requests,
@@ -996,6 +1252,9 @@ def _serve_bench_durable(args, rates) -> int:
         session_space=args.session_space,
         plan_cache_size=args.plan_cache_size,
         templates=scenario_templates(args.scenario, args.param_scale),
+        tracer=tracer,
+        slo=slo,
+        sample_metrics=observed,
     )
     digest = combined_digest(digests)
     print(
@@ -1022,6 +1281,20 @@ def _serve_bench_durable(args, rates) -> int:
         f"  completed {len(digests)}, statuses {by_status}, "
         f"combined digest {digest[:16]}"
     )
+    if observed:
+        if info["telemetry_replayed"]:
+            print(
+                f"  telemetry: {info['telemetry_replayed']} pre-crash "
+                "outcomes replayed into the trace/metrics"
+            )
+        _write_obs_artifacts(
+            args,
+            tracer,
+            report.metrics,
+            slo,
+            serving=serving_metrics_summary(report),
+            label="serve-durable",
+        )
     if args.output:
         payload = {
             "benchmark": "serve-durable",
@@ -1043,6 +1316,39 @@ def _serve_bench_durable(args, rates) -> int:
     # crash/resume drills can gate on the CLI.
     failures = by_status.get("failed", 0) + by_status.get("rejected", 0)
     return 0 if failures == 0 else 1
+
+
+def _cmd_serve_report(args) -> int:
+    """Render the post-run bottleneck summary from trace artifacts."""
+    from repro.obs.serving import load_trace_jsonl, render_serve_report
+
+    try:
+        spans = load_trace_jsonl(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.trace!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{args.trace!r} is not a JSONL span trace ({exc}); "
+            "serve-report reads --trace-format jsonl output"
+        )
+    metrics = slo = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"cannot read metrics {args.metrics!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"{args.metrics!r} is not a metrics snapshot JSON ({exc})"
+            )
+        metrics = payload.get("metrics", payload)
+        slo = payload.get("slo")
+    print(
+        render_serve_report(spans, metrics=metrics, slo=slo, top=args.top),
+        end="",
+    )
+    return 0
 
 
 def _cmd_scenarios(args) -> int:
@@ -1212,6 +1518,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "topologies": _cmd_topologies,
         "serve-bench": _cmd_serve_bench,
+        "serve-report": _cmd_serve_report,
         "scenarios": _cmd_scenarios,
         "checkpoint": _cmd_checkpoint,
         "resume": _cmd_resume,

@@ -153,6 +153,24 @@ class ServeCheckpointer:
                 "status": outcome.status,
                 "digest": outcome.digest,
                 "error": outcome.error,
+                # Telemetry: everything the observability layer needs to
+                # re-emit this outcome's span tree and re-absorb its
+                # metrics after a resume (repro.obs.serving.
+                # replay_outcome_telemetry).  Results/digests above stay
+                # the durable contract; these fields only feed traces.
+                "finished_at": outcome.finished_at,
+                "started_at": outcome.started_at,
+                "queue_wait": outcome.queue_wait,
+                "rate_wait": outcome.rate_wait,
+                "rate_hits": outcome.rate_hits,
+                "round_trips": outcome.round_trips,
+                "steps": outcome.steps,
+                "shard": outcome.shard,
+                "stolen": outcome.stolen,
+                "stolen_from": outcome.stolen_from,
+                "unparked_at": outcome.unparked_at,
+                "wake_reason": outcome.wake_reason,
+                "plan_cached": outcome.plan_cached,
             }
             for rid, outcome in table.outcomes.items()
             if outcome.status in _TERMINAL
@@ -229,11 +247,27 @@ def resume_state_from(
                 f"checkpoint {key!r} records request {rid} absent from the "
                 "workload — workload/seed mismatch"
             )
+        # Telemetry fields default to zero/None when absent (checkpoints
+        # written before they were persisted): resume still works, the
+        # replayed spans just sit at t=0.
         table.outcomes[rid] = RequestOutcome(
             request=request,
             status=data["status"],
             digest=data.get("digest"),
             error=data.get("error"),
+            finished_at=data.get("finished_at", 0.0),
+            started_at=data.get("started_at", 0.0),
+            queue_wait=data.get("queue_wait", 0.0),
+            rate_wait=data.get("rate_wait", 0.0),
+            rate_hits=data.get("rate_hits", 0),
+            round_trips=data.get("round_trips", 0),
+            steps=data.get("steps", 0),
+            shard=data.get("shard", 0),
+            stolen=data.get("stolen", False),
+            stolen_from=data.get("stolen_from"),
+            unparked_at=data.get("unparked_at", 0.0),
+            wake_reason=data.get("wake_reason"),
+            plan_cached=data.get("plan_cached"),
         )
         if request.kind == "run":
             table.known_runs.add(rid)
@@ -292,6 +326,9 @@ def serve_workload_durable(
     templates: Sequence[QueryTemplate] | None = None,
     workload: Sequence[Request] | None = None,
     on_checkpoint: "Callable[[ServeCheckpointer], None] | None" = None,
+    tracer: Any = None,
+    slo: Any = None,
+    sample_metrics: bool = False,
 ) -> tuple[ServeReport, dict[int, str], dict[str, Any]]:
     """Serve a seeded workload with periodic durable checkpoints.
 
@@ -303,9 +340,18 @@ def serve_workload_durable(
     loaded first and only the unfinished requests are served; the
     returned digests always cover the *whole* workload either way.
 
+    ``tracer``/``slo``/``sample_metrics`` thread the observability layer
+    through (see :func:`repro.serve.bench.serve_workload`).  On resume,
+    pre-crash terminal outcomes are **replayed** into the telemetry
+    first (:func:`repro.obs.serving.replay_outcome_telemetry`), so the
+    resumed run's trace and metrics cover the whole workload — span
+    trees and counters continue across the crash, not restart at it.
+
     Returns ``(report, digests, info)`` — ``info`` records whether a
     resume happened and from which key.
     """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.serving import replay_outcome_telemetry
     from repro.serve.bench import result_digest
 
     templates = tuple(templates or scenario_templates(scenario))
@@ -373,24 +419,45 @@ def serve_workload_durable(
     )
     table = state.table if state is not None else None
     to_serve = state.remaining if state is not None else list(workload)
+    metrics = MetricsRegistry()
+    telemetry_replayed = 0
+    if state is not None:
+        # Trace/metric continuity across the crash: re-emit the
+        # checkpointed outcomes' span trees and counters before the
+        # resumed scheduler adds the live ones.
+        telemetry_replayed = replay_outcome_telemetry(
+            state.table.outcomes.values(),
+            metrics=metrics,
+            tracer=tracer,
+            slo=slo,
+            emit_shard_metrics=(num_shards > 1),
+        )
     if num_shards > 1:
         from repro.serve.sharding import ShardedServeScheduler
 
         scheduler: Any = ShardedServeScheduler(
             manager,
             config,
+            metrics,
+            tracer,
             num_shards=num_shards,
             digest_fn=result_digest,
             table=table,
             checkpointer=checkpointer,
+            slo=slo,
+            sample_metrics=sample_metrics,
         )
     else:
         scheduler = ServeScheduler(
             manager,
             config,
+            metrics,
+            tracer,
             table=table,
             digest_fn=result_digest,
             checkpointer=checkpointer,
+            slo=slo,
+            sample_metrics=sample_metrics,
         )
     report = scheduler.run(to_serve)
     # The table was shared (and pre-seeded on resume), so the report's
@@ -412,5 +479,6 @@ def serve_workload_durable(
         "served": len(to_serve),
         "checkpoints_written": checkpointer.written,
         "terminal_seen": checkpointer.terminal_seen,
+        "telemetry_replayed": telemetry_replayed,
     }
     return report, digests, info

@@ -130,6 +130,11 @@ class AsyncExecutionContext:
         default_factory=dict, repr=False
     )
     _loop: Any = field(default=None, repr=False)
+    #: Shared wall-clock zero for the span axis.  Set when a loop first
+    #: attaches, so every executor sharing this context (the async
+    #: serving path runs many) stamps spans on one common timeline
+    #: instead of each request restarting at t=0.
+    wall_epoch: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.time_scale < 0:
@@ -155,6 +160,7 @@ class AsyncExecutionContext:
             self._loop = loop
             self._semaphores.clear()
             self._inflight.clear()
+            self.wall_epoch = time.perf_counter()
 
     def semaphore(self, interface: str) -> asyncio.Semaphore:
         """The connection-pool semaphore for ``interface`` (lazily built)."""
@@ -248,8 +254,14 @@ class AsyncPlanExecutor:
         self._sync.k = value
 
     def _now(self) -> float:
-        """Elapsed wall time rescaled to virtual seconds (span axis)."""
-        elapsed = time.perf_counter() - self._wall_start
+        """Elapsed wall time rescaled to virtual seconds (span axis).
+
+        Measured from the context's shared ``wall_epoch`` when one is
+        set (executors sharing a context share a span timeline); a
+        standalone run falls back to its own start.
+        """
+        epoch = self.context.wall_epoch or self._wall_start
+        elapsed = time.perf_counter() - epoch
         scale = self.context.time_scale
         return elapsed / scale if scale > 0 else elapsed
 
@@ -445,6 +457,20 @@ class AsyncPlanExecutor:
             # sequential walk, where the second caller would hit the memo.
             sync._invocation_cache.stats.hits += 1
             sync.cache_stats.hits += 1
+            if sync.tracer.enabled:
+                wait_start = self._now()
+                joined = await asyncio.shield(pending)
+                sync.tracer.record_span(
+                    "service.invoke",
+                    start=wait_start,
+                    end=self._now(),
+                    alias=node.alias,
+                    interface=node.interface.name,
+                    cached=True,
+                    coalesced=True,
+                    tuples=len(joined[0]),
+                )
+                return joined
             return await asyncio.shield(pending)
         cached = sync._invocation_cache.get(key, sync.cache_stats)
         if cached is not None:
@@ -580,24 +606,48 @@ class AsyncPlanExecutor:
         """One request-response: holds a pooled connection for its latency."""
         sync = self._sync
         assert node.interface is not None
-        async with self.context.semaphore(node.interface.name):
-            log = sync.pool.log
-            before = len(log.records)
-            try:
-                chunk = invocation.next_chunk()
-            except (ServiceTimeoutError, ServiceUnavailableError) as exc:
-                latency = self._account(before, acc)
-                # Remember which record was ours so the retry loop can
-                # amend the backoff wait onto it, not onto whatever a
-                # concurrent task logged afterwards.
-                exc._log_index = (
-                    len(log.records) - 1 if len(log.records) > before else -1
-                )
-                await self.context.sleep(latency)
-                raise
+        semaphore = self.context.semaphore(node.interface.name)
+        if sync.tracer.enabled and semaphore.locked():
+            # The pool is saturated: attribute the connection wait so the
+            # timeline shows queueing at the service, not "slow" calls.
+            wait_start = self._now()
+            await semaphore.acquire()
+            sync.tracer.record_span(
+                "pool.wait",
+                start=wait_start,
+                end=self._now(),
+                alias=node.alias,
+                interface=node.interface.name,
+            )
+        else:
+            await semaphore.acquire()
+        try:
+            return await self._round_trip_locked(invocation, node, acc)
+        finally:
+            semaphore.release()
+
+    async def _round_trip_locked(
+        self, invocation, node: ServiceNode, acc: NodeRunStats
+    ):
+        """The round trip proper, with the pooled connection already held."""
+        sync = self._sync
+        log = sync.pool.log
+        before = len(log.records)
+        try:
+            chunk = invocation.next_chunk()
+        except (ServiceTimeoutError, ServiceUnavailableError) as exc:
             latency = self._account(before, acc)
+            # Remember which record was ours so the retry loop can
+            # amend the backoff wait onto it, not onto whatever a
+            # concurrent task logged afterwards.
+            exc._log_index = (
+                len(log.records) - 1 if len(log.records) > before else -1
+            )
             await self.context.sleep(latency)
-            return chunk
+            raise
+        latency = self._account(before, acc)
+        await self.context.sleep(latency)
+        return chunk
 
     def _account(self, before: int, acc: NodeRunStats) -> float:
         """Fold records appended by one call into the node's stats."""

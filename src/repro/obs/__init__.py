@@ -31,6 +31,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer, coerce
 # ``repro.engine``/``repro.core`` and are resolved lazily (PEP 562).
 _LAZY = {
     "MetricsRegistry": "repro.obs.metrics",
+    "TimeSeries": "repro.obs.metrics",
     "record_call_log": "repro.obs.metrics",
     "record_execution": "repro.obs.metrics",
     "record_optimization": "repro.obs.metrics",
@@ -38,10 +39,19 @@ _LAZY = {
     "spans_to_jsonl": "repro.obs.export",
     "spans_to_chrome_trace": "repro.obs.export",
     "write_trace": "repro.obs.export",
+    "metrics_to_prometheus": "repro.obs.export",
+    "write_prometheus": "repro.obs.export",
     "TRACE_FORMATS": "repro.obs.export",
     "ExplainNode": "repro.obs.explain",
     "ExplainReport": "repro.obs.explain",
     "build_explain": "repro.obs.explain",
+    "DEFAULT_SLO_THRESHOLDS": "repro.obs.serving",
+    "SloTracker": "repro.obs.serving",
+    "record_request_span": "repro.obs.serving",
+    "replay_outcome_telemetry": "repro.obs.serving",
+    "serving_metrics_summary": "repro.obs.serving",
+    "load_trace_jsonl": "repro.obs.serving",
+    "render_serve_report": "repro.obs.serving",
 }
 
 __all__ = [

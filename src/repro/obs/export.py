@@ -13,13 +13,22 @@ deterministic cost measurements.
   Perfetto.  Virtual seconds map to trace microseconds; compile- and
   optimizer-phase spans sit at t=0 with zero duration (virtual time only
   moves during execution) but keep their nesting via stack depth.
+  Serving spans carry ``shard``/``lane`` attributes which map to
+  ``pid``/``tid``, so an N-shard run renders as N process swimlanes with
+  one thread row per concurrency lane.
+* **Prometheus text format** — the metrics-side counterpart: a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot rendered in the
+  text exposition format (``# TYPE`` lines, ``{shard="i"}`` labels for
+  the per-shard ``serve.shard.<i>.*`` families, histogram summaries
+  with quantile labels), scrape-ready and deterministically ordered.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import IO, Iterable, Sequence
+from typing import IO, Any, Iterable, Mapping, Sequence
 
 from repro.errors import SearchComputingError
 from repro.obs.tracer import SpanRecord
@@ -29,6 +38,8 @@ __all__ = [
     "spans_to_jsonl",
     "spans_to_chrome_trace",
     "write_trace",
+    "metrics_to_prometheus",
+    "write_prometheus",
 ]
 
 #: Supported ``--trace-format`` values.
@@ -65,27 +76,68 @@ def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _span_pid(span: SpanRecord) -> int:
+    """Chrome process id: shard ``i`` -> pid ``i + 1``; engine spans -> 1."""
+    shard = span.attrs.get("shard")
+    if isinstance(shard, int) and not isinstance(shard, bool) and shard >= 0:
+        return shard + 1
+    return 1
+
+
+def _span_tid(span: SpanRecord) -> int:
+    """Chrome thread id: concurrency lane ``l`` -> tid ``l + 1``."""
+    lane = span.attrs.get("lane")
+    if isinstance(lane, int) and not isinstance(lane, bool) and lane >= 0:
+        return lane + 1
+    return 1
+
+
 def spans_to_chrome_trace(
     spans: Iterable[SpanRecord], label: str = "repro"
 ) -> dict:
-    """A Chrome/Perfetto ``trace_event`` document over the virtual clock."""
-    events: list[dict] = [
-        {
-            "ph": "M",
-            "pid": 1,
-            "tid": 1,
-            "name": "process_name",
-            "args": {"name": label},
-        },
-        {
-            "ph": "M",
-            "pid": 1,
-            "tid": 1,
-            "name": "thread_name",
-            "args": {"name": "virtual-time"},
-        },
-    ]
-    for span in _ordered(spans):
+    """A Chrome/Perfetto ``trace_event`` document over the virtual clock.
+
+    Spans with a ``shard`` attribute land on ``pid = shard + 1`` (one
+    Perfetto swimlane per shard, named via ``process_name`` metadata);
+    spans with a ``lane`` attribute get a stable per-concurrency-slot
+    ``tid``.  Everything else keeps the original single-process layout
+    at pid 1 / tid 1.
+    """
+    ordered = _ordered(spans)
+    shard_pids: set[int] = set()
+    threads: set[tuple[int, int]] = set()
+    for span in ordered:
+        pid = _span_pid(span)
+        if pid != 1 or "shard" in span.attrs:
+            shard_pids.add(pid)
+        threads.add((pid, _span_tid(span)))
+    pids = {1} | {pid for pid, _ in threads}
+    threads |= {(pid, 1) for pid in pids}
+
+    events: list[dict] = []
+    for pid in sorted(pids):
+        name = f"{label}: shard {pid - 1}" if pid in shard_pids else label
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+    for pid, tid in sorted(threads):
+        name = "virtual-time" if tid == 1 else f"lane {tid - 1}"
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for span in ordered:
         args = {key: span.attrs[key] for key in sorted(span.attrs)}
         args["span_id"] = span.span_id
         if span.parent_id is not None:
@@ -93,8 +145,8 @@ def spans_to_chrome_trace(
         events.append(
             {
                 "ph": "X",
-                "pid": 1,
-                "tid": 1,
+                "pid": _span_pid(span),
+                "tid": _span_tid(span),
                 "name": span.name,
                 "cat": span.name.split(".", 1)[0],
                 "ts": span.start * _US,
@@ -107,6 +159,137 @@ def spans_to_chrome_trace(
         "displayTimeUnit": "ms",
         "otherData": {"clock": "virtual", "source": label},
     }
+
+
+# ----------------------------------------------------------------------------- #
+# Prometheus text exposition format
+# ----------------------------------------------------------------------------- #
+
+#: ``serve.shard.<i>.<rest>`` families collapse to one metric with a
+#: ``shard`` label, which is how a scraper wants per-shard breakdowns.
+_SHARD_METRIC = re.compile(r"^serve\.shard\.(\d+)\.(.+)$")
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"), ("0.999", "p999"))
+
+
+def _prom_ident(name: str) -> str:
+    ident = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if ident and ident[0].isdigit():
+        ident = "_" + ident
+    return ident
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return "{" + rendered + "}"
+
+
+def _family_of(name: str) -> tuple[str, dict[str, str]]:
+    match = _SHARD_METRIC.match(name)
+    if match:
+        return "serve.shard." + match.group(2), {"shard": match.group(1)}
+    return name, {}
+
+
+def metrics_to_prometheus(
+    metrics: Any, namespace: str = "repro", slo: Any = None
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` or the
+    mapping its ``snapshot()`` returns.  Counters and gauges become
+    their Prometheus namesakes; histograms become ``summary`` families
+    with ``quantile`` labels plus ``_sum``/``_count``; a ``TimeSeries``
+    contributes ``_peak``/``_last`` gauges.  Passing an
+    :class:`~repro.obs.serving.SloTracker` as ``slo`` appends
+    ``<ns>_slo_*`` violation-fraction gauges.  Output ordering is fully
+    deterministic so snapshots diff cleanly across runs.
+    """
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str, kind: str) -> list[tuple[str, dict[str, str], Any]]:
+        entry = families.setdefault(name, {"type": kind, "samples": []})
+        return entry["samples"]
+
+    for name, value in snapshot.get("counters", {}).items():
+        base, labels = _family_of(name)
+        family(base, "counter").append(("", labels, value))
+    for name, value in snapshot.get("gauges", {}).items():
+        base, labels = _family_of(name)
+        family(base, "gauge").append(("", labels, value))
+    for name, summary in snapshot.get("histograms", {}).items():
+        base, labels = _family_of(name)
+        samples = family(base, "summary")
+        for quantile, key in _QUANTILES:
+            if key in summary:
+                samples.append(
+                    ("", {**labels, "quantile": quantile}, summary[key])
+                )
+        if "sum" in summary:
+            samples.append(("_sum", labels, summary["sum"]))
+        samples.append(("_count", labels, summary.get("count", 0)))
+    for name, summary in snapshot.get("timeseries", {}).items():
+        base, labels = _family_of(name)
+        if summary.get("count"):
+            family(base + ".peak", "gauge").append(("", labels, summary["max"]))
+            family(base + ".last", "gauge").append(("", labels, summary["last"]))
+
+    if slo is not None:
+        state = slo.snapshot() if hasattr(slo, "snapshot") else slo
+        family("slo.requests", "gauge").append(("", {}, state.get("count", 0)))
+        for quantile, key in _QUANTILES:
+            if key in state.get("quantiles", {}):
+                family("slo.latency", "summary").append(
+                    ("", {"quantile": quantile}, state["quantiles"][key])
+                )
+        for threshold, entry in state.get("violations", {}).items():
+            labels = {"threshold": str(threshold)}
+            family("slo.violations", "gauge").append(
+                ("", labels, entry["count"])
+            )
+            family("slo.violation_ratio", "gauge").append(
+                ("", labels, entry["fraction"])
+            )
+
+    lines: list[str] = []
+    for base in sorted(families):
+        entry = families[base]
+        metric = f"{namespace}_{_prom_ident(base)}"
+        lines.append(f"# TYPE {metric} {entry['type']}")
+        for suffix, labels, value in sorted(
+            entry["samples"], key=lambda sample: (sample[0], sorted(sample[1].items()))
+        ):
+            lines.append(
+                f"{metric}{suffix}{_prom_labels(labels)} {_prom_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    metrics: Any,
+    destination: "str | Path | IO[str]",
+    namespace: str = "repro",
+    slo: Any = None,
+) -> None:
+    """Serialise a metrics snapshot to ``destination`` as Prometheus text."""
+    payload = metrics_to_prometheus(metrics, namespace=namespace, slo=slo)
+    if hasattr(destination, "write"):
+        destination.write(payload)  # type: ignore[union-attr]
+    else:
+        Path(destination).write_text(payload)  # type: ignore[arg-type]
 
 
 def write_trace(

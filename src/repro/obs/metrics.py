@@ -31,6 +31,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
     "MetricsRegistry",
     "record_call_log",
     "record_execution",
@@ -98,6 +99,56 @@ class Histogram:
             "p50": quantile(0.50),
             "p95": quantile(0.95),
             "p99": quantile(0.99),
+            "p999": quantile(0.999),
+        }
+
+
+@dataclass
+class TimeSeries:
+    """A bounded ``(time, value)`` series with deterministic decimation.
+
+    Serving runs sample queue depth and admission occupancy on every
+    scheduler event — at 100k requests that is far too many points to
+    keep.  When the retained buffer reaches ``max_points`` the series
+    drops every other retained point and doubles its sampling stride, so
+    memory stays bounded while coverage stays uniform over the whole
+    run.  The decimation schedule depends only on the observation count,
+    never on wall time or randomness, so a seeded run yields identical
+    retained points every time.  True extremes (``floor``/``peak``) are
+    tracked against *every* observation, not just retained ones.
+    """
+
+    name: str
+    max_points: int = 2048
+    points: list[tuple[float, float]] = field(default_factory=list)
+    observed: int = 0
+    peak: float = float("-inf")
+    floor: float = float("inf")
+    _stride: int = 1
+
+    def sample(self, at: float, value: float) -> None:
+        value = float(value)
+        if value > self.peak:
+            self.peak = value
+        if value < self.floor:
+            self.floor = value
+        if self.observed % self._stride == 0:
+            self.points.append((float(at), value))
+            if len(self.points) >= self.max_points:
+                self.points = self.points[::2]
+                self._stride *= 2
+        self.observed += 1
+
+    def summary(self) -> dict[str, float]:
+        if not self.observed:
+            return {"count": 0}
+        return {
+            "count": self.observed,
+            "retained": len(self.points),
+            "stride": self._stride,
+            "min": self.floor,
+            "max": self.peak,
+            "last": self.points[-1][1],
         }
 
 
@@ -115,6 +166,7 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
     _views: dict[str, Callable[[], float]] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
@@ -135,6 +187,14 @@ class MetricsRegistry:
             instrument = self.histograms[name] = Histogram(name)
         return instrument
 
+    def timeseries(self, name: str, max_points: int = 2048) -> TimeSeries:
+        instrument = self.series.get(name)
+        if instrument is None:
+            instrument = self.series[name] = TimeSeries(
+                name, max_points=max_points
+            )
+        return instrument
+
     def view(self, name: str, fn: Callable[[], float]) -> None:
         """Register a lazy gauge evaluated at snapshot time."""
         self._views[name] = fn
@@ -144,7 +204,7 @@ class MetricsRegistry:
         gauges = {name: gauge.value for name, gauge in self.gauges.items()}
         for name, fn in self._views.items():
             gauges[name] = fn()
-        return {
+        snapshot = {
             "counters": {
                 name: self.counters[name].value
                 for name in sorted(self.counters)
@@ -155,6 +215,12 @@ class MetricsRegistry:
                 for name in sorted(self.histograms)
             },
         }
+        if self.series:
+            snapshot["timeseries"] = {
+                name: self.series[name].summary()
+                for name in sorted(self.series)
+            }
+        return snapshot
 
 
 # ----------------------------------------------------------------------------- #

@@ -36,6 +36,7 @@ from typing import Any, Sequence
 from repro.engine.async_runner import AsyncExecutionContext
 from repro.engine.executor import InvocationCache
 from repro.model.tuples import CompositeTuple
+from repro.obs.tracer import coerce_tracer
 from repro.serve.bench import result_digest
 from repro.serve.plancache import PlanCache
 from repro.serve.sessions import SessionManager
@@ -97,6 +98,9 @@ async def _serve_async(
     *,
     max_concurrency: int,
     time_scale: float,
+    tracer=None,
+    metrics=None,
+    slo=None,
 ) -> AsyncServeReport:
     admission = asyncio.Semaphore(max_concurrency)
     # One chain per session: request_id for a run, its target for
@@ -104,23 +108,86 @@ async def _serve_async(
     # arrival order — the order the virtual scheduler delivers them.
     chains: dict[int, asyncio.Task] = {}
     outcomes: list[AsyncServeOutcome] = []
-    started = time.perf_counter()
+    tracer = coerce_tracer(tracer)
+    context = sessions.async_context
+    if context is not None:
+        # Bind the shared context to this loop *now* so its wall epoch is
+        # the serve start: engine spans (service.invoke, pool.wait) and
+        # the request spans below then share one timeline.
+        context.attach_loop()
+    started = (
+        context.wall_epoch
+        if context is not None and context.wall_epoch
+        else time.perf_counter()
+    )
+
+    def axis() -> float:
+        """Elapsed wall seconds rescaled to the virtual-time span axis."""
+        elapsed = time.perf_counter() - started
+        return elapsed / time_scale if time_scale > 0 else elapsed
 
     async def handle(
         request: Request, predecessor: asyncio.Task | None
     ) -> AsyncServeOutcome:
+        arrived = axis()
+        unparked = arrived
         if predecessor is not None:
             # The parent chain must settle first; its failure surfaces
             # below as a missing session, not as our exception.
             await asyncio.gather(predecessor, return_exceptions=True)
+            unparked = axis()
         outcome = AsyncServeOutcome(request=request)
         async with admission:
+            admitted_axis = axis()
             admitted = time.perf_counter()
             try:
                 outcome.results = await sessions.perform_async(request)
             except Exception as exc:
                 outcome.error = f"{type(exc).__name__}: {exc}"
             outcome.wall_latency = time.perf_counter() - admitted
+        done = axis()
+        status = "completed" if outcome.completed else "failed"
+        if metrics is not None:
+            metrics.counter(f"serve.{status}").inc()
+            name = "serve.latency" if outcome.completed else "serve.latency_failed"
+            metrics.histogram(name).observe(done - arrived)
+        if slo is not None and outcome.completed:
+            slo.observe(done - arrived, at=done)
+        if tracer.enabled:
+            session = (
+                request.request_id if request.kind == "run" else request.target
+            )
+            root = tracer.record_span(
+                "serve.request",
+                start=arrived,
+                end=done,
+                request=request.request_id,
+                kind=request.kind,
+                template=request.template,
+                session=session,
+                status=status,
+                backend="asyncio",
+            )
+            if predecessor is not None:
+                tracer.record_span(
+                    "serve.park",
+                    start=arrived,
+                    end=unparked,
+                    parent_id=root.span_id,
+                    reason="target",
+                )
+            tracer.record_span(
+                "serve.queue",
+                start=unparked,
+                end=admitted_axis,
+                parent_id=root.span_id,
+            )
+            tracer.record_span(
+                "serve.execute",
+                start=admitted_axis,
+                end=done,
+                parent_id=root.span_id,
+            )
         outcomes.append(outcome)
         return outcome
 
@@ -164,12 +231,26 @@ def serve_workload_async(
     max_connections: int = 8,
     templates: Sequence[QueryTemplate] | None = None,
     context: AsyncExecutionContext | None = None,
+    tracer: Any = None,
+    metrics: Any = None,
+    slo: Any = None,
+    trace_engine: bool = False,
 ) -> AsyncServeReport:
     """Serve one seeded workload on the asyncio backend.
 
     Mirrors :func:`~repro.serve.bench.serve_workload` (same workload
     generator, same sharing switch) so the two runs are comparable
     request by request via :meth:`AsyncServeReport.digests`.
+
+    ``tracer`` records per-request span trees on the wall clock rescaled
+    to the virtual axis (``/ time_scale``), on the same timeline the
+    engine's ``service.invoke``/``pool.wait`` spans use; pass
+    ``trace_engine=True`` to also hand the tracer to every session's
+    executor for those inner spans.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) and ``slo`` (an
+    :class:`~repro.obs.serving.SloTracker`) accumulate outcome counters
+    and completed-latency quantiles.  All are off by default and never
+    affect results.
     """
     templates = tuple(templates or default_templates())
     workload = generate_workload(
@@ -193,6 +274,7 @@ def serve_workload_async(
         invocation_cache=(InvocationCache(max_size=None) if shared else None),
         backend="asyncio",
         async_context=context,
+        tracer=tracer if trace_engine else None,
     )
     return asyncio.run(
         _serve_async(
@@ -200,5 +282,8 @@ def serve_workload_async(
             sessions,
             max_concurrency=max_concurrency,
             time_scale=time_scale,
+            tracer=tracer,
+            metrics=metrics,
+            slo=slo,
         )
     )

@@ -31,6 +31,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.engine.executor import InvocationCache
 from repro.model.tuples import CompositeTuple
+from repro.obs.serving import SloTracker, serving_metrics_summary
 from repro.serve.plancache import PlanCache
 from repro.serve.scheduler import ServeConfig, ServeReport, ServeScheduler
 from repro.serve.sessions import SessionManager
@@ -83,12 +84,21 @@ def serve_workload(
     default_service_rate: float | None = 4.0,
     plan_cache_size: int | None = None,
     templates: Sequence[QueryTemplate] | None = None,
+    tracer: Any = None,
+    slo: "SloTracker | None" = None,
+    sample_metrics: bool = False,
 ) -> tuple[ServeReport, dict[int, str]]:
     """Serve one seeded workload; returns the report and per-request digests.
 
     The benchmark's queue limit is effectively unbounded so both modes
     complete every request — rejection behaviour is exercised by unit
     tests, while here the modes must stay per-request comparable.
+
+    ``tracer``/``slo``/``sample_metrics`` thread the observability layer
+    through: request span trees on the virtual clock, SLO latency
+    accounting, and sampled queue-depth/occupancy time series.  All
+    default off, and none of them may perturb results — the digest
+    equality gates in :mod:`tests.test_serve_observability` enforce it.
     """
     templates = tuple(templates or default_templates())
     workload = generate_workload(
@@ -116,6 +126,10 @@ def serve_workload(
             queue_limit=queue_limit,
             default_service_rate=default_service_rate,
         ),
+        tracer=tracer,
+        emit_shard_metrics=True,
+        slo=slo,
+        sample_metrics=sample_metrics,
     )
     report = scheduler.run(workload)
     digests = {
@@ -144,6 +158,7 @@ def _mode_summary(report: ServeReport) -> dict[str, Any]:
     summary["latency_p50"] = latency.get("p50", 0.0)
     summary["latency_p95"] = latency.get("p95", 0.0)
     summary["latency_p99"] = latency.get("p99", 0.0)
+    summary["serving_metrics"] = serving_metrics_summary(report)
     return summary
 
 
@@ -347,6 +362,7 @@ def run_sharding_benchmark(
             "plan_cache": report.plan_cache_stats,
             "invocation_cache": report.invocation_cache_stats,
             "shards": report.shard_stats,
+            "serving_metrics": serving_metrics_summary(report),
         }
         runs.append(entry)
         by_label[entry["label"]] = entry

@@ -65,6 +65,7 @@ from repro.engine.events import VirtualClock
 from repro.errors import ExecutionError, SearchComputingError
 from repro.model.tuples import CompositeTuple
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.serving import SloTracker, record_request_span
 from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 from repro.serve.sessions import SessionManager
 from repro.serve.workload import Request
@@ -129,6 +130,10 @@ class SessionTable:
         self.busy_sessions: set[int] = set()
         self.session_waiters: dict[int, deque[Request]] = {}
         self.outcomes: dict[int, RequestOutcome] = {}
+        #: request_id -> (virtual time, reason) a parked/serialized
+        #: follow-up was woken; consumed into its outcome at start so
+        #: the ``serve.park`` span survives checkpoints.
+        self.wake_times: dict[int, tuple[float, str]] = {}
 
 
 class AdmissionController:
@@ -200,9 +205,13 @@ class _Job:
     started_at: float
     calls_before: int
     rate_wait: float = 0.0
+    rate_hits: int = 0
     steps: int = 0
     result: list[CompositeTuple] | None = None
     error: str | None = None
+    #: Whether the optimizer plan came from the plan cache (``None``
+    #: when the request kind never consults it, e.g. ``rerank``).
+    plan_cached: bool | None = None
 
 
 @dataclass
@@ -225,9 +234,20 @@ class RequestOutcome:
     #: True when a work-stealing shard pulled this request from another
     #: shard's admission queue.
     stolen: bool = False
+    #: Home shard the request was stolen from (set with ``stolen``).
+    stolen_from: int | None = None
     #: Result digest, populated instead of ``results`` when the
     #: scheduler was built with ``digest_fn`` (bounded-memory serving).
     digest: str | None = None
+    #: Times the token bucket delayed a step (``rate_wait`` totals the
+    #: delay; this counts the delayed steps).
+    rate_hits: int = 0
+    #: Virtual time a parked/serialized follow-up was woken (0 when the
+    #: request never parked) and why ("target" | "session").
+    unparked_at: float = 0.0
+    wake_reason: str | None = None
+    #: Plan-cache verdict for ``run`` requests (``None`` otherwise).
+    plan_cached: bool | None = None
 
     @property
     def latency(self) -> float:
@@ -252,6 +272,8 @@ class ServeReport:
     #: Peak process-global concurrency observed by the admission
     #: controller.
     admission_peak: int = 0
+    #: SLO tracker the run observed completed latencies into (optional).
+    slo: "SloTracker | None" = None
 
     def completed(self) -> list[RequestOutcome]:
         return [o for o in self.outcomes.values() if o.status == "completed"]
@@ -297,6 +319,8 @@ class ServeReport:
             "plan_cache": self.plan_cache_stats,
             "invocation_cache": self.invocation_cache_stats,
         }
+        if self.slo is not None:
+            payload["slo"] = self.slo.snapshot()
         if self.num_shards > 1 or self.shard_stats is not None:
             payload["num_shards"] = self.num_shards
             payload["admission_peak"] = self.admission_peak
@@ -374,6 +398,33 @@ def build_cache_stats(
     return plan, invocation
 
 
+def record_cache_gauges(
+    metrics: MetricsRegistry,
+    plan_stats: Mapping[str, float] | None,
+    invocation_stats: Mapping[str, float] | None,
+) -> None:
+    """Expose the run's cache hit rates as gauges (Prometheus surface)."""
+    if plan_stats is not None:
+        metrics.gauge("serve.plan_cache.hit_rate").set(
+            plan_stats.get("hit_rate", 0.0)
+        )
+        metrics.gauge("serve.plan_cache.hits").set(plan_stats.get("hits", 0))
+        metrics.gauge("serve.plan_cache.misses").set(
+            plan_stats.get("misses", 0)
+        )
+    if invocation_stats is not None:
+        hits = invocation_stats.get("hits", 0)
+        misses = invocation_stats.get("misses", 0)
+        total = hits + misses
+        metrics.gauge("serve.invocation_cache.hit_rate").set(
+            invocation_stats.get(
+                "hit_rate", hits / total if total else 0.0
+            )
+        )
+        metrics.gauge("serve.invocation_cache.hits").set(hits)
+        metrics.gauge("serve.invocation_cache.misses").set(misses)
+
+
 class ServeScheduler:
     """Discrete-event loop interleaving many liquid-query sessions.
 
@@ -399,11 +450,20 @@ class ServeScheduler:
         digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
         emit_shard_metrics: bool = False,
         checkpointer: Any = None,
+        slo: "SloTracker | None" = None,
+        sample_metrics: bool = False,
     ) -> None:
         self.sessions = sessions
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = coerce_tracer(tracer)
+        #: Optional latency-SLO tracker fed every completed request.
+        self.slo = slo
+        #: When on, queue depth and admission occupancy are sampled into
+        #: bounded :class:`~repro.obs.metrics.TimeSeries` instruments on
+        #: every arrival/finish.  Off by default — the no-op path must
+        #: stay near-free.
+        self.sample_metrics = sample_metrics
         self.clock = VirtualClock()
         self.shard_index = shard_index
         self.table = table if table is not None else SessionTable()
@@ -425,6 +485,12 @@ class ServeScheduler:
         self._queued_at: dict[int, float] = {}
         self._buckets: dict[str, _TokenBucket] = {}
         self._active = 0
+        # Concurrency-lane bookkeeping (tracing only): each executing
+        # request holds the lowest free lane, which becomes the Chrome
+        # ``tid`` so one shard's overlap renders as stacked thread rows.
+        self._lanes: dict[int, int] = {}
+        self._lane_free: list[int] = []
+        self._lane_next = 0
 
     # -- event plumbing ------------------------------------------------------
 
@@ -490,6 +556,8 @@ class ServeScheduler:
         plan_stats, invocation_stats = build_cache_stats(
             self.sessions, plan_base, invocation_base
         )
+        record_cache_gauges(self.metrics, plan_stats, invocation_stats)
+        self.metrics.gauge("serve.admission.peak").set(self.admission.peak)
         return ServeReport(
             outcomes=dict(sorted(self.table.outcomes.items())),
             makespan=self.clock.now,
@@ -498,6 +566,7 @@ class ServeScheduler:
             plan_cache_stats=plan_stats,
             invocation_cache_stats=invocation_stats,
             admission_peak=self.admission.peak,
+            slo=self.slo,
         )
 
     def dispatch(self, action: str, payload: Any, at: float) -> None:
@@ -548,11 +617,29 @@ class ServeScheduler:
             if request.target is not None:
                 self._release_session(request.target, now)
             self._reject(request, now)
+        if self.sample_metrics:
+            self._sample_load(now)
+
+    def _sample_load(self, now: float) -> None:
+        """Sample queue depth / admission occupancy (``sample_metrics``)."""
+        self.metrics.timeseries(
+            f"serve.shard.{self.shard_index}.queue_depth"
+        ).sample(now, len(self._queue))
+        self.metrics.timeseries("serve.admission.active").sample(
+            now, self.admission.active
+        )
 
     def _start(self, request: Request, now: float) -> None:
         """Begin executing an admitted request (global slot already held)."""
         self._active += 1
         self._inc_shard("started")
+        if self.tracer.enabled:
+            if self._lane_free:
+                lane = heapq.heappop(self._lane_free)
+            else:
+                lane = self._lane_next
+                self._lane_next += 1
+            self._lanes[request.request_id] = lane
         queue_wait = now - self._queued_at.pop(request.request_id, now)
         if request.kind == "rerank":
             # CPU-only: re-scores the cached result list, zero service
@@ -571,6 +658,9 @@ class ServeScheduler:
             self._queue_wait_of(request, queue_wait, now)
             self._schedule(now, "finish", job)
             return
+        plan_cache = self.sessions.plan_cache
+        track_plan = plan_cache is not None and request.kind == "run"
+        plan_hits_before = plan_cache.stats.hits if track_plan else 0
         try:
             stepper = self.sessions.stepper(request)
             pool = self.sessions.pool_for(request)
@@ -592,19 +682,26 @@ class ServeScheduler:
             admitted_at=now,
             started_at=now,
             calls_before=pool.log.total_calls(),
+            plan_cached=(
+                plan_cache.stats.hits > plan_hits_before if track_plan else None
+            ),
         )
         self._queue_wait_of(request, queue_wait, now)
         self._schedule(now, "resume", job)
 
     def _queue_wait_of(self, request: Request, wait: float, now: float) -> None:
         self.metrics.histogram("serve.queue_wait").observe(wait)
-        self.table.outcomes[request.request_id] = RequestOutcome(
+        outcome = RequestOutcome(
             request=request,
             status="running",
             queue_wait=wait,
             started_at=now,
             shard=self.shard_index,
         )
+        wake = self.table.wake_times.pop(request.request_id, None)
+        if wake is not None:
+            outcome.unparked_at, outcome.wake_reason = wake
+        self.table.outcomes[request.request_id] = outcome
 
     def _on_resume(self, job: _Job, now: float) -> None:
         pool = self.sessions.pool_for(job.request)
@@ -627,6 +724,7 @@ class ServeScheduler:
             granted = bucket.grant(ready)
             if granted > ready:
                 job.rate_wait += granted - ready
+                job.rate_hits += 1
                 self.metrics.counter("serve.rate_limited").inc()
             ready = granted
         self._schedule(ready, "resume", job)
@@ -638,8 +736,10 @@ class ServeScheduler:
         outcome = self.table.outcomes[request.request_id]
         outcome.finished_at = now
         outcome.rate_wait = job.rate_wait
+        outcome.rate_hits = job.rate_hits
         outcome.steps = job.steps
         outcome.shard = self.shard_index
+        outcome.plan_cached = job.plan_cached
         if job.error is not None:
             outcome.status = "failed"
             outcome.error = job.error
@@ -667,19 +767,16 @@ class ServeScheduler:
             pool = self.sessions.pool_for(request)
             outcome.round_trips = pool.log.total_calls() - job.calls_before
         self.metrics.counter(f"serve.kind.{request.kind}").inc()
+        if self.slo is not None and outcome.status == "completed":
+            self.slo.observe(outcome.latency, at=now)
         if self.tracer.enabled:
-            self.tracer.record_span(
-                "serve.request",
-                start=request.arrival,
-                end=now,
-                request=request.request_id,
-                kind=request.kind,
-                template=request.template,
-                status=outcome.status,
-                round_trips=outcome.round_trips,
-            )
+            lane = self._lanes.pop(request.request_id, None)
+            if lane is not None:
+                heapq.heappush(self._lane_free, lane)
+            record_request_span(self.tracer, outcome, lane=lane)
         # Wake follow-ups parked on this request — on their home shard.
         for parked in self.table.parked.pop(request.request_id, ()):
+            self.table.wake_times[parked.request_id] = (now, "target")
             self._route_arrival(parked, now)
         # A finished interaction frees its session for the next waiter.
         if request.target is not None:
@@ -691,6 +788,8 @@ class ServeScheduler:
             and self.admission.try_acquire()
         ):
             self._start(self._queue.popleft(), now)
+        if self.sample_metrics:
+            self._sample_load(now)
         if self.checkpointer is not None:
             self.checkpointer.on_terminal(self, outcome)
 
@@ -698,7 +797,9 @@ class ServeScheduler:
         self.table.busy_sessions.discard(root_id)
         waiters = self.table.session_waiters.get(root_id)
         if waiters:
-            self._route_arrival(waiters.popleft(), now)
+            waiter = waiters.popleft()
+            self.table.wake_times[waiter.request_id] = (now, "session")
+            self._route_arrival(waiter, now)
 
     def _reject(self, request: Request, now: float) -> None:
         # A parked follow-up rejected when its target fails (or at drain)
@@ -706,19 +807,25 @@ class ServeScheduler:
         # not free time, and dropping it would understate queueing under
         # admission pressure.
         queued_at = self._queued_at.pop(request.request_id, request.arrival)
-        self.table.outcomes[request.request_id] = RequestOutcome(
+        outcome = RequestOutcome(
             request=request,
             status="rejected",
             finished_at=now,
             queue_wait=max(0.0, now - queued_at),
             shard=self.shard_index,
         )
+        wake = self.table.wake_times.pop(request.request_id, None)
+        if wake is not None:
+            outcome.unparked_at, outcome.wake_reason = wake
+        self.table.outcomes[request.request_id] = outcome
         self.metrics.counter("serve.rejected").inc()
         self._inc_shard("rejected")
         # Every terminal outcome counts toward its kind — completed,
         # failed, *and* rejected — so per-kind totals reconcile with
         # ``by_status()`` under admission pressure.
         self.metrics.counter(f"serve.kind.{request.kind}").inc()
+        if self.tracer.enabled:
+            record_request_span(self.tracer, outcome)
         # A rejected run can never serve its follow-ups.
         for parked in self.table.parked.pop(request.request_id, ()):
             self._reject(parked, now)

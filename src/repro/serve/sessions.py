@@ -83,6 +83,10 @@ class SessionManager:
         *server-wide* bound and coalesces concurrent identical
         invocations across queries.  Defaults to a private context when
         the backend is asyncio.
+    tracer:
+        Optional engine-level tracer handed to every session's executor
+        (node spans, ``service.invoke``, ``pool.wait``).  ``None`` keeps
+        the no-op path — executors fall back to :data:`~repro.obs.tracer.NULL_TRACER`.
     """
 
     templates: Mapping[str, QueryTemplate]
@@ -98,6 +102,7 @@ class SessionManager:
     fault_model: FaultModel = field(default_factory=FaultModel)
     backend: str = "virtual"
     async_context: AsyncExecutionContext | None = None
+    tracer: Any = None
     _registries: dict[str, ServiceRegistry] = field(default_factory=dict)
     _compiled: dict[str, CompiledQuery] = field(default_factory=dict)
     _sessions: dict[int, LiquidQuerySession] = field(default_factory=dict)
@@ -156,6 +161,8 @@ class SessionManager:
             cache = self.invocation_cache
         if cache is not None:
             options["invocation_cache"] = cache
+        if self.tracer is not None:
+            options["tracer"] = self.tracer
         return options
 
     # -- request entry points ------------------------------------------------

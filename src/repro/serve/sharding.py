@@ -61,7 +61,8 @@ from repro.engine.executor import InvocationCache, InvocationCacheStats
 from repro.errors import ExecutionError
 from repro.model.tuples import CompositeTuple
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import NullTracer, Tracer
+from repro.obs.serving import SloTracker
+from repro.obs.tracer import NullTracer, Tracer, coerce_tracer
 from repro.serve.plancache import PlanCache
 from repro.serve.scheduler import (
     AdmissionController,
@@ -70,6 +71,7 @@ from repro.serve.scheduler import (
     ServeScheduler,
     SessionTable,
     build_cache_stats,
+    record_cache_gauges,
     snapshot_cache_stats,
 )
 from repro.serve.sessions import SessionManager
@@ -219,10 +221,14 @@ class ShardedServeScheduler:
         digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
         table: SessionTable | None = None,
         checkpointer: Any = None,
+        slo: "SloTracker | None" = None,
+        sample_metrics: bool = False,
     ) -> None:
         self.sessions = sessions
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = coerce_tracer(tracer)
+        self.slo = slo
         self.ring = ring if ring is not None else HashRing(num_shards)
         self.steal = steal
         # A durability resume passes a pre-seeded table (pre-crash
@@ -245,6 +251,8 @@ class ShardedServeScheduler:
                 digest_fn=digest_fn,
                 emit_shard_metrics=True,
                 checkpointer=checkpointer,
+                slo=slo,
+                sample_metrics=sample_metrics,
             )
             for index in range(num_shards)
         ]
@@ -307,6 +315,8 @@ class ShardedServeScheduler:
         plan_stats, invocation_stats = build_cache_stats(
             self.sessions, plan_base, invocation_base
         )
+        record_cache_gauges(self.metrics, plan_stats, invocation_stats)
+        self.metrics.gauge("serve.admission.peak").set(self.admission.peak)
         return ServeReport(
             outcomes=dict(sorted(self.table.outcomes.items())),
             makespan=makespan,
@@ -317,6 +327,7 @@ class ShardedServeScheduler:
             shard_stats=self._shard_stats(),
             num_shards=self.num_shards,
             admission_peak=self.admission.peak,
+            slo=self.slo,
         )
 
     # -- admission granting --------------------------------------------------
@@ -395,7 +406,21 @@ class ShardedServeScheduler:
         # _start expects the caller to hold the global admission slot
         # (acquired above) and claims the thief-local slot itself.
         thief._start(request, now)
-        self.table.outcomes[request.request_id].stolen = True
+        outcome = self.table.outcomes[request.request_id]
+        outcome.stolen = True
+        outcome.stolen_from = victim.shard_index
+        if self.tracer.enabled:
+            # Instantaneous event marker: the steal itself takes no
+            # virtual time; the stolen request's own span tree carries
+            # the ``stolen`` attribute.
+            self.tracer.record_span(
+                "serve.steal",
+                start=now,
+                end=now,
+                request=request.request_id,
+                shard=thief.shard_index,
+                victim=victim.shard_index,
+            )
         self.metrics.counter("serve.steals").inc()
         self.metrics.counter(f"serve.shard.{thief.shard_index}.steals").inc()
         self.metrics.counter(
@@ -519,6 +544,9 @@ def serve_workload_sharded(
     templates: Sequence[QueryTemplate] | None = None,
     workload: Sequence[Request] | None = None,
     digest_fn: "Callable[[Sequence[CompositeTuple]], str] | None" = None,
+    tracer: "Tracer | NullTracer | None" = None,
+    slo: "SloTracker | None" = None,
+    sample_metrics: bool = False,
 ) -> tuple[ServeReport, dict[int, str]]:
     """Serve one seeded workload on ``num_shards`` shards.
 
@@ -563,11 +591,14 @@ def serve_workload_sharded(
             queue_limit=queue_limit,
             default_service_rate=default_service_rate,
         ),
+        tracer=tracer,
         num_shards=num_shards,
         ring=ring,
         steal=steal,
         global_concurrency=global_concurrency,
         digest_fn=digest_fn,
+        slo=slo,
+        sample_metrics=sample_metrics,
     )
     report = scheduler.run(workload)
     digests: dict[int, str] = {}
