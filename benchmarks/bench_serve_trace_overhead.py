@@ -18,9 +18,9 @@ wall time of the same 4-shard serve.
 
 Run standalone (``python benchmarks/bench_serve_trace_overhead.py``) to
 (re)generate ``BENCH_serve_observability.json`` plus the trace/metrics
-artifacts CI uploads (``serve-trace.json`` Chrome trace with one
-swimlane per shard, ``serve-metrics.prom`` Prometheus snapshot); the
-exit code reflects the gates.
+artifacts CI uploads under ``artifacts/`` (``serve-trace.json`` Chrome
+trace with one swimlane per shard, ``serve-metrics.prom`` Prometheus
+snapshot); the exit code reflects the gates.
 """
 
 import time
@@ -173,6 +173,8 @@ if __name__ == "__main__":  # pragma: no cover - standalone report shim
     from repro.obs.export import write_prometheus, write_trace
 
     root = pathlib.Path(__file__).resolve().parent.parent
+    artifacts = root / "artifacts"
+    artifacts.mkdir(exist_ok=True)
     metrics = collect_serve_trace_overhead()
     payload = {
         "benchmark": "serving observability: no-op overhead + trace artifacts "
@@ -184,14 +186,15 @@ if __name__ == "__main__":  # pragma: no cover - standalone report shim
     print(f"wrote {out}")
 
     tracer = metrics["_tracer"]
-    write_trace(tracer.spans, root / "serve-trace.json", fmt="chrome", label="serve")
-    print(f"wrote {root / 'serve-trace.json'} ({len(tracer.spans)} spans, chrome)")
-    write_trace(tracer.spans, root / "serve-trace.jsonl", fmt="jsonl")
-    print(f"wrote {root / 'serve-trace.jsonl'}")
-    write_prometheus(
-        metrics["_report"].metrics, root / "serve-metrics.prom", slo=metrics["_slo"]
-    )
-    print(f"wrote {root / 'serve-metrics.prom'}")
+    trace_json = artifacts / "serve-trace.json"
+    write_trace(tracer.spans, trace_json, fmt="chrome", label="serve")
+    print(f"wrote {trace_json} ({len(tracer.spans)} spans, chrome)")
+    trace_jsonl = artifacts / "serve-trace.jsonl"
+    write_trace(tracer.spans, trace_jsonl, fmt="jsonl")
+    print(f"wrote {trace_jsonl}")
+    prom = artifacts / "serve-metrics.prom"
+    write_prometheus(metrics["_report"].metrics, prom, slo=metrics["_slo"])
+    print(f"wrote {prom}")
 
     ok = (
         metrics["noop_overhead_share"] < MAX_NOOP_SHARE

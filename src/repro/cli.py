@@ -65,6 +65,7 @@ from repro.engine.async_runner import run_plan_async
 from repro.engine.executor import execute_plan
 from repro.engine.retry import RetryPolicy
 from repro.errors import RetryExhaustedError, SearchComputingError
+from repro.joins.wcoj import KNOWN_JOIN_KERNELS
 from repro.obs.explain import build_explain
 from repro.obs.export import TRACE_FORMATS, write_prometheus, write_trace
 from repro.obs.metrics import snapshot_run
@@ -148,6 +149,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--budget",
         type=int,
         help="anytime expansion budget (default: run to exhaustion)",
+    )
+    parser.add_argument(
+        "--join-kernel",
+        choices=KNOWN_JOIN_KERNELS,
+        default="binary",
+        help="multiway equi-join kernel: binary (pairwise hash cascade, "
+        "default), wcoj (worst-case-optimal leapfrog triejoin), or auto "
+        "(wcoj for cyclic/multi-predicate join shapes, binary otherwise)",
     )
 
 
@@ -402,6 +411,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on the shared plan cache (default: unbounded)",
     )
     serve_cmd.add_argument(
+        "--join-kernel",
+        choices=KNOWN_JOIN_KERNELS,
+        default="binary",
+        help="multiway equi-join kernel every served plan is compiled "
+        "for: binary (default), wcoj, or auto; participates in the plan "
+        "cache key, so flipping it mid-fleet never replays a plan "
+        "compiled for the other kernel",
+    )
+    serve_cmd.add_argument(
         "--gates",
         choices=("hard", "all"),
         default="hard",
@@ -416,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full benchmark report as JSON to PATH",
     )
     observability = serve_cmd.add_argument_group("observability")
+    observability.add_argument(
+        "--artifacts-dir",
+        default="artifacts",
+        metavar="DIR",
+        help="directory relative observability artifact paths (--trace, "
+        "--metrics-output, --prom, --output) are placed under; created "
+        "on demand (default: artifacts)",
+    )
     observability.add_argument(
         "--trace",
         metavar="PATH",
@@ -572,7 +598,9 @@ def _optimize(args, tracer=NULL_TRACER):
         registry, compiled, inputs, query_text = _load(args)
         span.set("aliases", len(compiled.aliases))
     config = OptimizerConfig(
-        metric=DEFAULT_METRICS[args.metric], budget=args.budget
+        metric=DEFAULT_METRICS[args.metric],
+        budget=args.budget,
+        join_kernel=getattr(args, "join_kernel", "binary"),
     )
     outcome = Optimizer(compiled, config, tracer=tracer).optimize()
     if outcome.best is None:
@@ -588,6 +616,7 @@ def _cmd_plan(args) -> int:
         f"metric:  {args.metric}  cost: {best.cost:.2f}  "
         f"estimated results: {best.estimated_results:.1f}"
     )
+    print(f"kernel:  {best.join_kernel} (requested: {args.join_kernel})")
     print(
         f"search:  {outcome.stats.expanded} expanded, "
         f"{outcome.stats.pruned} pruned, {outcome.stats.leaves} plans priced"
@@ -646,6 +675,7 @@ def _execute(args, registry, compiled, inputs, best, tracer=NULL_TRACER):
                 tracer=tracer,
                 time_scale=args.time_scale,
                 max_connections=args.max_connections,
+                join_kernel=getattr(best, "join_kernel", "binary"),
             )
         else:
             result = execute_plan(
@@ -658,6 +688,7 @@ def _execute(args, registry, compiled, inputs, best, tracer=NULL_TRACER):
                 degradation=args.degradation,
                 invocation_cache_size=args.invocation_cache_size or None,
                 tracer=tracer,
+                join_kernel=getattr(best, "join_kernel", "binary"),
             )
     except RetryExhaustedError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -700,10 +731,16 @@ def _cmd_run(args) -> int:
     code, result = _execute(args, registry, compiled, inputs, best, tracer)
     if code:
         return code
+    kernel_note = (
+        f", join kernel {result.join_kernel}"
+        if getattr(result, "join_kernel", "binary") != "binary"
+        else ""
+    )
     print(
         f"{result.total_calls} service calls, "
         f"{result.execution_time:.2f} virtual seconds, "
         f"{len(result.tuples)} combinations"
+        + kernel_note
     )
     if result.backend == "asyncio":
         serial = result.log.total_latency() * args.time_scale
@@ -775,6 +812,28 @@ def _obs_requested(args) -> bool:
     )
 
 
+def _resolve_artifact_paths(args) -> None:
+    """Place relative artifact paths under ``--artifacts-dir``.
+
+    Applies to serve-bench's ``--trace``/``--metrics-output``/``--prom``/
+    ``--output``: a bare filename like ``serve-trace.jsonl`` lands in the
+    artifacts directory instead of littering the repository root.
+    Absolute paths and ``-`` (stdout) pass through untouched; the
+    directory is created on first use.
+    """
+    import os
+
+    directory = getattr(args, "artifacts_dir", None)
+    if not directory:
+        return
+    for attr in ("trace", "metrics_output", "prom", "output"):
+        path = getattr(args, attr, None)
+        if not path or path == "-" or os.path.isabs(path):
+            continue
+        os.makedirs(directory, exist_ok=True)
+        setattr(args, attr, os.path.join(directory, path))
+
+
 def _build_slo(args) -> "SloTracker":
     if args.slo_thresholds is None:
         return SloTracker()
@@ -840,6 +899,7 @@ def _cmd_serve_bench(args) -> int:
         raise SystemExit(f"--rates needs comma-separated numbers, got {args.rates!r}")
     if not rates:
         raise SystemExit("--rates needs at least one rate")
+    _resolve_artifact_paths(args)
     observed = _obs_requested(args)
     if observed and len(rates) != 1:
         raise SystemExit(
@@ -876,11 +936,12 @@ def _cmd_serve_bench(args) -> int:
         default_service_rate=args.service_rate or None,
         plan_cache_size=args.plan_cache_size,
         templates=scenario_templates(args.scenario, args.param_scale),
+        join_kernel=args.join_kernel,
     )
     print(
         f"serving benchmark: {args.requests} requests per level, "
         f"seed {args.seed}, concurrency {args.concurrency}, "
-        f"scenario {args.scenario}"
+        f"scenario {args.scenario}, join kernel {args.join_kernel}"
     )
     for level in report["levels"]:
         isolated, shared = level["isolated"], level["shared"]
@@ -941,6 +1002,7 @@ def _serve_bench_sharded(args, rates) -> int:
         default_service_rate=args.service_rate or None,
         session_space=args.session_space,
         templates=scenario_templates(args.scenario, args.param_scale),
+        join_kernel=args.join_kernel,
     )
     for rate in rates:
         _, reference = serve_workload_sharded(
@@ -1062,6 +1124,7 @@ def _serve_bench_observed(args, rate) -> int:
                 tracer=tracer,
                 slo=slo,
                 sample_metrics=sample_metrics,
+                join_kernel=args.join_kernel,
             )
         return serve_workload(
             rate=rate,
@@ -1077,6 +1140,7 @@ def _serve_bench_observed(args, rate) -> int:
             tracer=tracer,
             slo=slo,
             sample_metrics=sample_metrics,
+            join_kernel=args.join_kernel,
         )
 
     print(
@@ -1158,6 +1222,7 @@ def _serve_bench_asyncio(args, rates) -> int:
             followup_fraction=args.followups,
             max_concurrency=args.concurrency,
             templates=templates,
+            join_kernel=args.join_kernel,
         )
         _, virtual_digests = serve_workload(**kwargs)
         report = serve_workload_async(
@@ -1255,6 +1320,7 @@ def _serve_bench_durable(args, rates) -> int:
         tracer=tracer,
         slo=slo,
         sample_metrics=observed,
+        join_kernel=args.join_kernel,
     )
     digest = combined_digest(digests)
     print(

@@ -47,6 +47,7 @@ from repro.durability.checkpoint import (
     checkpoint_session,
     restore_session,
 )
+from repro.core.optimizer import OptimizerConfig
 from repro.engine.executor import InvocationCache
 from repro.errors import CheckpointError
 from repro.serve.plancache import PlanCache
@@ -329,6 +330,7 @@ def serve_workload_durable(
     tracer: Any = None,
     slo: Any = None,
     sample_metrics: bool = False,
+    join_kernel: str = "binary",
 ) -> tuple[ServeReport, dict[int, str], dict[str, Any]]:
     """Serve a seeded workload with periodic durable checkpoints.
 
@@ -380,6 +382,7 @@ def serve_workload_durable(
     manager = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
+        optimizer_config=OptimizerConfig(join_kernel=join_kernel),
     )
     if shared:
         manager.plan_cache = PlanCache(max_size=plan_cache_size)

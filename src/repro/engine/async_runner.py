@@ -206,6 +206,7 @@ class AsyncPlanExecutor:
         tracer=None,
         invocation_cache: InvocationCache | None = None,
         context: AsyncExecutionContext | None = None,
+        join_kernel: str = "binary",
     ) -> None:
         self.context = context or AsyncExecutionContext()
         if invocation_cache is None:
@@ -223,6 +224,7 @@ class AsyncPlanExecutor:
             invocation_cache_size=invocation_cache_size,
             tracer=tracer,
             invocation_cache=invocation_cache,
+            join_kernel=join_kernel,
         )
         self._backoff_rng = random.Random(pool.global_seed ^ 0xA51C)
         #: Total re-attempts issued across all calls (wall-time retries).
@@ -312,6 +314,7 @@ class AsyncPlanExecutor:
             failed_aliases=tuple(sorted(sync.failed_aliases)),
             backend="asyncio",
             wall_time=wall,
+            join_kernel=sync.join_kernel,
         )
 
     # -- node tasks ----------------------------------------------------------
@@ -679,6 +682,7 @@ def run_plan_async(
     time_scale: float = 0.001,
     max_connections: int = 8,
     connection_limits: Mapping[str, int] | None = None,
+    join_kernel: str = "binary",
 ) -> ExecutionResult:
     """Convenience wrapper: run one plan on the asyncio backend.
 
@@ -706,5 +710,6 @@ def run_plan_async(
         tracer=tracer,
         invocation_cache=invocation_cache,
         context=context,
+        join_kernel=join_kernel,
     )
     return executor.run()

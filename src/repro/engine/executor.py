@@ -46,12 +46,15 @@ from __future__ import annotations
 
 import random
 import sys
+from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.annotate import pipe_join_selectivity
+from repro.core.optimizer import resolve_plan_join_kernel
 from repro.engine.events import CallLog
+from repro.joins.wcoj import KNOWN_JOIN_KERNELS
 from repro.engine.retry import NO_RETRY, Degradation, Retrier, RetryPolicy
 from repro.errors import ExecutionError, RetryExhaustedError
 from repro.joins.spec import CompletionStrategy
@@ -282,6 +285,10 @@ class ExecutionResult:
     #: Which backend produced this result: ``"virtual"`` (discrete-event
     #: simulation) or ``"asyncio"`` (real concurrent execution).
     backend: str = "virtual"
+    #: Concrete join kernel the parallel-join nodes ran under
+    #: (``"binary"`` or ``"wcoj"``; ``auto`` requests resolve per plan
+    #: before execution).
+    join_kernel: str = "binary"
     #: Wall-clock seconds the run took (asyncio backend only; the
     #: virtual-clock backend reports 0.0 — its cost axis is virtual time).
     wall_time: float = 0.0
@@ -370,6 +377,7 @@ class PlanExecutor:
         invocation_cache_size: int | None = 1024,
         tracer: "Tracer | NullTracer | None" = None,
         invocation_cache: InvocationCache | None = None,
+        join_kernel: str = "binary",
     ) -> None:
         self.plan = plan
         self.query = query
@@ -399,6 +407,14 @@ class PlanExecutor:
         self.cache_stats = InvocationCacheStats()
         self._pairs_probed = 0
         self._estimator = Estimator(query)
+        if join_kernel not in KNOWN_JOIN_KERNELS:
+            raise ExecutionError(
+                f"unknown join kernel {join_kernel!r}; "
+                f"expected one of {KNOWN_JOIN_KERNELS}"
+            )
+        # Resolve an "auto" request against this plan's merge shapes once;
+        # the executor then dispatches on a concrete kernel name.
+        self.join_kernel = resolve_plan_join_kernel(plan, join_kernel)
 
     # -- public entry points -----------------------------------------------------
 
@@ -491,6 +507,7 @@ class PlanExecutor:
             pairs_probed=self._pairs_probed,
             cache_stats=self.cache_stats,
             failed_aliases=tuple(sorted(self.failed_aliases)),
+            join_kernel=self.join_kernel,
         )
 
     # -- node runners ---------------------------------------------------------------
@@ -757,6 +774,12 @@ class PlanExecutor:
         n_right = max(1, len(right))
         keys = self._equi_join_keys(node, left, right)
         if keys is not None:
+            if self.join_kernel == "wcoj":
+                frogged = self._leapfrog_parallel_join(
+                    node, left, right, triangular, n_left, n_right, *keys
+                )
+                if frogged is not None:
+                    return frogged
             hashed = self._hash_parallel_join(
                 node, left, right, triangular, n_left, n_right, *keys
             )
@@ -961,6 +984,121 @@ class PlanExecutor:
             span.__exit__(None, None, None)
         return out, pair_count
 
+    @staticmethod
+    def _leapfrog_intersect(
+        left_ids: list[int], right_ids: list[int]
+    ) -> tuple[set[int], int]:
+        """Leapfrog intersection of two sorted distinct id lists.
+
+        The classic alternating gallop: whichever side is behind seeks
+        (binary search) to the other's key.  Returns the common ids and
+        the number of seeks performed.
+        """
+        common: set[int] = set()
+        seeks = 0
+        ia = ib = 0
+        while ia < len(left_ids) and ib < len(right_ids):
+            ka, kb = left_ids[ia], right_ids[ib]
+            if ka == kb:
+                common.add(ka)
+                ia += 1
+                ib += 1
+            elif ka < kb:
+                seeks += 1
+                ia = bisect_left(left_ids, kb, ia + 1)
+            else:
+                seeks += 1
+                ib = bisect_left(right_ids, ka, ib + 1)
+        return common, seeks
+
+    def _leapfrog_parallel_join(
+        self,
+        node: ParallelJoinNode,
+        left: list[CompositeTuple],
+        right: list[CompositeTuple],
+        triangular: bool,
+        n_left: int,
+        n_right: int,
+        left_key: Callable[[CompositeTuple], tuple],
+        right_key: Callable[[CompositeTuple], tuple],
+    ) -> tuple[list[CompositeTuple], int] | None:
+        """Leapfrog (wcoj) assembly; ``None`` when a key is unhashable.
+
+        The multi-predicate key vector is dictionary-encoded (each
+        distinct vector gets a dense id, a standard LFTJ ingredient —
+        encoding keeps key *equality* authoritative while giving the
+        trie a totally ordered domain), both sides' distinct ids are
+        intersected with leapfrog seeks, and only rows whose id survives
+        the intersection enter pair assembly.  Emission then walks
+        survivors in the probe order of the hash kernel — (i, j) with
+        the same triangular cutoff and the same stable sort — so output
+        and ``pair_count`` are byte-identical across kernels; what
+        changes is the work profile (seek-bounded intersection instead
+        of per-row probing) reported on the ``join.probe`` span.
+        """
+        try:
+            ids: dict[tuple, int] = {}
+            buckets: dict[int, list[tuple[int, CompositeTuple]]] = {}
+            for j, rc in enumerate(right):
+                kid = ids.setdefault(right_key(rc), len(ids))
+                buckets.setdefault(kid, []).append((j, rc))
+            left_rows: list[tuple[int, int | None]] = []
+            left_id_set: set[int] = set()
+            for i, lc in enumerate(left):
+                kid = ids.get(left_key(lc))
+                left_rows.append((i, kid))
+                if kid is not None:
+                    left_id_set.add(kid)
+        except (TypeError, KeyError):
+            return None
+        common, seeks = self._leapfrog_intersect(
+            sorted(left_id_set), sorted(buckets)
+        )
+        probes_before = self._pairs_probed
+        span = (
+            self.tracer.span(
+                "join.probe",
+                kernel="leapfrog",
+                left=len(left),
+                right=len(right),
+            )
+            if self.tracer.enabled
+            else None
+        )
+        out: list[CompositeTuple] = []
+        pair_count = 0
+        for i, kid in left_rows:
+            cutoff = (
+                self._triangular_cutoff(i, n_left, n_right, len(right))
+                if triangular
+                else len(right)
+            )
+            pair_count += cutoff
+            if kid not in common:
+                continue
+            lc = left[i]
+            for j, rc in buckets[kid]:
+                if j >= cutoff:
+                    break
+                self._pairs_probed += 1
+                components = dict(lc.components)
+                components.update(rc.components)
+                if node.predicates and not self._satisfies_evaluable(
+                    components, (), node.predicates
+                ):
+                    continue
+                score = self.query.ranking.score_composite(components)
+                out.append(CompositeTuple(components, score))
+        out.sort(key=lambda c: -c.score)
+        if span is not None:
+            span.set("pairs_probed", self._pairs_probed - probes_before)
+            span.set("distinct_keys", len(ids))
+            span.set("intersection", len(common))
+            span.set("seeks", seeks)
+            span.set("produced", len(out))
+            span.__exit__(None, None, None)
+        return out, pair_count
+
     def _satisfies_evaluable(
         self,
         composite: CompositeTuple | Mapping[str, Any],
@@ -1040,6 +1178,7 @@ def execute_plan(
     invocation_cache_size: int | None = 1024,
     tracer: "Tracer | NullTracer | None" = None,
     invocation_cache: InvocationCache | None = None,
+    join_kernel: str = "binary",
 ) -> ExecutionResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
@@ -1054,4 +1193,5 @@ def execute_plan(
         invocation_cache_size=invocation_cache_size,
         tracer=tracer,
         invocation_cache=invocation_cache,
+        join_kernel=join_kernel,
     ).run()

@@ -250,6 +250,19 @@ class LiquidQuerySession:
 
     # -- execution ------------------------------------------------------------
 
+    def _options_with_kernel(self) -> dict[str, Any]:
+        """Executor options, defaulting the join kernel from the plan.
+
+        The optimizer resolved ``join_kernel`` per candidate (an
+        ``auto`` request became concrete at plan time); an explicit
+        option still wins so tests and ad-hoc callers can override.
+        """
+        options = dict(self.executor_options)
+        options.setdefault(
+            "join_kernel", getattr(self.candidate, "join_kernel", "binary")
+        )
+        return options
+
     def _make_executor(self) -> PlanExecutor:
         executor = PlanExecutor(
             plan=self.candidate.plan,
@@ -258,7 +271,7 @@ class LiquidQuerySession:
             inputs=self.inputs,
             fetches=self._fetches,
             k=None,
-            **self.executor_options,
+            **self._options_with_kernel(),
         )
         # Materialise the *raw* (untruncated) list so re-ranking and
         # "more" can reuse it; presentation applies k.
@@ -274,7 +287,7 @@ class LiquidQuerySession:
             fetches=self._fetches,
             k=None,
             context=self.async_context,
-            **self.executor_options,
+            **self._options_with_kernel(),
         )
         executor.k = 10**9
         return executor

@@ -3,7 +3,10 @@
 Building blocks: the tile search-space model, invocation schedules
 (nested-loop, merge-scan), completion policies (rectangular, triangular),
 runnable pipe/parallel join executors, extraction-optimality analysers,
-and the guaranteed top-k rank join extension.
+and the guaranteed top-k rank join extension — plus the multiway kernel
+subsystem: worst-case-optimal leapfrog triejoin (:mod:`repro.joins.wcoj`),
+lazy ranked enumeration (:mod:`repro.joins.ranked`), and the
+kernel-agnostic :func:`~repro.joins.topk.topk_join` facade.
 """
 
 from repro.joins.completion import (
@@ -29,6 +32,11 @@ from repro.joins.methods import (
     make_executor,
     product_score,
 )
+from repro.joins.ranked import (
+    RankedEnumerationStatistics,
+    RankedEnumerator,
+    RankedResult,
+)
 from repro.joins.searchspace import SearchSpace, Tile
 from repro.joins.spec import (
     ALL_METHODS,
@@ -45,7 +53,31 @@ from repro.joins.strategies import (
     NestedLoopSchedule,
     VariableRatioSchedule,
 )
-from repro.joins.topk import RankJoinExecutor
+from repro.joins.topk import (
+    RankJoinExecutor,
+    TopKJoinOutcome,
+    canonical_pair_key,
+    tile_trace,
+    topk_join,
+)
+from repro.joins.wcoj import (
+    KNOWN_JOIN_KERNELS,
+    BinaryCascadeExecutor,
+    EquiPredicate,
+    JoinGraph,
+    JoinedRow,
+    MultiwayJoinExecutor,
+    MultiwayJoinResult,
+    MultiwayJoinStatistics,
+    Relation,
+    TrieIterator,
+    canonical_row_key,
+    canonical_tuple_key,
+    finalize_rows,
+    orderable_key,
+    score_components,
+    triangle_graph,
+)
 
 __all__ = [
     "CompletionPolicy",
@@ -79,4 +111,27 @@ __all__ = [
     "VariableRatioSchedule",
     "cost_aware_schedule",
     "RankJoinExecutor",
+    "TopKJoinOutcome",
+    "canonical_pair_key",
+    "tile_trace",
+    "topk_join",
+    "RankedEnumerationStatistics",
+    "RankedEnumerator",
+    "RankedResult",
+    "KNOWN_JOIN_KERNELS",
+    "BinaryCascadeExecutor",
+    "EquiPredicate",
+    "JoinGraph",
+    "JoinedRow",
+    "MultiwayJoinExecutor",
+    "MultiwayJoinResult",
+    "MultiwayJoinStatistics",
+    "Relation",
+    "TrieIterator",
+    "canonical_row_key",
+    "canonical_tuple_key",
+    "finalize_rows",
+    "orderable_key",
+    "score_components",
+    "triangle_graph",
 ]

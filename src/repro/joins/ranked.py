@@ -1,0 +1,330 @@
+"""Lazy ranked enumeration of multiway joins (top-k without tiles).
+
+The guaranteed rank join of :mod:`repro.joins.topk` buffers *every*
+candidate pair it discovers before the threshold proves the top-k; the
+binary cascade materializes whole intermediate relations.  This module
+adds the third style (Tziavelis et al., "Optimal Join Algorithms Meet
+Top-k"): a **priority queue over partial join prefixes** with monotone
+admissible score bounds.  A prefix that has chosen tuples for the first
+``j`` relations is bounded by
+
+``sum(w_i * score(c_i) for chosen) + sum(w_i * top_i for the rest)``
+
+where ``top_i`` is relation ``i``'s best score — never less than the
+score of any completion, and non-increasing along every expansion (the
+next candidate at a level scores no better; extending replaces a
+relation's ``top`` with an actual candidate's score).  Popping prefixes
+in bound order therefore discovers complete rows in score order, and
+the enumerator stops as soon as the best open bound is strictly below
+the current k-th best complete score: the global top-k emerges having
+*completed* only slightly more than ``k`` rows — no tile, intermediate
+relation, or full candidate cross product is ever materialized.
+
+Candidates per level are served from a lazily built hash index (one
+scan of the level's relation on first use) keyed by the attribute
+vector the prefix binds, each list sorted best-score-first — the sorted
+access the bound argument needs.
+
+Determinism: completed rows are scored through
+:func:`~repro.joins.wcoj.score_components` and finalized through
+:func:`~repro.joins.wcoj.finalize_rows`, the same contract as the wcoj
+and cascade kernels, so equal-score rows enumerate in the same order
+under all three.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.joins.wcoj import (
+    JoinGraph,
+    JoinedRow,
+    Relation,
+    canonical_tuple_key,
+    finalize_rows,
+    orderable_key,
+    score_components,
+)
+from repro.model.tuples import RankingFunction, ServiceTuple
+
+__all__ = ["RankedEnumerationStatistics", "RankedEnumerator", "RankedResult"]
+
+#: Strictness margin of the stopping rule: wide enough to absorb the
+#: last-ulp difference between a prefix bound (summed in level order)
+#: and the finalizer's alias-sorted score, narrow enough that genuinely
+#: lower-scored rows can never displace a tie.
+_EPS = 1e-12
+
+
+@dataclass
+class RankedEnumerationStatistics:
+    """Laziness accounting: how much of the join was *not* done."""
+
+    pq_pops: int = 0
+    pq_pushes: int = 0
+    max_heap: int = 0
+    #: Complete rows actually assembled — the materialization the lazy
+    #: enumerator admits to; compare against the full join cardinality.
+    materialized_rows: int = 0
+    #: Candidate-list entries built across all levels (sorted accesses).
+    candidate_rows: int = 0
+    #: Levels whose hash index was built (never more than #relations).
+    index_builds: int = 0
+    results: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "pq_pops": self.pq_pops,
+            "pq_pushes": self.pq_pushes,
+            "max_heap": self.max_heap,
+            "materialized_rows": self.materialized_rows,
+            "candidate_rows": self.candidate_rows,
+            "index_builds": self.index_builds,
+            "results": self.results,
+        }
+
+
+@dataclass
+class RankedResult:
+    rows: list[JoinedRow]
+    stats: RankedEnumerationStatistics
+
+
+@dataclass(frozen=True)
+class _Prefix:
+    """Chosen tuples for the first ``level`` relations.
+
+    ``cursor`` indexes the candidate list the *last* chosen tuple came
+    from; the sibling expansion advances it, the child expansion opens
+    the next level at its first candidate.  The pair of expansions
+    generates every complete combination exactly once (the standard
+    product-lattice enumeration).
+    """
+
+    level: int
+    components: tuple[tuple[str, ServiceTuple], ...]
+    prefix_score: float
+    list_key: tuple
+    cursor: int
+
+
+class RankedEnumerator:
+    """Global top-k of a multiway equi-join, enumerated lazily.
+
+    Parameters
+    ----------
+    relations / graph:
+        As for :class:`~repro.joins.wcoj.MultiwayJoinExecutor`; the
+        level order is the graph's alias order.
+    ranking:
+        Weighted-sum ranking (uniform by default).  Weights must be
+        non-negative — the bound's monotonicity depends on it.
+    k:
+        Rows to return.
+    max_pops:
+        Safety bound on queue pops (defends against adversarial inputs
+        in serving contexts); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        relations: Sequence[Relation],
+        graph: JoinGraph,
+        ranking: RankingFunction | None = None,
+        k: int = 10,
+        max_pops: int | None = None,
+    ) -> None:
+        if tuple(r.alias for r in relations) != graph.aliases:
+            raise ExecutionError("relations must match the graph's aliases")
+        if k <= 0:
+            raise ExecutionError("k must be positive")
+        self.relations = tuple(relations)
+        self.graph = graph
+        self.ranking = ranking or RankingFunction.uniform(graph.aliases)
+        if any(self.ranking.weight(a) < 0 for a in graph.aliases):
+            raise ExecutionError("ranking weights must be non-negative")
+        self.k = k
+        self.max_pops = max_pops
+        # Remaining-levels optimistic mass: rest[j] bounds what levels
+        # j..n-1 can still contribute.
+        tops = [
+            self.ranking.weight(r.alias) * r.top_score()
+            for r in self.relations
+        ]
+        self._rest = [0.0] * (len(tops) + 1)
+        for j in range(len(tops) - 1, -1, -1):
+            self._rest[j] = self._rest[j + 1] + tops[j]
+        # (bound_alias, bound_attr, own_attr) vectors per level, against
+        # the earliest bound occurrence of each shared variable.
+        self._bindings: list[list[tuple[str, str, str]]] = []
+        bound: set[str] = set()
+        for relation in self.relations:
+            entries: list[tuple[str, str, str]] = []
+            for var in self.graph.variables:
+                own = sorted(
+                    {a for al, a in var.occurrences if al == relation.alias}
+                )
+                if not own:
+                    continue
+                for b_alias, b_attr in var.occurrences:
+                    if b_alias in bound:
+                        entries.append((b_alias, b_attr, own[0]))
+                        break
+            self._bindings.append(entries)
+            bound.add(relation.alias)
+        self._indexes: list[dict[tuple, list[ServiceTuple]] | None] = [
+            None
+        ] * len(self.relations)
+        self._candidates: dict[tuple[int, tuple], list[ServiceTuple]] = {}
+
+    # -- candidate access ----------------------------------------------------
+
+    def _index(self, level: int, stats: RankedEnumerationStatistics):
+        built = self._indexes[level]
+        if built is not None:
+            return built
+        relation = self.relations[level]
+        self_eq = self.graph.self_equalities(relation.alias)
+        built = {}
+        for tup in relation.tuples:
+            if self_eq and any(
+                tup.values.get(a) != tup.values.get(b) for a, b in self_eq
+            ):
+                continue
+            key = tuple(
+                orderable_key(tup.values.get(attr))
+                for _, _, attr in self._bindings[level]
+            )
+            built.setdefault(key, []).append(tup)
+        self._indexes[level] = built
+        stats.index_builds += 1
+        return built
+
+    def _candidate_list(
+        self, level: int, key: tuple, stats: RankedEnumerationStatistics
+    ) -> list[ServiceTuple]:
+        memo_key = (level, key)
+        cached = self._candidates.get(memo_key)
+        if cached is not None:
+            return cached
+        matches = self._index(level, stats).get(key, [])
+        ordered = sorted(
+            matches, key=lambda t: (-t.score, canonical_tuple_key(t))
+        )
+        self._candidates[memo_key] = ordered
+        stats.candidate_rows += len(ordered)
+        return ordered
+
+    def _key_for(
+        self, level: int, components: Mapping[str, ServiceTuple]
+    ) -> tuple:
+        return tuple(
+            orderable_key(components[b_alias].values.get(b_attr))
+            for b_alias, b_attr, _ in self._bindings[level]
+        )
+
+    # -- enumeration ---------------------------------------------------------
+
+    def run(self) -> RankedResult:
+        stats = RankedEnumerationStatistics()
+        levels = len(self.relations)
+        heap: list[tuple[float, int, _Prefix]] = []
+        seq = itertools.count()
+
+        def push(prefix: _Prefix, bound: float) -> None:
+            heapq.heappush(heap, (-bound, next(seq), prefix))
+            stats.pq_pushes += 1
+            stats.max_heap = max(stats.max_heap, len(heap))
+
+        def open_level(
+            level: int,
+            components: tuple[tuple[str, ServiceTuple], ...],
+            prefix_score: float,
+        ) -> None:
+            """Push the first candidate of ``level`` under the prefix."""
+            key = self._key_for(level, dict(components))
+            candidates = self._candidate_list(level, key, stats)
+            if not candidates:
+                return
+            chosen = candidates[0]
+            alias = self.relations[level].alias
+            score = (
+                prefix_score + self.ranking.weight(alias) * chosen.score
+            )
+            push(
+                _Prefix(
+                    level=level + 1,
+                    components=components + ((alias, chosen),),
+                    prefix_score=score,
+                    list_key=key,
+                    cursor=0,
+                ),
+                score + self._rest[level + 1],
+            )
+
+        def push_sibling(prefix: _Prefix) -> None:
+            level = prefix.level - 1
+            candidates = self._candidate_list(level, prefix.list_key, stats)
+            nxt = prefix.cursor + 1
+            if nxt >= len(candidates):
+                return
+            alias, prev = prefix.components[-1]
+            weight = self.ranking.weight(alias)
+            chosen = candidates[nxt]
+            score = (
+                prefix.prefix_score - weight * prev.score + weight * chosen.score
+            )
+            push(
+                _Prefix(
+                    level=prefix.level,
+                    components=prefix.components[:-1] + ((alias, chosen),),
+                    prefix_score=score,
+                    list_key=prefix.list_key,
+                    cursor=nxt,
+                ),
+                score + self._rest[prefix.level],
+            )
+
+        if all(len(r) for r in self.relations):
+            open_level(0, (), 0.0)
+
+        complete: list[JoinedRow] = []
+        scores: list[float] = []  # descending
+        while heap:
+            best_bound = -heap[0][0]
+            if (
+                len(complete) >= self.k
+                and best_bound < scores[self.k - 1] - _EPS
+            ):
+                break
+            if self.max_pops is not None and stats.pq_pops >= self.max_pops:
+                break
+            _, _, prefix = heapq.heappop(heap)
+            stats.pq_pops += 1
+            push_sibling(prefix)
+            if prefix.level == levels:
+                components = dict(prefix.components)
+                row = JoinedRow(
+                    components=components,
+                    score=score_components(self.ranking, components),
+                )
+                complete.append(row)
+                stats.materialized_rows += 1
+                lo, hi = 0, len(scores)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if scores[mid] >= row.score:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                scores.insert(lo, row.score)
+            else:
+                open_level(prefix.level, prefix.components, prefix.prefix_score)
+
+        rows = finalize_rows(complete, self.k)
+        stats.results = len(rows)
+        return RankedResult(rows=rows, stats=stats)

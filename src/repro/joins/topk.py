@@ -17,6 +17,18 @@ provably the global top-k order.  The pull strategy is HRJN*'s: fetch next
 from the source whose bound dominates the threshold, which realises a
 merge-scan with a *variable* inter-service ratio driven by the score
 distributions (the Chapter 11 behaviour the reproduced chapter brackets).
+
+Since the wcoj/ranked kernel subsystem landed, this module is also the
+**kernel facade**: :func:`topk_join` runs one multiway top-k join under
+any of the three kernels (``binary`` cascade, ``wcoj`` leapfrog,
+``ranked`` lazy enumeration) with the shared determinism contract —
+scores summed alias-sorted, ties broken by canonical row key — so equal-
+score tuples enumerate in the same order whichever kernel ran.  The
+:class:`RankJoinExecutor` itself now finalizes under the same contract
+(collect until the threshold is strictly below the k-th best, then sort
+by ``(-score, canonical key)``), and :func:`tile_trace` maps any
+kernel's emission order back onto chunk tiles so the Section 4.1
+extraction-optimality analysers apply to the new kernels unchanged.
 """
 
 from __future__ import annotations
@@ -24,17 +36,37 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ExecutionError
 from repro.joins.methods import ChunkSource, JoinedPair, JoinResult, JoinStatistics
+from repro.joins.ranked import RankedEnumerator
 from repro.joins.searchspace import Tile
 from repro.joins.strategies import Axis
-from repro.model.tuples import ServiceTuple
+from repro.joins.wcoj import (
+    BinaryCascadeExecutor,
+    JoinGraph,
+    JoinedRow,
+    MultiwayJoinExecutor,
+    Relation,
+    canonical_tuple_key,
+)
+from repro.model.tuples import RankingFunction, ServiceTuple
 
-__all__ = ["RankJoinExecutor"]
+__all__ = [
+    "RankJoinExecutor",
+    "TopKJoinOutcome",
+    "canonical_pair_key",
+    "tile_trace",
+    "topk_join",
+]
 
 _EPS = 1e-9
+
+
+def canonical_pair_key(pair: JoinedPair) -> tuple:
+    """Deterministic tie-break identity of one joined pair."""
+    return (canonical_tuple_key(pair.left), canonical_tuple_key(pair.right))
 
 
 @dataclass
@@ -108,7 +140,6 @@ class RankJoinExecutor:
         # Max-heap of candidates: (-score, sequence, pair).
         heap: list[tuple[float, int, JoinedPair]] = []
         counter = itertools.count()
-        emitted: list[JoinedPair] = []
 
         def fetch(axis: Axis) -> None:
             source = self.source_x if axis is Axis.X else self.source_y
@@ -153,19 +184,30 @@ class RankJoinExecutor:
         fetch(Axis.X)
         fetch(Axis.Y)
 
-        while len(emitted) < self.k:
-            # Emit every candidate already provably in the top-k order.
+        # Deterministic emission (the cross-kernel tie-break contract):
+        # collect provable candidates until the threshold sits *strictly*
+        # below the k-th best collected score — every potential tie is in
+        # hand — then sort by (-score, canonical key) and cut to k.  The
+        # heap's discovery order never shows in the output.
+        collected: list[JoinedPair] = []
+
+        def kth_score() -> float:
+            if len(collected) < self.k:
+                return -float("inf")
+            return heapq.nlargest(self.k, (p.score for p in collected))[-1]
+
+        while True:
+            # Collect every candidate already provably in the top-k range.
             while heap and -heap[0][0] >= threshold() - _EPS:
                 _, _, pair = heapq.heappop(heap)
-                emitted.append(pair)
-                if len(emitted) >= self.k:
-                    break
-            if len(emitted) >= self.k:
+                collected.append(pair)
+            if len(collected) >= self.k and threshold() < kth_score() - _EPS:
                 break
             if state_x.exhausted and state_y.exhausted:
-                while heap and len(emitted) < self.k:
+                bar = kth_score()
+                while heap and -heap[0][0] >= bar - _EPS:
                     _, _, pair = heapq.heappop(heap)
-                    emitted.append(pair)
+                    collected.append(pair)
                 break
             if stats.total_calls >= self.max_calls:
                 break
@@ -189,6 +231,90 @@ class RankJoinExecutor:
             else:
                 fetch(Axis.X)
 
+        emitted = sorted(
+            collected, key=lambda p: (-p.score, canonical_pair_key(p))
+        )[: self.k]
         stats.results = len(emitted)
         stats.tiles_processed = state_x.chunks * state_y.chunks
         return JoinResult(pairs=emitted, stats=stats)
+
+
+# ----------------------------------------------------------------------------- #
+# Kernel facade: one top-k join, three kernels, identical answers
+# ----------------------------------------------------------------------------- #
+
+
+@dataclass
+class TopKJoinOutcome:
+    """One kernel's answer to a multiway top-k join, plus its work stats."""
+
+    kernel: str
+    rows: list[JoinedRow]
+    stats: object
+
+    def row_keys(self) -> list[tuple]:
+        """Score + canonical identity per row — the cross-kernel digest."""
+        return [(row.score, row.key()) for row in self.rows]
+
+
+#: Kernels :func:`topk_join` dispatches over (``auto`` is a plan-level
+#: notion and resolves before reaching the joins layer).
+TOPK_JOIN_KERNELS = ("binary", "wcoj", "ranked")
+
+
+def topk_join(
+    relations: Sequence[Relation],
+    graph: JoinGraph,
+    ranking: RankingFunction | None = None,
+    k: int = 10,
+    kernel: str = "binary",
+) -> TopKJoinOutcome:
+    """Top-k multiway equi-join under the chosen kernel.
+
+    All kernels honour the shared determinism contract (alias-sorted
+    score summation, ``(-score, canonical row key)`` emission order), so
+    the returned rows are identical — including tie order — whichever
+    kernel ran; only ``stats`` differs.
+    """
+    if kernel == "binary":
+        outcome = BinaryCascadeExecutor(
+            relations, graph, ranking=ranking, k=k
+        ).run()
+    elif kernel == "wcoj":
+        outcome = MultiwayJoinExecutor(
+            relations, graph, ranking=ranking, k=k
+        ).run()
+    elif kernel == "ranked":
+        outcome = RankedEnumerator(
+            relations, graph, ranking=ranking, k=k
+        ).run()
+    else:
+        raise ExecutionError(
+            f"unknown top-k join kernel {kernel!r}; "
+            f"expected one of {TOPK_JOIN_KERNELS}"
+        )
+    return TopKJoinOutcome(kernel=kernel, rows=outcome.rows, stats=outcome.stats)
+
+
+def tile_trace(
+    rows: Sequence[JoinedRow], relation_x: Relation, relation_y: Relation
+) -> list[Tile]:
+    """Map a two-way kernel's emission order onto chunk tiles.
+
+    Each emitted row came from one ``(chunk_x, chunk_y)`` tile (recorded
+    when the relations were drained from chunk sources); the resulting
+    tile sequence is what the Section 4.1 extraction-optimality
+    analysers (:mod:`repro.joins.extraction`) consume, which is how the
+    new kernels plug into the existing optimality machinery.
+    """
+    trace: list[Tile] = []
+    for row in rows:
+        tx = row.components[relation_x.alias]
+        ty = row.components[relation_y.alias]
+        tile = Tile(
+            relation_x.chunk_of.get(tx.position, 0),
+            relation_y.chunk_of.get(ty.position, 0),
+        )
+        if not trace or trace[-1] != tile:
+            trace.append(tile)
+    return trace

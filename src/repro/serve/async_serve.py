@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.core.optimizer import OptimizerConfig
 from repro.engine.async_runner import AsyncExecutionContext
 from repro.engine.executor import InvocationCache
 from repro.model.tuples import CompositeTuple
@@ -235,6 +236,7 @@ def serve_workload_async(
     metrics: Any = None,
     slo: Any = None,
     trace_engine: bool = False,
+    join_kernel: str = "binary",
 ) -> AsyncServeReport:
     """Serve one seeded workload on the asyncio backend.
 
@@ -270,6 +272,7 @@ def serve_workload_async(
     sessions = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
+        optimizer_config=OptimizerConfig(join_kernel=join_kernel),
         plan_cache=PlanCache() if shared else None,
         invocation_cache=(InvocationCache(max_size=None) if shared else None),
         backend="asyncio",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Mapping, Sequence
 
+from repro.core.optimizer import OptimizerConfig
 from repro.engine.executor import InvocationCache
 from repro.model.tuples import CompositeTuple
 from repro.obs.serving import SloTracker, serving_metrics_summary
@@ -87,6 +88,7 @@ def serve_workload(
     tracer: Any = None,
     slo: "SloTracker | None" = None,
     sample_metrics: bool = False,
+    join_kernel: str = "binary",
 ) -> tuple[ServeReport, dict[int, str]]:
     """Serve one seeded workload; returns the report and per-request digests.
 
@@ -114,6 +116,7 @@ def serve_workload(
     sessions = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
+        optimizer_config=OptimizerConfig(join_kernel=join_kernel),
         plan_cache=PlanCache(max_size=plan_cache_size) if shared else None,
         invocation_cache=(
             InvocationCache(max_size=None) if shared else None
@@ -173,6 +176,7 @@ def run_serving_benchmark(
     default_service_rate: float | None = 4.0,
     plan_cache_size: int | None = None,
     templates: Sequence[QueryTemplate] | None = None,
+    join_kernel: str = "binary",
 ) -> dict[str, Any]:
     """The full shared-vs-isolated comparison across load levels."""
     levels: list[dict[str, Any]] = []
@@ -195,6 +199,7 @@ def run_serving_benchmark(
                 default_service_rate=default_service_rate,
                 plan_cache_size=plan_cache_size,
                 templates=templates,
+                join_kernel=join_kernel,
             )
             per_mode[mode] = report
             digests[mode] = mode_digests
@@ -233,6 +238,7 @@ def run_serving_benchmark(
         "followup_fraction": followup_fraction,
         "max_concurrency": max_concurrency,
         "default_service_rate": default_service_rate,
+        "join_kernel": join_kernel,
         "load_levels": list(load_levels),
         "levels": levels,
         "gates": {

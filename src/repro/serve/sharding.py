@@ -57,6 +57,7 @@ import heapq
 from bisect import bisect_right
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.core.optimizer import OptimizerConfig
 from repro.engine.executor import InvocationCache, InvocationCacheStats
 from repro.errors import ExecutionError
 from repro.model.tuples import CompositeTuple
@@ -498,6 +499,7 @@ def _build_manager(
     cache_size: int | None,
     plan_cache_size: int | None = None,
     backend: str = "virtual",
+    join_kernel: str = "binary",
 ) -> SessionManager:
     if cache_mode not in ("shared", "private", "isolated"):
         raise ExecutionError(
@@ -507,6 +509,7 @@ def _build_manager(
     manager = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
+        optimizer_config=OptimizerConfig(join_kernel=join_kernel),
         backend=backend,
     )
     if cache_mode == "isolated":
@@ -547,6 +550,7 @@ def serve_workload_sharded(
     tracer: "Tracer | NullTracer | None" = None,
     slo: "SloTracker | None" = None,
     sample_metrics: bool = False,
+    join_kernel: str = "binary",
 ) -> tuple[ServeReport, dict[int, str]]:
     """Serve one seeded workload on ``num_shards`` shards.
 
@@ -583,6 +587,7 @@ def serve_workload_sharded(
         ring=ring,
         cache_size=cache_size,
         plan_cache_size=plan_cache_size,
+        join_kernel=join_kernel,
     )
     scheduler = ShardedServeScheduler(
         sessions,
@@ -633,6 +638,9 @@ def _parallel_worker(payload: Mapping[str, Any]) -> dict[str, Any]:
     manager = SessionManager(
         templates={template.name: template for template in templates},
         data_seed=seed,
+        optimizer_config=OptimizerConfig(
+            join_kernel=payload.get("join_kernel", "binary")
+        ),
         plan_cache=PlanCache() if payload["caches"] else None,
         invocation_cache=(
             InvocationCache(max_size=payload["cache_size"])
@@ -718,6 +726,7 @@ def serve_workload_parallel(
     time_scale: float = 0.001,
     templates: Sequence[QueryTemplate] | None = None,
     workload: Sequence[Request] | None = None,
+    join_kernel: str = "binary",
 ) -> dict[str, Any]:
     """Serve the workload with one real worker process per shard.
 
@@ -760,6 +769,7 @@ def serve_workload_parallel(
             "queue_limit": queue_limit,
             "default_service_rate": default_service_rate,
             "time_scale": time_scale,
+            "join_kernel": join_kernel,
         }
         for index, subset in enumerate(subsets)
     ]

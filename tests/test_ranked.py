@@ -1,0 +1,154 @@
+"""Lazy ranked enumeration (ISSUE 10 tentpole, second half).
+
+The priority-queue enumerator must return exactly the top-k the eager
+kernels compute — same scores, same tie order — while assembling far
+fewer complete rows than the full join holds.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.joins.ranked import RankedEnumerator
+from repro.joins.topk import topk_join
+from repro.joins.wcoj import (
+    EquiPredicate,
+    JoinGraph,
+    MultiwayJoinExecutor,
+    Relation,
+    finalize_rows,
+    triangle_graph,
+)
+from repro.model.tuples import RankingFunction, ServiceTuple
+
+
+def make_relation(alias, n, domains, seed):
+    rng = random.Random(seed)
+    scores = sorted((rng.random() for _ in range(n)), reverse=True)
+    return Relation(
+        alias=alias,
+        tuples=[
+            ServiceTuple(
+                {attr: rng.randrange(dom) for attr, dom in domains.items()},
+                score=round(score, 9),
+                source=alias,
+                position=i,
+            )
+            for i, score in enumerate(scores)
+        ],
+    )
+
+
+def triangle_relations(n, seed, a_dom=6, bc_dom=3):
+    return [
+        make_relation("R", n, {"a": a_dom, "b": bc_dom}, seed),
+        make_relation("S", n, {"b": bc_dom, "c": bc_dom}, seed + 1),
+        make_relation("T", n, {"c": bc_dom, "a": a_dom}, seed + 2),
+    ]
+
+
+def row_keys(rows):
+    return [(row.score, row.key()) for row in rows]
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("k", [1, 5, 25])
+def test_ranked_matches_eager_topk(seed, k):
+    relations = triangle_relations(40, seed)
+    graph = triangle_graph()
+    eager = MultiwayJoinExecutor(relations, graph, k=k).run()
+    ranked = RankedEnumerator(relations, graph, k=k).run()
+    assert row_keys(ranked.rows) == row_keys(eager.rows)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_ranked_respects_custom_weights(seed):
+    relations = triangle_relations(35, seed + 40)
+    graph = triangle_graph()
+    ranking = RankingFunction({"R": 0.5, "S": 0.3, "T": 0.2})
+    eager = MultiwayJoinExecutor(relations, graph, ranking=ranking, k=8).run()
+    ranked = RankedEnumerator(relations, graph, ranking=ranking, k=8).run()
+    assert row_keys(ranked.rows) == row_keys(eager.rows)
+
+
+def test_ranked_materializes_a_fraction_of_the_join():
+    relations = triangle_relations(80, 7, a_dom=3, bc_dom=3)
+    graph = triangle_graph()
+    full = MultiwayJoinExecutor(relations, graph).run()
+    assert len(full.rows) > 200, "needs a dense join for the laziness claim"
+    ranked = RankedEnumerator(relations, graph, k=10).run()
+    assert row_keys(ranked.rows) == row_keys(finalize_rows(full.rows, 10))
+    assert ranked.stats.materialized_rows < len(full.rows)
+    assert ranked.stats.results == 10
+
+
+def test_k_larger_than_join_returns_everything():
+    relations = triangle_relations(20, 3)
+    graph = triangle_graph()
+    full = MultiwayJoinExecutor(relations, graph).run()
+    ranked = RankedEnumerator(relations, graph, k=len(full.rows) + 50).run()
+    assert row_keys(ranked.rows) == row_keys(full.rows)
+
+
+def test_empty_intersection_yields_no_rows():
+    relations = [
+        make_relation("R", 10, {"a": 4, "b": 2}, 1),
+        make_relation("S", 10, {"b": 2, "c": 2}, 2),
+        Relation(
+            alias="T",
+            tuples=[
+                ServiceTuple(
+                    {"c": 99, "a": 99}, score=0.5, source="T", position=0
+                )
+            ],
+        ),
+    ]
+    ranked = RankedEnumerator(relations, triangle_graph(), k=5).run()
+    assert ranked.rows == []
+    assert ranked.stats.results == 0
+
+
+def test_max_pops_caps_work_without_crashing():
+    relations = triangle_relations(60, 9, a_dom=3, bc_dom=3)
+    graph = triangle_graph()
+    capped = RankedEnumerator(relations, graph, k=50, max_pops=5).run()
+    assert capped.stats.pq_pops <= 5
+    uncapped = RankedEnumerator(relations, graph, k=50).run()
+    # Whatever the cap let through is a prefix of the true ranking.
+    assert row_keys(capped.rows) == row_keys(uncapped.rows)[: len(capped.rows)]
+
+
+def test_ranked_handles_acyclic_chain():
+    relations = [
+        make_relation("A", 30, {"x": 3}, 11),
+        make_relation("B", 30, {"x": 3, "y": 3}, 12),
+        make_relation("C", 30, {"y": 3}, 13),
+    ]
+    graph = JoinGraph(
+        ("A", "B", "C"),
+        (
+            EquiPredicate("A", "x", "B", "x"),
+            EquiPredicate("B", "y", "C", "y"),
+        ),
+    )
+    eager = MultiwayJoinExecutor(relations, graph, k=12).run()
+    ranked = RankedEnumerator(relations, graph, k=12).run()
+    assert row_keys(ranked.rows) == row_keys(eager.rows)
+
+
+def test_ranked_validates_inputs():
+    relations = triangle_relations(5, 0)
+    with pytest.raises(ExecutionError):
+        RankedEnumerator(relations, triangle_graph(), k=0)
+    with pytest.raises(ExecutionError):
+        RankedEnumerator(list(reversed(relations)), triangle_graph())
+
+
+def test_topk_join_ranked_kernel_reports_lazy_stats():
+    relations = triangle_relations(50, 21, a_dom=3, bc_dom=3)
+    outcome = topk_join(relations, triangle_graph(), k=10, kernel="ranked")
+    assert outcome.kernel == "ranked"
+    stats = outcome.stats
+    assert stats.max_heap > 0 and stats.pq_pushes >= stats.pq_pops
+    assert stats.index_builds <= len(relations)
